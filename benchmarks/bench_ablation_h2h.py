@@ -1,0 +1,59 @@
+"""Ablation: what does stochastic generality cost at alpha = 0.5?
+
+At alpha = 0.5 the RSP degenerates to the deterministic shortest path, for
+which the scalar H2H index [26] — the substrate NRP generalises — is the
+specialised solution.  Comparing NRP's alpha = 0.5 queries against H2H
+quantifies the overhead of carrying non-dominated path sets when only
+means matter: index size, build time, and per-query latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from conftest import QUERIES, SCALE, save_report
+from repro.baselines.h2h import H2HIndex
+from repro.core.index import NRPIndex
+from repro.experiments.reporting import format_table
+from repro.network.datasets import make_dataset
+
+_state: dict[str, object] = {}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph, _ = make_dataset("NY", scale=SCALE, seed=7)
+    h2h = H2HIndex(graph)
+    nrp = NRPIndex(graph, order=h2h.td.order)
+    rng = random.Random(7)
+    vertices = list(graph.vertices())
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(max(20, QUERIES))
+    ]
+    return graph, h2h, nrp, pairs
+
+
+@pytest.mark.parametrize("engine", ["H2H", "NRP@0.5"])
+def test_alpha_half_query_latency(benchmark, setup, engine):
+    _, h2h, nrp, pairs = setup
+    cycle = itertools.cycle(pairs)
+    if engine == "H2H":
+        fn = lambda: h2h.distance(*next(cycle))  # noqa: E731
+    else:
+        fn = lambda: nrp.query(*next(cycle), 0.5).value  # noqa: E731
+    benchmark(fn)
+    _state[engine] = True
+    if len(_state) == 2:
+        report = format_table(
+            ["structure", "label entries / stored paths"],
+            [
+                ["H2H (scalar)", h2h.num_entries],
+                ["NRP (path sets)", nrp.size_info().label_paths],
+            ],
+            title=f"alpha=0.5 ablation: deterministic H2H vs NRP (NY, scale={SCALE})",
+        )
+        save_report("ablation_h2h", report)
+        assert h2h.num_entries <= nrp.size_info().label_paths

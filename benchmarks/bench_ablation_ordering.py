@@ -1,0 +1,54 @@
+"""Ablation: contraction-order choice (min-degree [26] vs nested dissection).
+
+The ordering shapes the tree decomposition and hence the whole index:
+treeheight bounds the label count per vertex, bag sizes bound the hoplink
+sets.  The paper uses min-degree; this bench quantifies what the classic
+alternative buys on our road-network stand-ins.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import QUERIES, SCALE, save_report
+from repro.core.index import NRPIndex
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import distance_query_sets
+from repro.network.datasets import make_dataset
+from repro.treedec.nested_dissection import nested_dissection_order
+
+_results: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("ordering", ["min-degree", "nested-dissection"])
+def test_ordering_ablation(benchmark, ordering):
+    graph, _ = make_dataset("NY", scale=SCALE, seed=7)
+    order = None if ordering == "min-degree" else nested_dissection_order(graph)
+
+    def build():
+        return NRPIndex(graph, order=order)
+
+    index = benchmark.pedantic(build, iterations=1, rounds=1)
+    queries = distance_query_sets(graph, QUERIES, seed=7)[3]
+    start = time.perf_counter()
+    for q in queries:
+        index.query(q.source, q.target, q.alpha)
+    query_seconds = time.perf_counter() - start
+    info = index.size_info()
+    _results[ordering] = [
+        ordering,
+        index.treewidth,
+        index.treeheight,
+        info.label_paths,
+        f"{index.construction_seconds:.2f} s",
+        f"{1000 * query_seconds / len(queries):.3f} ms",
+    ]
+    report = format_table(
+        ["ordering", "omega", "eta", "label paths", "build", "query (Q3 avg)"],
+        [_results[k] for k in ("min-degree", "nested-dissection") if k in _results],
+        title=f"Contraction-order ablation (NY, scale={SCALE})",
+    )
+    save_report("ablation_ordering", report)
+    assert index.treeheight > 0

@@ -1,0 +1,74 @@
+"""Ablation benches for design choices called out in DESIGN.md Section 5.
+
+1. Practical refine bound ``z_max = 3.1`` vs strict M-V refinement: the
+   z_max refine (paper Section IV) keeps labels meaningfully smaller at the
+   cost of capping supported alpha at 0.999.
+2. Separator choice min(|H(s)|, |H(t)|) (Lemma 1) vs always using H(t):
+   fewer hoplinks means fewer label lookups and concatenations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import QUERIES, SCALE, save_report
+from repro.core.index import NRPIndex
+from repro.core.query import QueryStats
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import distance_query_sets
+from repro.network.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def network():
+    graph, _ = make_dataset("NY", scale=SCALE, seed=7)
+    return graph
+
+
+@pytest.mark.parametrize("z_max", [3.1, None], ids=["zmax-3.1", "strict-MV"])
+def test_refine_bound_ablation(benchmark, network, z_max):
+    index = benchmark.pedantic(
+        NRPIndex, args=(network,), kwargs=dict(z_max=z_max), iterations=1, rounds=1
+    )
+    info = index.size_info()
+    label = "z_max=3.1" if z_max is not None else "strict M-V"
+    report = format_table(
+        ["variant", "label paths", "avg paths/entry", "build seconds"],
+        [
+            [
+                label,
+                info.label_paths,
+                f"{info.label_paths / max(1, info.label_entries):.2f}",
+                f"{index.construction_seconds:.2f}",
+            ]
+        ],
+        title=f"Refine-bound ablation ({label})",
+    )
+    save_report(f"ablation_refine_{'zmax' if z_max else 'strict'}", report)
+
+
+def test_separator_choice_ablation(benchmark, network):
+    """Count hoplinks with Lemma 1's min-separator rule vs both candidates."""
+    index = NRPIndex(network)
+    queries = distance_query_sets(network, QUERIES, seed=7)[3]
+
+    def run() -> tuple[float, float]:
+        chosen = 0
+        larger = 0
+        for q in queries:
+            td = index.td
+            if td.lca(q.source, q.target) in (q.source, q.target):
+                continue
+            h_s, h_t = td.separators(q.source, q.target)
+            chosen += min(len(h_s), len(h_t))
+            larger += max(len(h_s), len(h_t))
+        return chosen, larger
+
+    chosen, larger = benchmark.pedantic(run, iterations=1, rounds=1)
+    report = format_table(
+        ["strategy", "total hoplinks"],
+        [["min(|H(s)|, |H(t)|)  (Lemma 1)", chosen], ["worse candidate", larger]],
+        title="Separator-choice ablation (Q3 workload, NY)",
+    )
+    save_report("ablation_separator", report)
+    assert chosen <= larger

@@ -1,0 +1,114 @@
+"""Extension benches: future-work features (DESIGN.md Section 5).
+
+1. Streaming update throughput: amortised batch maintenance vs
+   one-change-at-a-time vs full rebuilds, under a high-rate change feed.
+2. Time-of-day rolls: switching the live index between day periods via
+   batch maintenance vs rebuilding an index per period.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from conftest import SCALE, save_report
+from repro.core.index import NRPIndex
+from repro.core.maintenance import IndexMaintainer
+from repro.experiments.reporting import format_seconds, format_table
+from repro.extensions.streaming import StreamingUpdater
+from repro.extensions.timeofday import DayPeriod, TimeOfDayModel, TimeOfDayRouter
+from repro.network.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def network():
+    graph, _ = make_dataset("NY", scale=min(SCALE, 0.6), seed=7)
+    return graph
+
+
+def test_streaming_update_throughput(benchmark, network):
+    rng = random.Random(3)
+    edges = list(network.edge_keys())
+    feed = []
+    for _ in range(120):
+        u, v = edges[rng.randrange(len(edges))]
+        w = network.edge(u, v)
+        feed.append((u, v, w.mu * rng.uniform(0.7, 1.6), w.variance + 0.1))
+
+    def run():
+        # (a) coalesced batches
+        g1 = network.copy()
+        idx1 = NRPIndex(g1)
+        updater = StreamingUpdater(idx1, batch_size=16)
+        start = time.perf_counter()
+        for u, v, mu, var in feed:
+            updater.submit(u, v, mu, var)
+        updater.flush()
+        batched = time.perf_counter() - start
+        # (b) one at a time
+        g2 = network.copy()
+        idx2 = NRPIndex(g2)
+        maintainer = IndexMaintainer(idx2)
+        start = time.perf_counter()
+        for u, v, mu, var in feed:
+            maintainer.update_edge(u, v, mu, var)
+        sequential = time.perf_counter() - start
+        # (c) full rebuild per change (projected from one rebuild)
+        start = time.perf_counter()
+        NRPIndex(g2)
+        rebuild_each = (time.perf_counter() - start) * len(feed)
+        return batched, sequential, rebuild_each
+
+    batched, sequential, rebuild_each = benchmark.pedantic(run, iterations=1, rounds=1)
+    report = format_table(
+        ["strategy", "total time", "per change"],
+        [
+            ["coalesced batches (ext)", format_seconds(batched), format_seconds(batched / 120)],
+            ["one-at-a-time (Alg. 5)", format_seconds(sequential), format_seconds(sequential / 120)],
+            ["full rebuild per change", format_seconds(rebuild_each), format_seconds(rebuild_each / 120)],
+        ],
+        title="Streaming maintenance throughput (120 changes, NY)",
+    )
+    save_report("ext_streaming_throughput", report)
+    assert batched < sequential
+    assert sequential < rebuild_each
+
+
+def test_timeofday_roll_vs_rebuild(benchmark, network):
+    periods = [
+        DayPeriod("overnight", 22 * 60, 6 * 60),
+        DayPeriod("morning_rush", 6 * 60, 10 * 60),
+        DayPeriod("midday", 10 * 60, 16 * 60),
+        DayPeriod("evening_rush", 16 * 60, 22 * 60),
+    ]
+    rng = random.Random(5)
+    graph = network.copy()
+    model = TimeOfDayModel(graph, periods)
+    rush = rng.sample(list(graph.edge_keys()), max(4, graph.num_edges // 20))
+    model.scale_region("morning_rush", rush, 2.0, 2.0)
+    model.scale_region("evening_rush", rush, 1.6, 1.5)
+
+    def run():
+        router = TimeOfDayRouter(model, initial_minute=12 * 60)
+        start = time.perf_counter()
+        for minute in (7 * 60, 12 * 60, 18 * 60, 23 * 60):
+            router.roll_to(minute)
+        rolls = time.perf_counter() - start
+        start = time.perf_counter()
+        NRPIndex(graph)
+        one_rebuild = time.perf_counter() - start
+        return rolls, one_rebuild
+
+    rolls, one_rebuild = benchmark.pedantic(run, iterations=1, rounds=1)
+    report = format_table(
+        ["strategy", "time"],
+        [
+            ["4 period rolls (batch maintenance)", format_seconds(rolls)],
+            ["1 full rebuild (x4 for per-period)", format_seconds(one_rebuild)],
+        ],
+        title="Time-of-day index rolling vs rebuilding (NY)",
+    )
+    save_report("ext_timeofday_rolls", report)
+    assert rolls < 4 * one_rebuild

@@ -1,0 +1,38 @@
+"""Figure 11: NRP index construction time and size vs K (NY, correlated).
+
+The paper reports both growing roughly linearly with K: larger correlation
+windows mean more covariance terms during concatenation, more neighbourhood
+checks during refinement, and wider head/tail windows stored per path.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE, save_report
+from repro.experiments.figures import K_VALUES, fig11_index_cost_vs_k
+from repro.experiments.reporting import format_series
+
+
+def test_fig11_index_cost_vs_k(benchmark):
+    data = benchmark.pedantic(
+        fig11_index_cost_vs_k,
+        args=("NY",),
+        kwargs=dict(scale=min(SCALE, 0.6), seed=7),
+        iterations=1,
+        rounds=1,
+    )
+    report = format_series(
+        "K",
+        list(K_VALUES),
+        {
+            "index time (s)": data["index_time_s"],
+            "index size (bytes)": data["index_size_bytes"],
+        },
+        title="Figure 11 (NY): NRP index cost vs correlation window K",
+    )
+    save_report("fig11_index_vs_k", report)
+
+    # Shape: size grows monotonically with K (wider windows, more paths);
+    # time grows overall from K=1 to K=5.
+    sizes = data["index_size_bytes"]
+    assert sizes[-1] > sizes[0]
+    assert data["index_time_s"][-1] > data["index_time_s"][0]

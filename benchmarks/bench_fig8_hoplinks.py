@@ -1,0 +1,44 @@
+"""Figure 8: average hoplinks and path concatenations per query (NY).
+
+Panel (a): both counters vs the Q1..Q5 distance bands — expected to be
+insensitive to distance.  Panel (b): vs CV with the fixed Q3 pairs — the
+hoplink count stays constant (it depends only on the source/target tree
+positions) while concatenations grow with CV (more non-dominated paths).
+"""
+
+from __future__ import annotations
+
+from conftest import QUERIES, SCALE, save_report
+from repro.experiments.figures import CV_VALUES, fig8_hoplink_counts
+from repro.experiments.reporting import format_series
+
+
+def test_fig8_counters(benchmark):
+    data = benchmark.pedantic(
+        fig8_hoplink_counts,
+        args=("NY",),
+        kwargs=dict(scale=SCALE, queries_per_set=QUERIES, seed=7),
+        iterations=1,
+        rounds=1,
+    )
+    report_q = format_series(
+        "Q",
+        ["Q1", "Q2", "Q3", "Q4", "Q5"],
+        data["by_Q"],
+        title="Figure 8a (NY): avg hoplinks / concatenations per query vs Q",
+    )
+    report_cv = format_series(
+        "CV",
+        list(CV_VALUES),
+        data["by_CV"],
+        title="Figure 8b (NY): avg hoplinks / concatenations per query vs CV",
+    )
+    save_report("fig8_hoplinks", report_q + "\n\n" + report_cv)
+
+    # Shape: hoplinks are identical across CV (same Q3 pairs, same tree).
+    hoplinks_cv = data["by_CV"]["hoplinks"]
+    assert max(hoplinks_cv) - min(hoplinks_cv) < 1e-9
+    # Shape: concatenations grow (weakly) from the smallest CV to the
+    # largest — more variance means more non-dominated paths.
+    concats = data["by_CV"]["concatenations"]
+    assert concats[-1] >= concats[0]

@@ -1,0 +1,45 @@
+"""Figure 9 ablation: path concatenations with vs without Algorithm 2.
+
+"NRP-w/o pruning" concatenates the full label sets; NRP first applies the
+intersection / reverse-intersection dominance.  The paper reports a
+dramatic drop in concatenations under every setting; the assertions below
+pin that shape (strict reduction, on every Q band and every CV level).
+"""
+
+from __future__ import annotations
+
+from conftest import QUERIES, SCALE, save_report
+from repro.experiments.figures import CV_VALUES, fig9_pruning_ablation
+from repro.experiments.reporting import format_series
+
+
+def test_fig9_pruning_ablation(benchmark):
+    data = benchmark.pedantic(
+        fig9_pruning_ablation,
+        args=("NY",),
+        kwargs=dict(scale=SCALE, queries_per_set=QUERIES, seed=7),
+        iterations=1,
+        rounds=1,
+    )
+    report_q = format_series(
+        "Q",
+        ["Q1", "Q2", "Q3", "Q4", "Q5"],
+        data["by_Q"],
+        title="Figure 9a (NY): avg concatenations per query vs Q",
+    )
+    report_cv = format_series(
+        "CV",
+        list(CV_VALUES),
+        data["by_CV"],
+        title="Figure 9b (NY): avg concatenations per query vs CV",
+    )
+    save_report("fig9_ablation", report_q + "\n\n" + report_cv)
+
+    for panel in data.values():
+        for pruned, full in zip(panel["NRP"], panel["NRP-w/o pruning"]):
+            assert pruned <= full
+    # Aggregate effectiveness: pruning should cut concatenations
+    # substantially overall (the paper shows a "dramatic decrease").
+    total_pruned = sum(sum(panel["NRP"]) for panel in data.values())
+    total_full = sum(sum(panel["NRP-w/o pruning"]) for panel in data.values())
+    assert total_pruned < 0.8 * total_full

@@ -1,0 +1,37 @@
+"""Headline micro-benchmark: single-query latency, NRP vs all baselines.
+
+The paper's headline claim is ~100 us per NRP query vs orders of magnitude more
+for the search baselines.  Pure Python is uniformly slower, but the *ratio*
+between the bars here is the reproduced quantity.  pytest-benchmark's own
+comparison table is the figure.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from conftest import QUERIES, SCALE
+from repro.experiments.runners import AlgorithmSuite
+from repro.experiments.workloads import distance_query_sets
+from repro.network.datasets import make_dataset
+
+ALGORITHMS = ("NRP", "TBS", "ERSP-A*", "SDRSP-A*", "SMOGA")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph, _ = make_dataset("NY", scale=SCALE, seed=7)
+    suite = AlgorithmSuite(graph, None)
+    queries = distance_query_sets(graph, QUERIES, seed=7)[3]
+    return suite, queries
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_single_query_latency(benchmark, setup, algorithm):
+    """Mean per-query latency on the Q3 (mid-distance) workload."""
+    suite, queries = setup
+    fn = suite.query_fn(algorithm)
+    cycle = itertools.cycle(queries)
+    benchmark(lambda: fn(next(cycle)))

@@ -1,0 +1,65 @@
+"""End-to-end guarantee check: achieved vs requested reliability.
+
+Not a figure in the paper, but the property the whole system exists for:
+for every answered query, the returned budget must be met with probability
+at least alpha.  Monte-Carlo simulation of the returned paths (with the
+full covariance structure) confirms the calibration on both the
+independent and the correlated configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import QUERIES, SCALE, save_report
+from repro.core.index import NRPIndex
+from repro.experiments.reliability_check import reliability_sweep
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import random_queries
+from repro.network.datasets import make_dataset
+
+_rows = []
+
+
+@pytest.mark.parametrize("mode", ["independent", "correlated"])
+def test_reliability_calibration(benchmark, mode):
+    correlated = mode == "correlated"
+    graph, cov = make_dataset(
+        "NY",
+        scale=min(SCALE, 0.5),
+        correlated=correlated,
+        hops=2,
+        correlation_density=0.05,
+        seed=7,
+    )
+    index = NRPIndex(graph, cov if correlated else None, window=2)
+    queries = random_queries(graph, max(10, QUERIES // 2), seed=7, alpha_range=(0.7, 0.95))
+
+    sweep = benchmark.pedantic(
+        reliability_sweep,
+        args=(graph, index, queries),
+        kwargs=dict(cov=cov if correlated else None, trials=2500, seed=11),
+        iterations=1,
+        rounds=1,
+    )
+    _rows.append(
+        [
+            mode,
+            sweep.queries,
+            f"{sweep.mean_requested:.3f}",
+            f"{sweep.mean_achieved:.3f}",
+            f"{sweep.worst_shortfall:.3f}",
+            f"{sweep.within_tolerance}/{sweep.queries}",
+        ]
+    )
+    report = format_table(
+        ["mode", "queries", "mean alpha", "mean achieved", "worst shortfall", "within 3%"],
+        _rows,
+        title="Achieved vs requested reliability (Monte Carlo, NY)",
+    )
+    save_report("reliability_calibration", report)
+    # The budget is an exact Gaussian quantile: achieved reliability may
+    # exceed alpha (clamping at zero only helps) but must not fall short
+    # beyond sampling noise.
+    assert sweep.worst_shortfall < 0.05
+    assert sweep.within_tolerance >= 0.9 * sweep.queries

@@ -1,0 +1,69 @@
+"""Scaling sweep: NRP's advantage as the network grows.
+
+The reproduction argument in EXPERIMENTS.md extrapolates from our reduced
+networks to the paper's DIMACS scales; this bench provides the trend:
+NRP's per-query time stays nearly flat with |V| while the search baselines
+grow, so the speedup factor increases with size (asserted).
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+from repro.experiments.reporting import format_bytes, format_table
+from repro.experiments.scaling import scaling_sweep
+
+
+def test_scaling_sweep(benchmark):
+    points = benchmark.pedantic(
+        scaling_sweep,
+        kwargs=dict(
+            scales=(0.4, 0.7, 1.0),
+            algorithms=("NRP", "TBS", "SDRSP-A*"),
+            queries_per_point=15,
+            seed=7,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    report = format_table(
+        [
+            "scale",
+            "|V|",
+            "NRP build",
+            "NRP size",
+            "NRP us/q",
+            "TBS us/q",
+            "SDRSP us/q",
+            "speedup vs TBS",
+            "speedup vs SDRSP",
+        ],
+        [
+            [
+                p.scale,
+                p.vertices,
+                f"{p.nrp_build_seconds:.2f} s",
+                format_bytes(p.nrp_index_bytes),
+                f"{p.per_query_seconds['NRP'] * 1e6:.1f}",
+                f"{p.per_query_seconds['TBS'] * 1e6:.1f}",
+                f"{p.per_query_seconds['SDRSP-A*'] * 1e6:.1f}",
+                f"{p.speedup('TBS'):.1f}x",
+                f"{p.speedup('SDRSP-A*'):.1f}x",
+            ]
+            for p in points
+        ],
+        title="Scaling sweep (NY layout, Q3 workloads)",
+    )
+    save_report("scaling_sweep", report)
+
+    # The central trend: the NRP speedup over the search baselines grows
+    # with network size.
+    assert points[-1].speedup("SDRSP-A*") > points[0].speedup("SDRSP-A*")
+    # And NRP's own per-query time grows far slower than the baselines':
+    nrp_growth = (
+        points[-1].per_query_seconds["NRP"] / points[0].per_query_seconds["NRP"]
+    )
+    sdrsp_growth = (
+        points[-1].per_query_seconds["SDRSP-A*"]
+        / points[0].per_query_seconds["SDRSP-A*"]
+    )
+    assert nrp_growth < sdrsp_growth

@@ -1,0 +1,35 @@
+"""Table I: dataset descriptions (|V|, |E|, approximate diameter).
+
+Our synthetic stand-ins are scaled down (DESIGN.md substitution 1), but the
+table reproduces the paper's relative structure: NY < BAY < COL in size,
+NY densest, COL spanning the largest diameter.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE, save_report
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table1_datasets
+
+
+def test_table1_dataset_description(benchmark):
+    rows = benchmark.pedantic(
+        table1_datasets, kwargs=dict(scale=SCALE, seed=7), iterations=1, rounds=1
+    )
+    report = format_table(
+        ["Dataset", "Region", "|V|", "|E|", "d_max (s)"],
+        [
+            [r["dataset"], r["region"], r["V"], r["E"], f"{r['d_max']:.0f}"]
+            for r in rows
+        ],
+        title=f"Table I: synthetic dataset description (scale={SCALE})",
+    )
+    save_report("table1_datasets", report)
+
+    by_name = {r["dataset"]: r for r in rows}
+    assert by_name["NY"]["V"] < by_name["COL"]["V"]
+    assert by_name["NY"]["d_max"] < by_name["COL"]["d_max"]
+    # NY is the densest network (highest average degree), as in Table I.
+    degree = lambda r: 2 * r["E"] / r["V"]
+    assert degree(by_name["NY"]) > degree(by_name["BAY"])
+    assert degree(by_name["NY"]) > degree(by_name["COL"])

@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Scales are tunable via environment variables so the suite can run anywhere
+from smoke-test size to the largest a pure-Python single-core box can take:
+
+- ``REPRO_BENCH_SCALE``   grid scale factor (default 0.6)
+- ``REPRO_BENCH_QUERIES`` queries per workload set (default 20)
+
+Every benchmark prints its paper-style table and also writes it to
+``benchmarks/results/<name>.txt`` so the artefacts survive pytest's output
+capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "20"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a report table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_queries() -> int:
+    return QUERIES

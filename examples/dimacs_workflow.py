@@ -1,0 +1,82 @@
+"""Full production workflow: DIMACS file -> simplify -> index -> persist.
+
+Shows the pipeline a deployment would run for a real DIMACS road network
+(here written out synthetically first, since the challenge files are not
+bundled): parse ``.gr``/``.co``, install stochastic weights (the paper's CV
+procedure), contract degree-2 chains, build the NRP index, answer queries
+with full-resolution path expansion, and save/load the index.
+
+    python examples/dimacs_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import assign_random_cv, build_index, load_index, save_index
+from repro.experiments.reporting import format_bytes, format_seconds, format_table
+from repro.network.dimacs import apply_co, read_co, read_gr, write_gr
+from repro.network.generators import grid_city
+from repro.network.simplify import contract_degree_two
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="nrp_dimacs_"))
+    gr_file = workdir / "city.gr"
+    index_file = workdir / "city.nrp.json.gz"
+
+    # 0. Stand in for downloading a DIMACS network: synthesise one and
+    #    write it in the challenge format.
+    source_city = grid_city(18, 18, seed=31, obstacle_fraction=0.15)
+    write_gr(source_city, gr_file, comment="synthetic city in DIMACS format")
+    print(f"Wrote {gr_file} ({gr_file.stat().st_size} bytes)")
+
+    # 1. Parse the DIMACS file; weights arrive deterministic.
+    graph = read_gr(gr_file)
+    print(f"Parsed: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # 2. Install stochastic weights (Section VI-A: CV_e ~ U(0, 0.5)).
+    assign_random_cv(graph, 0.5, seed=32)
+
+    # 3. Contract degree-2 chains (curve points) before indexing.
+    simplified = contract_degree_two(graph)
+    print(
+        f"Simplified: {simplified.graph.num_vertices} junction vertices "
+        f"({simplified.num_contracted} chain vertices contracted)"
+    )
+
+    # 4. Build and persist the index.
+    index = build_index(simplified.graph)
+    save_index(index, index_file)
+    info = index.size_info()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["build time", format_seconds(index.construction_seconds)],
+                ["label entries", info.label_entries],
+                ["stored paths", info.label_paths],
+                ["in-memory estimate", format_bytes(info.estimated_bytes)],
+                ["on disk (gzip)", format_bytes(index_file.stat().st_size)],
+            ],
+            title="Index",
+        )
+    )
+
+    # 5. Reload (as a fresh process would) and answer a query; expand the
+    #    contracted path back to full resolution.
+    served = load_index(index_file)
+    junctions = sorted(served.graph.vertices())
+    s, t = junctions[0], junctions[-1]
+    result = served.query(s, t, 0.95)
+    full_path = simplified.expand_path(result.path)
+    print(
+        f"\nRSP {s} -> {t} @0.95: budget {result.value:.0f}s, "
+        f"{len(result.path)} junctions, {len(full_path)} vertices after expansion"
+    )
+    for u, v in zip(full_path, full_path[1:]):
+        assert graph.has_edge(u, v)
+    print("Expanded path verified against the original network. ✔")
+
+
+if __name__ == "__main__":
+    main()

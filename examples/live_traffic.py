@@ -1,0 +1,79 @@
+"""Live traffic: detect distribution changes and repair the index online.
+
+Simulates the Section-V pipeline end to end: a DOT-style sensor stream feeds
+the 2-sigma change detector; flagged edges are refitted by MLE and pushed
+through Algorithms 4-5 (incremental maintenance) — no full rebuild — while
+queries keep being answered in between.
+
+    python examples/live_traffic.py
+"""
+
+import random
+import time
+
+from repro import ChangeDetector, IndexMaintainer, build_index
+from repro.network.generators import assign_random_cv, grid_city
+
+
+def main() -> None:
+    graph = grid_city(10, 10, seed=11, mean_range=(40.0, 120.0))
+    assign_random_cv(graph, 0.3, seed=12)
+    index = build_index(graph)
+    maintainer = IndexMaintainer(index)
+    detector = ChangeDetector(graph, window_size=30, min_refit_samples=8)
+
+    source, target = 0, graph.num_vertices - 1
+    print(f"Initial RSP {source}->{target} @0.9: {index.query(source, target, 0.9).value:.1f}")
+
+    # Rush hour arrives: a band of edges silently doubles its mean and
+    # quadruples its variance.  We only see samples, as a sensor feed would.
+    rng = random.Random(13)
+    congested = [
+        (u, v)
+        for u, v, _ in graph.edges()
+        if 4 <= graph.coordinates(u)[1] <= 5 and 4 <= graph.coordinates(v)[1] <= 5
+    ]
+    hidden_truth = {
+        (u, v): (graph.edge(u, v).mu * 2.0, graph.edge(u, v).sigma * 2.0)
+        for (u, v) in congested
+    }
+    print(f"Rush hour hits {len(congested)} edges (index does not know yet)")
+
+    detected = 0
+    repair_seconds = 0.0
+    labels_rebuilt = 0
+    for _ in range(20):  # 20 sensor sweeps over the congested band
+        for (u, v) in congested:
+            mu, sigma = hidden_truth[(u, v)]
+            change = detector.observe(u, v, max(1.0, rng.gauss(mu, sigma)))
+            if change is not None:
+                start = time.perf_counter()
+                report = maintainer.update_edge(
+                    change.u, change.v, change.new_mu, change.new_variance
+                )
+                repair_seconds += time.perf_counter() - start
+                labels_rebuilt += report.labels_rebuilt
+                detected += 1
+
+    print(
+        f"Detector fired {detected} times; incremental repairs took "
+        f"{repair_seconds * 1000:.0f} ms total ({labels_rebuilt} labels rebuilt, "
+        f"vs {graph.num_vertices} labels for every full rebuild)"
+    )
+
+    after = index.query(source, target, 0.9)
+    fitted_mu = {k: index.graph.edge(*k).mu for k in congested}
+    avg_ratio = sum(
+        fitted_mu[k] / hidden_truth[k][0] for k in congested
+    ) / len(congested)
+    print(f"Fitted congested means are {avg_ratio:.0%} of the hidden truth on average")
+    print(f"RSP after repairs: {after.value:.1f} (answered from the repaired labels)")
+
+    # Cross-check: a from-scratch index over the mutated graph agrees.
+    fresh = build_index(index.graph, order=index.td.order)
+    assert abs(fresh.query(source, target, 0.9).value - after.value) < 1e-9
+    print("Incrementally maintained index matches a full rebuild. ✔")
+
+
+if __name__ == "__main__":
+    main()

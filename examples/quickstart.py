@@ -1,0 +1,60 @@
+"""Quickstart: build an NRP index and answer reliable shortest path queries.
+
+Runs on the paper's own 9-vertex example network (Figure 1), so every number
+printed here can be checked against the paper's Examples 1-12.
+
+    python examples/quickstart.py
+"""
+
+from repro import build_index, paper_figure1
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    # 1. A stochastic road network: edge travel times are normal variables.
+    graph, _ = paper_figure1()
+    print(f"Network: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # 2. Build the NRP index (tree decomposition + non-dominated path labels).
+    index = build_index(graph)
+    info = index.size_info()
+    print(
+        f"Index built in {index.construction_seconds * 1000:.1f} ms: "
+        f"{info.label_entries} label entries, {info.label_paths} stored paths, "
+        f"treewidth {index.treewidth}, treeheight {index.treeheight}"
+    )
+
+    # 3. Answer queries.  alpha is the reliability requirement: the returned
+    #    value w is the smallest budget with P(travel time <= w) >= alpha.
+    rows = []
+    for alpha in (0.5, 0.8, 0.95, 0.99):
+        result = index.query(6, 5, alpha)
+        rows.append(
+            [
+                f"{alpha:.2f}",
+                "->".join(f"v{v}" for v in result.path),
+                f"{result.mu:.1f}",
+                f"{result.variance:.1f}",
+                f"{result.value:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["alpha", "reliable shortest path", "mean", "variance", "budget w"],
+            rows,
+            title="RSP query v6 -> v5 at increasing reliability levels",
+        )
+    )
+
+    # 4. The reliability/route trade-off in one sentence.
+    relaxed = index.query(6, 5, 0.5)
+    cautious = index.query(6, 5, 0.99)
+    print(
+        f"\nAt alpha=0.5 the best route needs {relaxed.value:.1f} time units; "
+        f"guaranteeing 99% on-time arrival costs {cautious.value:.1f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

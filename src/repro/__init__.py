@@ -1,0 +1,65 @@
+"""NRP: an efficient index for stochastic routing in road networks.
+
+Pure-Python reproduction of Wang & Wong, ICDE 2025.  Public API highlights:
+
+>>> from repro import paper_figure1, build_index
+>>> graph, cov = paper_figure1()
+>>> index = build_index(graph)
+>>> result = index.query(6, 5, alpha=0.95)
+>>> round(result.value, 2)
+14.93
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core.change_detection import ChangeDetector, DetectedChange
+from repro.core.index import IndexSizeInfo, NRPIndex, build_index
+from repro.core.maintenance import IndexMaintainer, MaintenanceReport
+from repro.core.query import QueryResult, QueryStats
+from repro.core.serialization import load_index, save_index
+from repro.validation.montecarlo import estimate_reliability, validate_query_result
+from repro.network.covariance import CovarianceStore, edge_key
+from repro.network.datasets import DATASETS, make_dataset
+from repro.network.generators import (
+    assign_random_cv,
+    generate_correlations,
+    grid_city,
+    paper_figure1,
+    random_connected_graph,
+)
+from repro.network.graph import StochasticGraph
+from repro.stats.normal import Normal, phi_cdf, phi_inv
+from repro.stats.zscores import z_value
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NRPIndex",
+    "build_index",
+    "IndexSizeInfo",
+    "IndexMaintainer",
+    "MaintenanceReport",
+    "ChangeDetector",
+    "DetectedChange",
+    "QueryResult",
+    "QueryStats",
+    "StochasticGraph",
+    "CovarianceStore",
+    "edge_key",
+    "paper_figure1",
+    "grid_city",
+    "random_connected_graph",
+    "assign_random_cv",
+    "generate_correlations",
+    "make_dataset",
+    "DATASETS",
+    "Normal",
+    "phi_cdf",
+    "phi_inv",
+    "z_value",
+    "save_index",
+    "load_index",
+    "estimate_reliability",
+    "validate_query_result",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Baseline RSP algorithms compared against NRP in Section VI.
+
+- :mod:`dijkstra` — deterministic shortest paths on means (substrate: A*
+  potentials, workload generation, diameter estimation).
+- :mod:`brute_force` — exact enumeration over simple paths; ground truth
+  for the test suite.
+- :mod:`astar` — shared label-correcting A* engine; :func:`sdrsp_query`
+  (M-V dominance, [7]) and :func:`ersp_query` (adds M-B dominance, [8])
+  are thin configurations of it.
+- :mod:`hub_labels` — pruned 2-hop hub labelling on means and variances,
+  the precomputed reverse-bound index behind our TBS re-implementation.
+- :mod:`tbs` — the state-of-the-art search baseline [16]: A* with exact
+  mean potentials and variance lower bounds from the hub-label index.
+- :mod:`smoga` — the simulation-based multi-objective genetic algorithm
+  [17] (population 10, 20 rounds by default, as in the paper).
+"""
+
+from repro.baselines.astar import ersp_query, sdrsp_query
+from repro.baselines.brute_force import enumerate_simple_paths, exact_rsp
+from repro.baselines.dijkstra import (
+    approximate_diameter,
+    dijkstra,
+    shortest_mean_path,
+)
+from repro.baselines.hub_labels import HubLabeling
+from repro.baselines.smoga import smoga_query
+from repro.baselines.tbs import TBSIndex
+
+__all__ = [
+    "dijkstra",
+    "shortest_mean_path",
+    "approximate_diameter",
+    "enumerate_simple_paths",
+    "exact_rsp",
+    "sdrsp_query",
+    "ersp_query",
+    "HubLabeling",
+    "TBSIndex",
+    "smoga_query",
+]

@@ -1,0 +1,230 @@
+"""Label-correcting A* baselines: SDRSP-A* [7] and ERSP-A* [8].
+
+Both expand partial paths from the source guided by exact mean-distance
+potentials (a reverse Dijkstra per query — part of these baselines' query
+cost), maintain non-dominated label sets per vertex, and prune with the best
+answer found so far.  SDRSP-A* uses M-V dominance; ERSP-A* additionally
+applies the M-B dominance of [19] at the query's confidence level.  In the
+correlated case labels carry the last ``window`` edges so covariance
+increments can be evaluated, and dominance is only applied between labels
+sharing that tail (two labels with different tails interact differently with
+future edges, so comparing them would be unsound).
+
+Soundness notes: the priority ``mu_p + h(v)`` lower-bounds the final answer
+value for any alpha >= 0.5 (``Z_alpha >= 0`` and variances are clamped
+non-negative), so the heap is monotone and the search may stop once the
+minimum priority reaches the incumbent.  M-B dominance is exact for
+independent weights and for non-negatively correlated weights; with negative
+correlations it is the heuristic of [8] (see tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.baselines.dijkstra import dijkstra
+from repro.stats.zscores import z_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.covariance import CovarianceStore
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["SearchStats", "stochastic_astar", "sdrsp_query", "ersp_query"]
+
+EdgeKey = tuple[int, int]
+
+
+@dataclass
+class SearchStats:
+    """Search-effort counters shared by all A*-family baselines."""
+
+    labels_generated: int = 0
+    labels_expanded: int = 0
+    pruned_dominated: int = 0
+    pruned_bound: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.labels_generated += other.labels_generated
+        self.labels_expanded += other.labels_expanded
+        self.pruned_dominated += other.pruned_dominated
+        self.pruned_bound += other.pruned_bound
+
+
+class _Label:
+    __slots__ = ("mu", "var", "vertex", "tail", "parent")
+
+    def __init__(self, mu, var, vertex, tail, parent):
+        self.mu = mu
+        self.var = var
+        self.vertex = vertex
+        self.tail = tail
+        self.parent = parent
+
+    def path(self) -> list[int]:
+        out = []
+        label: _Label | None = self
+        while label is not None:
+            out.append(label.vertex)
+            label = label.parent
+        out.reverse()
+        return out
+
+
+def _dominated(bucket: list[tuple[float, float]], mu: float, var: float,
+               z_mb: float | None) -> bool:
+    for other_mu, other_var in bucket:
+        if other_mu <= mu and other_var <= var:
+            return True
+        if z_mb is not None and other_mu <= mu:
+            if other_mu + z_mb * math.sqrt(other_var) <= mu + z_mb * math.sqrt(var):
+                return True
+    return False
+
+
+def stochastic_astar(
+    graph: "StochasticGraph",
+    source: int,
+    target: int,
+    alpha: float,
+    cov: "CovarianceStore | None" = None,
+    *,
+    window: int = 4,
+    use_mb: bool = False,
+    potentials: "dict[int, float] | Callable[[int], float] | None" = None,
+    variance_bounds: "dict[int, float] | Callable[[int], float] | None" = None,
+    stats: SearchStats | None = None,
+    max_labels: int = 2_000_000,
+) -> tuple[float, list[int]]:
+    """The shared engine.  Returns ``(F^{-1}(alpha), vertex path)``.
+
+    ``potentials`` are mean distances to ``target`` (computed here if absent);
+    ``variance_bounds`` are minimum achievable remaining variances (only used
+    in the independent case — with correlations future covariance can be
+    negative, so no sound variance bound below zero exists).
+    """
+    if alpha < 0.5:
+        raise ValueError("the search baselines assume alpha >= 0.5 (Z_alpha >= 0)")
+    if stats is None:
+        stats = SearchStats()
+    z = z_value(alpha)
+    correlated = cov is not None and not cov.is_empty()
+    if potentials is None:
+        dist, _ = dijkstra(graph, target)
+        potential_fn = lambda v: dist.get(v, math.inf)  # noqa: E731
+    elif callable(potentials):
+        potential_fn = potentials
+    else:
+        potential_fn = lambda v: potentials.get(v, math.inf)  # noqa: E731
+    if variance_bounds is None or correlated:
+        # With correlations, future covariance terms can be negative, so no
+        # sound positive lower bound on the remaining variance exists.
+        var_bound_fn = None
+    elif callable(variance_bounds):
+        var_bound_fn = variance_bounds
+    else:
+        var_bound_fn = lambda v: variance_bounds.get(v, 0.0)  # noqa: E731
+    z_mb = z if use_mb else None
+
+    if source == target:
+        return 0.0, [source]
+    h_source = potential_fn(source)
+    if math.isinf(h_source):
+        raise ValueError(f"no path from {source} to {target}")
+
+    start = _Label(0.0, 0.0, source, (), None)
+    counter = 0
+    heap: list[tuple[float, int, _Label]] = [(h_source, 0, start)]
+    buckets: dict[tuple[int, tuple[EdgeKey, ...]], list[tuple[float, float]]] = {
+        (source, ()): [(0.0, 0.0)]
+    }
+    best_value = math.inf
+    best_label: _Label | None = None
+    while heap:
+        priority, _, label = heapq.heappop(heap)
+        if priority >= best_value:
+            break  # monotone heap: nothing left can improve the incumbent
+        stats.labels_expanded += 1
+        v = label.vertex
+        if v == target:
+            value = label.mu + (z * math.sqrt(label.var) if label.var > 0.0 else 0.0)
+            if value < best_value:
+                best_value = value
+                best_label = label
+            continue
+        for w, edge in graph.neighbor_items(v):
+            h = potential_fn(w)
+            if math.isinf(h):
+                continue
+            mu = label.mu + edge.mu
+            var = label.var + edge.variance
+            if correlated:
+                key: EdgeKey = (v, w) if v <= w else (w, v)
+                increment = 0.0
+                partners = cov.correlated_partners(key)
+                if partners:
+                    for f in label.tail:
+                        increment += partners.get(f, 0.0)
+                var += 2.0 * increment
+                if var < 0.0:
+                    var = 0.0
+                tail = (label.tail + (key,))[-window:] if window else ()
+            else:
+                tail = ()
+            # Incumbent bound: optimistic completion of this label.
+            bound = mu + h
+            if var_bound_fn is not None:
+                optimistic = var + var_bound_fn(w)
+                if optimistic > 0.0:
+                    bound += z * math.sqrt(optimistic)
+            if bound >= best_value:
+                stats.pruned_bound += 1
+                continue
+            bucket = buckets.setdefault((w, tail), [])
+            if _dominated(bucket, mu, var, z_mb):
+                stats.pruned_dominated += 1
+                continue
+            bucket[:] = [(m, s2) for (m, s2) in bucket if not (mu <= m and var <= s2)]
+            bucket.append((mu, var))
+            counter += 1
+            stats.labels_generated += 1
+            if stats.labels_generated > max_labels:
+                raise RuntimeError(f"label explosion (> {max_labels}); aborting")
+            heapq.heappush(heap, (mu + h, counter, _Label(mu, var, w, tail, label)))
+    if best_label is None:
+        raise ValueError(f"no path from {source} to {target}")
+    return best_value, best_label.path()
+
+
+def sdrsp_query(
+    graph: "StochasticGraph",
+    source: int,
+    target: int,
+    alpha: float,
+    cov: "CovarianceStore | None" = None,
+    *,
+    window: int = 4,
+    stats: SearchStats | None = None,
+) -> tuple[float, list[int]]:
+    """SDRSP-A* [7]: label-correcting A* with M-V dominance."""
+    return stochastic_astar(
+        graph, source, target, alpha, cov, window=window, use_mb=False, stats=stats
+    )
+
+
+def ersp_query(
+    graph: "StochasticGraph",
+    source: int,
+    target: int,
+    alpha: float,
+    cov: "CovarianceStore | None" = None,
+    *,
+    window: int = 4,
+    stats: SearchStats | None = None,
+) -> tuple[float, list[int]]:
+    """ERSP-A* [8]: SDRSP-A* plus the M-B dominance of [19]."""
+    return stochastic_astar(
+        graph, source, target, alpha, cov, window=window, use_mb=True, stats=stats
+    )

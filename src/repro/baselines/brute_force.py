@@ -1,0 +1,110 @@
+"""Exact RSP by exhaustive enumeration of simple paths.
+
+The test suite's ground truth.  For alpha > 0.5 in the independent case the
+optimal path is always simple (a detour adds both mean and variance), and
+the correlated property tests restrict to non-negative correlations where
+the same holds (see DESIGN.md Section 7), so enumerating simple paths is
+exact there.  Only usable on small graphs — the enumeration guards against
+blow-ups with an explicit cap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterator
+
+from repro.stats.zscores import z_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.covariance import CovarianceStore
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["enumerate_simple_paths", "exact_rsp", "exact_non_dominated"]
+
+
+def enumerate_simple_paths(
+    graph: "StochasticGraph",
+    source: int,
+    target: int,
+    *,
+    max_paths: int = 2_000_000,
+) -> Iterator[list[int]]:
+    """Yield every simple source-target path (DFS)."""
+    count = 0
+    stack: list[tuple[int, list[int], set[int]]] = [(source, [source], {source})]
+    while stack:
+        v, path, visited = stack.pop()
+        if v == target:
+            count += 1
+            if count > max_paths:
+                raise RuntimeError(f"more than {max_paths} simple paths; graph too big")
+            yield path
+            continue
+        for w in graph.neighbors(v):
+            if w not in visited:
+                stack.append((w, path + [w], visited | {w}))
+
+
+def _path_moments(
+    graph: "StochasticGraph", cov: "CovarianceStore | None", path: list[int]
+) -> tuple[float, float]:
+    mu = 0.0
+    for i in range(len(path) - 1):
+        mu += graph.edge(path[i], path[i + 1]).mu
+    if cov is not None and not cov.is_empty():
+        var = cov.path_variance(graph, path)
+    else:
+        var = sum(
+            graph.edge(path[i], path[i + 1]).variance for i in range(len(path) - 1)
+        )
+    return mu, var
+
+
+def exact_rsp(
+    graph: "StochasticGraph",
+    source: int,
+    target: int,
+    alpha: float,
+    cov: "CovarianceStore | None" = None,
+    *,
+    max_paths: int = 2_000_000,
+) -> tuple[float, list[int]]:
+    """The exact optimal ``F^{-1}(alpha)`` value and path over simple paths."""
+    z = z_value(alpha)
+    best_value = math.inf
+    best_path: list[int] | None = None
+    for path in enumerate_simple_paths(graph, source, target, max_paths=max_paths):
+        mu, var = _path_moments(graph, cov, path)
+        value = mu + z * math.sqrt(var) if var > 0.0 else mu
+        if value < best_value:
+            best_value = value
+            best_path = path
+    if best_path is None:
+        raise ValueError(f"no path from {source} to {target}")
+    return best_value, best_path
+
+
+def exact_non_dominated(
+    graph: "StochasticGraph",
+    source: int,
+    target: int,
+    *,
+    max_paths: int = 2_000_000,
+) -> list[tuple[float, float]]:
+    """All Pareto-optimal ``(mu, variance)`` pairs over simple s-t paths.
+
+    The exact counterpart of the strict M-V refine (Proposition 1 with
+    ``z_max = None``): sorted by increasing mean, strictly decreasing
+    variance, duplicates collapsed.
+    """
+    moments = sorted(
+        _path_moments(graph, None, path)
+        for path in enumerate_simple_paths(graph, source, target, max_paths=max_paths)
+    )
+    kept: list[tuple[float, float]] = []
+    best_var = math.inf
+    for mu, var in moments:
+        if var < best_var:
+            kept.append((mu, var))
+            best_var = var
+    return kept

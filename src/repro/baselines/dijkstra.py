@@ -1,0 +1,111 @@
+"""Deterministic shortest paths on mean travel times.
+
+This is both the paper's alpha = 0.5 special case (the RSP objective
+degenerates to the mean) and the substrate for everything else: A*
+potentials for the search baselines, distance bands for the Q1-Q5 workloads,
+the double-sweep diameter estimate of Table I, and SMOGA's seed paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+    from repro.stats.normal import Normal
+
+__all__ = [
+    "dijkstra",
+    "shortest_mean_path",
+    "mean_distance",
+    "approximate_diameter",
+    "farthest_vertex",
+]
+
+
+def dijkstra(
+    graph: "StochasticGraph",
+    source: int,
+    *,
+    target: int | None = None,
+    weight: Callable[["Normal"], float] | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Single-source shortest distances with parent pointers.
+
+    ``weight`` maps an edge distribution to a scalar (default: the mean);
+    passing ``lambda w: w.variance`` yields minimum-variance distances (used
+    by the TBS bounds).  Stops early when ``target`` is settled.
+    """
+    if weight is None:
+        weight = lambda w: w.mu  # noqa: E731 - tight inner loop
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if v == target:
+            break
+        for w, edge in graph.neighbor_items(v):
+            if w in settled:
+                continue
+            nd = d + weight(edge)
+            if nd < dist.get(w, math.inf):
+                dist[w] = nd
+                parent[w] = v
+                heapq.heappush(heap, (nd, w))
+    return dist, parent
+
+
+def _reconstruct(parent: dict[int, int], source: int, target: int) -> list[int]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def shortest_mean_path(
+    graph: "StochasticGraph", source: int, target: int
+) -> tuple[float, list[int]]:
+    """Minimum-mean path and its mean travel time."""
+    dist, parent = dijkstra(graph, source, target=target)
+    if target not in dist:
+        raise ValueError(f"no path from {source} to {target}")
+    return dist[target], _reconstruct(parent, source, target)
+
+
+def mean_distance(graph: "StochasticGraph", source: int) -> dict[int, float]:
+    """All mean distances from ``source`` (the A* potential table)."""
+    dist, _ = dijkstra(graph, source)
+    return dist
+
+
+def farthest_vertex(graph: "StochasticGraph", source: int) -> tuple[int, float]:
+    dist, _ = dijkstra(graph, source)
+    v = max(dist, key=dist.__getitem__)
+    return v, dist[v]
+
+
+def approximate_diameter(
+    graph: "StochasticGraph", seeds: Iterable[int] | None = None
+) -> float:
+    """Double-sweep estimate of ``d_max`` (Table I's last column).
+
+    From each seed, find the farthest vertex, then sweep again from there;
+    the largest eccentricity found is a (tight, for road networks) lower
+    bound on the diameter of the mean-weighted graph.
+    """
+    if seeds is None:
+        seeds = [next(iter(graph.vertices()))]
+    best = 0.0
+    for seed in seeds:
+        far, _ = farthest_vertex(graph, seed)
+        _, ecc = farthest_vertex(graph, far)
+        best = max(best, ecc)
+    return best

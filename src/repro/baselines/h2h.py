@@ -1,0 +1,102 @@
+"""H2H: deterministic tree-decomposition distance labelling ([26]).
+
+NRP generalises the H2H index of Ouyang et al. (SIGMOD 2018) from scalar
+distances to non-dominated path sets.  This module implements the scalar
+original over mean travel times: contraction builds min-plus shortcut
+weights, labels store the exact mean distance from each vertex to every
+tree ancestor, and a query scans the LCA bag — `O(treewidth)` lookups.
+
+It serves two purposes here: a substrate-level baseline (NRP's alpha = 0.5
+special case answered by the dedicated deterministic structure — see
+``bench_ablation_h2h.py``) and an independent correctness oracle for the
+tree-decomposition machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+from repro.treedec.decomposition import TreeDecomposition, build_tree_decomposition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["H2HIndex"]
+
+
+class H2HIndex:
+    """Exact mean-distance queries via hierarchical 2-hop labels."""
+
+    def __init__(
+        self, graph: "StochasticGraph", order: Sequence[int] | None = None
+    ) -> None:
+        self.graph = graph
+        self.td: TreeDecomposition = build_tree_decomposition(graph, order)
+        self._build()
+
+    def _build(self) -> None:
+        td = self.td
+        # Phase 1: min-plus contraction (scalar analogue of Algorithm 3).
+        weights: dict[tuple[int, int], float] = {}
+        for u, v, w in self.graph.edges():
+            weights[(u, v) if u <= v else (v, u)] = w.mu
+
+        def key(a: int, b: int) -> tuple[int, int]:
+            return (a, b) if a <= b else (b, a)
+
+        for v in td.order:
+            neighbors = td.bags[v][1:]
+            for i, u in enumerate(neighbors):
+                w_uv = weights[key(u, v)]
+                for w in neighbors[i + 1 :]:
+                    through = w_uv + weights[key(v, w)]
+                    k = key(u, w)
+                    if through < weights.get(k, math.inf):
+                        weights[k] = through
+
+        # Phase 2: ancestor distance arrays, root first.
+        self._labels: dict[int, dict[int, float]] = {}
+        depth = td.depth
+        for v in td.top_down():
+            entry: dict[int, float] = {}
+            bag_neighbors = td.bags[v][1:]
+            for u in td.ancestors(v):
+                best = math.inf
+                for w in bag_neighbors:
+                    base = weights[key(v, w)]
+                    if w == u:
+                        candidate = base
+                    else:
+                        deeper, shallower = (u, w) if depth[u] > depth[w] else (w, u)
+                        candidate = base + self._labels[deeper][shallower]
+                    if candidate < best:
+                        best = candidate
+                entry[u] = best
+            self._labels[v] = entry
+
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest mean distance between two vertices."""
+        if s == t:
+            return 0.0
+        td = self.td
+        ancestor = td.lca(s, t)
+        if ancestor == s:
+            return self._labels[t][s]
+        if ancestor == t:
+            return self._labels[s][t]
+        best = math.inf
+        label_s = self._labels[s]
+        label_t = self._labels[t]
+        for w in td.bags[ancestor]:
+            d_s = label_s[w] if w != s else 0.0
+            d_t = label_t[w] if w != t else 0.0
+            total = d_s + d_t
+            if total < best:
+                best = total
+        return best
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(entry) for entry in self._labels.values())

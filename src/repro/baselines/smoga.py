@@ -1,0 +1,175 @@
+"""SMOGA [17]: the simulation-based genetic RSP baseline.
+
+A population of candidate s-t paths is evolved for a fixed number of rounds:
+crossover swaps suffixes at a shared intermediate vertex, mutation reroutes
+a random subsegment through a weight-jittered Dijkstra, and selection keeps
+the fittest (smallest ``F^{-1}(alpha)``) individuals.  As in the paper we use
+population size 10 and 20 rounds.  SMOGA is a heuristic: it may return a
+suboptimal path, and its runtime is insensitive to the query's distance,
+alpha, CV, and K — exactly the flat curves of Figure 7.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import TYPE_CHECKING
+
+from repro.baselines.dijkstra import dijkstra
+from repro.stats.zscores import z_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.covariance import CovarianceStore
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["smoga_query"]
+
+
+def _jittered_path(
+    graph: "StochasticGraph", source: int, target: int, rng: random.Random, spread: float
+) -> list[int] | None:
+    """Dijkstra under multiplicatively jittered means (diversity generator)."""
+    import heapq
+
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {}
+    heap = [(0.0, source)]
+    settled: set[int] = set()
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if v == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        for w, edge in graph.neighbor_items(v):
+            if w in settled:
+                continue
+            nd = d + edge.mu * rng.uniform(1.0 - spread, 1.0 + spread)
+            if nd < dist.get(w, math.inf):
+                dist[w] = nd
+                parent[w] = v
+                heapq.heappush(heap, (nd, w))
+    return None
+
+
+def _remove_cycles(path: list[int]) -> list[int]:
+    seen: dict[int, int] = {}
+    out: list[int] = []
+    for v in path:
+        if v in seen:
+            del out[seen[v] + 1 :]
+            for u in list(seen):
+                if seen[u] > seen[v]:
+                    del seen[u]
+        else:
+            seen[v] = len(out)
+            out.append(v)
+    return out
+
+
+def _fitness(
+    graph: "StochasticGraph",
+    cov: "CovarianceStore | None",
+    path: list[int],
+    z: float,
+) -> float:
+    mu = 0.0
+    var = 0.0
+    for i in range(len(path) - 1):
+        edge = graph.edge(path[i], path[i + 1])
+        mu += edge.mu
+        var += edge.variance
+    if cov is not None and not cov.is_empty():
+        var = cov.path_variance(graph, path)
+        if var < 0.0:
+            var = 0.0
+    return mu + z * math.sqrt(var) if var > 0.0 else mu
+
+
+def _crossover(p1: list[int], p2: list[int], rng: random.Random) -> list[int] | None:
+    interior1 = {v: i for i, v in enumerate(p1[1:-1], start=1)}
+    common = [(interior1[v], j) for j, v in enumerate(p2[1:-1], start=1) if v in interior1]
+    if not common:
+        return None
+    i, j = common[rng.randrange(len(common))]
+    return _remove_cycles(p1[: i + 1] + p2[j + 1 :])
+
+
+def _mutate(
+    graph: "StochasticGraph", path: list[int], rng: random.Random, spread: float
+) -> list[int] | None:
+    if len(path) < 3:
+        return None
+    i = rng.randrange(len(path) - 1)
+    j = rng.randrange(i + 1, len(path))
+    detour = _jittered_path(graph, path[i], path[j], rng, spread)
+    if detour is None:
+        return None
+    return _remove_cycles(path[: i] + detour + path[j + 1 :])
+
+
+def smoga_query(
+    graph: "StochasticGraph",
+    source: int,
+    target: int,
+    alpha: float,
+    cov: "CovarianceStore | None" = None,
+    *,
+    population_size: int = 10,
+    rounds: int = 20,
+    jitter: float = 0.5,
+    seed: int = 0,
+) -> tuple[float, list[int]]:
+    """One SMOGA query; returns the best ``(F^{-1}(alpha), path)`` found."""
+    rng = random.Random(seed)
+    z = z_value(alpha)
+    if source == target:
+        return 0.0, [source]
+    population: list[list[int]] = []
+    baseline, parent = dijkstra(graph, source, target=target)
+    if target not in baseline:
+        raise ValueError(f"no path from {source} to {target}")
+    first = [target]
+    while first[-1] != source:
+        first.append(parent[first[-1]])
+    first.reverse()
+    population.append(first)
+    while len(population) < population_size:
+        candidate = _jittered_path(graph, source, target, rng, jitter)
+        if candidate is not None:
+            population.append(candidate)
+
+    def keyed(paths: list[list[int]]) -> list[tuple[float, list[int]]]:
+        return sorted(
+            ((_fitness(graph, cov, p, z), p) for p in paths), key=lambda t: t[0]
+        )
+
+    scored = keyed(population)
+    for _ in range(rounds):
+        offspring: list[list[int]] = []
+        for _ in range(population_size):
+            if rng.random() < 0.5 and len(scored) >= 2:
+                a = scored[rng.randrange(len(scored))][1]
+                b = scored[rng.randrange(len(scored))][1]
+                child = _crossover(a, b, rng)
+            else:
+                child = _mutate(graph, scored[rng.randrange(len(scored))][1], rng, jitter)
+            if child is not None:
+                offspring.append(child)
+        merged = keyed([p for _, p in scored] + offspring)
+        # Elitist selection with de-duplication by fitness value.
+        scored = []
+        seen: set[float] = set()
+        for value, p in merged:
+            if value in seen:
+                continue
+            seen.add(value)
+            scored.append((value, p))
+            if len(scored) == population_size:
+                break
+    return scored[0][0], scored[0][1]

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``info``   — describe a synthetic dataset or a DIMACS file (Table-I view).
+- ``build``  — build an NRP index and save it to disk.
+- ``query``  — answer RSP queries against a saved index.
+- ``update`` — apply a travel-time distribution change to a saved index.
+- ``bench``  — quick per-query latency comparison of NRP vs the baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.baselines.dijkstra import approximate_diameter
+from repro.core.index import NRPIndex
+from repro.core.maintenance import IndexMaintainer
+from repro.core.serialization import load_index, save_index
+from repro.experiments.reporting import format_bytes, format_seconds, format_table
+from repro.network.datasets import DATASETS, make_dataset
+from repro.network.dimacs import apply_co, read_co, read_gr
+from repro.network.generators import assign_random_cv
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_network(args: argparse.Namespace):
+    """Resolve a network from --dataset or --gr options."""
+    if args.gr:
+        graph = read_gr(args.gr)
+        if args.co:
+            apply_co(graph, read_co(args.co))
+        assign_random_cv(graph, args.cv, seed=args.seed)
+        from repro.network.covariance import CovarianceStore
+
+        cov = CovarianceStore()
+        if getattr(args, "correlated", False):
+            from repro.network.generators import generate_correlations
+
+            cov = generate_correlations(graph, args.k, seed=args.seed)
+        return graph, cov
+    return make_dataset(
+        args.dataset,
+        scale=args.scale,
+        cv=args.cv,
+        hops=args.k,
+        correlated=getattr(args, "correlated", False),
+        seed=args.seed,
+    )
+
+
+def _add_network_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="NY", help="synthetic dataset"
+    )
+    parser.add_argument("--scale", type=float, default=0.5, help="grid scale factor")
+    parser.add_argument("--gr", type=Path, help="DIMACS .gr file instead of a dataset")
+    parser.add_argument("--co", type=Path, help="DIMACS .co coordinates file")
+    parser.add_argument("--cv", type=float, default=0.5, help="coefficient-of-variation bound")
+    parser.add_argument("--k", type=int, default=4, help="correlation locality window K")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph, cov = _load_network(args)
+    rng = random.Random(args.seed)
+    seeds = rng.sample(list(graph.vertices()), min(3, graph.num_vertices))
+    rows = [
+        ["vertices", graph.num_vertices],
+        ["edges", graph.num_edges],
+        ["connected", graph.is_connected()],
+        ["approx. diameter", f"{approximate_diameter(graph, seeds=seeds):.0f}"],
+        ["correlated pairs", cov.num_entries],
+    ]
+    print(format_table(["property", "value"], rows, title="Network description"))
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    graph, cov = _load_network(args)
+    start = time.perf_counter()
+    index = NRPIndex(
+        graph,
+        cov if not cov.is_empty() else None,
+        window=args.k,
+        support_low_alpha=args.low_alpha,
+    )
+    elapsed = time.perf_counter() - start
+    info = index.size_info()
+    save_index(index, args.output)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["build time", format_seconds(elapsed)],
+                ["treewidth (omega)", index.treewidth],
+                ["treeheight (eta)", index.treeheight],
+                ["label entries", info.label_entries],
+                ["stored paths", info.label_paths],
+                ["estimated size", format_bytes(info.estimated_bytes)],
+                ["written to", str(args.output)],
+            ],
+            title="NRP index built",
+        )
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    queries: list[tuple[int, int, float]]
+    if args.random:
+        rng = random.Random(args.seed)
+        vertices = list(index.graph.vertices())
+        queries = []
+        while len(queries) < args.random:
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            if s != t:
+                queries.append((s, t, args.alpha))
+    else:
+        if args.source is None or args.target is None:
+            print("error: provide --source and --target, or --random N", file=sys.stderr)
+            return 2
+        queries = [(args.source, args.target, args.alpha)]
+    start = time.perf_counter()
+    results = index.query_batch(queries)
+    elapsed = time.perf_counter() - start
+    rows = [
+        [
+            r.source,
+            r.target,
+            f"{r.alpha:.3f}",
+            f"{r.value:.2f}",
+            f"{r.mu:.2f}",
+            f"{r.variance:.2f}",
+            "->".join(map(str, r.path)) if args.show_paths else f"{len(r.path)} vertices",
+        ]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["s", "t", "alpha", "budget w", "mean", "variance", "path"],
+            rows,
+            title=f"{len(results)} queries in {format_seconds(elapsed)} "
+            f"({format_seconds(elapsed / len(results))}/query)",
+        )
+    )
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    variance = args.sigma * args.sigma
+    report = IndexMaintainer(index).update_edge(args.u, args.v, args.mu, variance)
+    save_index(index, args.index)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["edge", f"({args.u}, {args.v}) -> N({args.mu}, {variance})"],
+                ["edge sets recomputed", report.edge_sets_recomputed],
+                ["edge sets changed", report.edge_sets_changed],
+                ["labels rebuilt", report.labels_rebuilt],
+                ["repair time", format_seconds(report.seconds)],
+            ],
+            title="Index updated in place",
+        )
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.runners import AlgorithmSuite
+    from repro.experiments.workloads import random_queries
+
+    graph, cov = _load_network(args)
+    algorithms = tuple(args.algorithms.split(","))
+    suite = AlgorithmSuite(graph, cov if not cov.is_empty() else None, algorithms=algorithms)
+    queries = random_queries(graph, args.queries, seed=args.seed)
+    rows = []
+    for name in suite.algorithms:
+        result = suite.run(name, queries)
+        rows.append([name, format_seconds(result.seconds), f"{result.ms_per_query:.3f} ms"])
+    print(
+        format_table(
+            ["algorithm", "workload time", "per query"],
+            rows,
+            title=f"{len(queries)} random queries on {args.dataset} (scale {args.scale})",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NRP: reliable shortest path index (ICDE 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a network")
+    _add_network_options(p_info)
+    p_info.set_defaults(fn=cmd_info)
+
+    p_build = sub.add_parser("build", help="build and save an NRP index")
+    _add_network_options(p_build)
+    p_build.add_argument("--correlated", action="store_true")
+    p_build.add_argument("--low-alpha", action="store_true", help="also build P^{<0.5}")
+    p_build.add_argument("--output", type=Path, required=True)
+    p_build.set_defaults(fn=cmd_build)
+
+    p_query = sub.add_parser("query", help="answer RSP queries from a saved index")
+    p_query.add_argument("--index", type=Path, required=True)
+    p_query.add_argument("--source", type=int)
+    p_query.add_argument("--target", type=int)
+    p_query.add_argument("--alpha", type=float, default=0.95)
+    p_query.add_argument("--random", type=int, help="run N random queries instead")
+    p_query.add_argument("--seed", type=int, default=7)
+    p_query.add_argument("--show-paths", action="store_true")
+    p_query.set_defaults(fn=cmd_query)
+
+    p_update = sub.add_parser("update", help="change one edge's distribution")
+    p_update.add_argument("--index", type=Path, required=True)
+    p_update.add_argument("--u", type=int, required=True)
+    p_update.add_argument("--v", type=int, required=True)
+    p_update.add_argument("--mu", type=float, required=True)
+    p_update.add_argument("--sigma", type=float, required=True)
+    p_update.set_defaults(fn=cmd_update)
+
+    p_bench = sub.add_parser("bench", help="quick latency comparison")
+    _add_network_options(p_bench)
+    p_bench.add_argument("--correlated", action="store_true")
+    p_bench.add_argument("--queries", type=int, default=20)
+    p_bench.add_argument(
+        "--algorithms", default="NRP,TBS,ERSP-A*,SDRSP-A*,SMOGA", help="comma-separated"
+    )
+    p_bench.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The NRP index: the paper's primary contribution.
+
+- :mod:`pathsummary` — path atoms ``(mu, sigma^2)`` with provenance for
+  vertex recovery and head/tail edge windows for correlated concatenation.
+- :mod:`refine` — the ``RF`` operation (M-V dominance, the practical
+  ``z_max = 3.1`` refine, and the correlated M-V dominance of Prop. 4).
+- :mod:`pruning` — query-time pruning: intersection / reverse-intersection
+  dominance with precomputed bound maximizers/minimizers (Props. 2-3,
+  Algorithm 2) and the correlated bound dominance (Prop. 5).
+- :mod:`labels` — the per-vertex label ``L(v)`` with precomputed statistics.
+- :mod:`construction` — Algorithm 3 (edge-driven sets + top-down labels).
+- :mod:`query` — Algorithm 1 and query statistics counters.
+- :mod:`index` — the public :class:`NRPIndex` facade.
+- :mod:`maintenance` — Algorithms 4-5 plus batch updates.
+- :mod:`change_detection` — the 2-sigma distribution-change detector.
+"""
+
+from repro.core.index import NRPIndex, build_index
+from repro.core.maintenance import IndexMaintainer
+from repro.core.change_detection import ChangeDetector
+from repro.core.pathsummary import PathSummary
+from repro.core.query import QueryResult, QueryStats
+
+__all__ = [
+    "NRPIndex",
+    "build_index",
+    "IndexMaintainer",
+    "ChangeDetector",
+    "PathSummary",
+    "QueryResult",
+    "QueryStats",
+]

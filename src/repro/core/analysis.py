@@ -1,0 +1,75 @@
+"""Index analysis: distributions behind the aggregate size numbers.
+
+Table II and Figure 11 report totals; this module exposes the underlying
+distributions — label-set sizes, entries per vertex, non-dominated set
+sizes by tree depth — which explain *why* the index behaves as it does
+(e.g. label sets grow with CV, the mechanism behind Figure 7's CV panels),
+and power the ``bench_label_statistics.py`` analysis bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import NRPIndex
+
+__all__ = ["LabelStatistics", "analyze_index"]
+
+
+@dataclass(frozen=True)
+class LabelStatistics:
+    """Distributional statistics of one index's label structure."""
+
+    vertices: int
+    label_entries: int
+    label_paths: int
+    max_set_size: int
+    mean_set_size: float
+    set_size_histogram: dict[int, int]
+    entries_per_vertex_max: int
+    mean_paths_by_depth: dict[int, float]
+
+    @property
+    def singleton_fraction(self) -> float:
+        """Share of label sets holding exactly one path (fully dominated)."""
+        if not self.label_entries:
+            return 0.0
+        return self.set_size_histogram.get(1, 0) / self.label_entries
+
+
+def analyze_index(index: "NRPIndex") -> LabelStatistics:
+    """Compute label statistics for the high plane."""
+    depth = index.td.depth
+    histogram: dict[int, int] = {}
+    by_depth_totals: dict[int, int] = {}
+    by_depth_counts: dict[int, int] = {}
+    entries = 0
+    paths = 0
+    max_size = 0
+    entries_per_vertex_max = 0
+    for v, entry in index.labels.items():
+        entries_per_vertex_max = max(entries_per_vertex_max, len(entry))
+        d = depth[v]
+        for label_set in entry.values():
+            size = len(label_set)
+            entries += 1
+            paths += size
+            max_size = max(max_size, size)
+            histogram[size] = histogram.get(size, 0) + 1
+            by_depth_totals[d] = by_depth_totals.get(d, 0) + size
+            by_depth_counts[d] = by_depth_counts.get(d, 0) + 1
+    return LabelStatistics(
+        vertices=index.graph.num_vertices,
+        label_entries=entries,
+        label_paths=paths,
+        max_set_size=max_size,
+        mean_set_size=paths / entries if entries else 0.0,
+        set_size_histogram=dict(sorted(histogram.items())),
+        entries_per_vertex_max=entries_per_vertex_max,
+        mean_paths_by_depth={
+            d: by_depth_totals[d] / by_depth_counts[d]
+            for d in sorted(by_depth_totals)
+        },
+    )

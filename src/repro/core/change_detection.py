@@ -1,0 +1,77 @@
+"""Distribution-change detection (Section V).
+
+The paper adopts the canonical approach of flagging statistically
+significant deviations [34]: a travel-time sample falling outside
+``mu +/- 2*sigma`` signals a change at the 5% significance level.  The
+detector also keeps a sliding window of recent samples per edge so a refit
+(Gaussian MLE) can be proposed when a change fires; feeding the refit to
+:class:`repro.core.maintenance.IndexMaintainer` closes the loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.network.covariance import edge_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["ChangeDetector", "DetectedChange"]
+
+
+@dataclass(frozen=True)
+class DetectedChange:
+    """A flagged edge together with its proposed refit distribution."""
+
+    u: int
+    v: int
+    sample: float
+    new_mu: float
+    new_variance: float
+
+
+class ChangeDetector:
+    """Per-edge 2-sigma deviation detector with MLE refit proposals."""
+
+    def __init__(
+        self,
+        graph: "StochasticGraph",
+        *,
+        num_sigmas: float = 2.0,
+        window_size: int = 20,
+        min_refit_samples: int = 5,
+    ) -> None:
+        if window_size < min_refit_samples:
+            raise ValueError("window_size must be at least min_refit_samples")
+        self._graph = graph
+        self._num_sigmas = num_sigmas
+        self._window_size = window_size
+        self._min_refit = min_refit_samples
+        self._recent: dict[tuple[int, int], deque[float]] = {}
+
+    def observe(self, u: int, v: int, sample: float) -> DetectedChange | None:
+        """Record one travel-time observation; return a change if flagged.
+
+        A change fires when ``sample`` lies outside ``mu +/- k*sigma`` of the
+        edge's *current* distribution.  The proposed refit is the MLE over
+        the recent window (falling back to centring on the sample with the
+        old variance when too few samples are buffered).
+        """
+        key = edge_key(u, v)
+        window = self._recent.setdefault(key, deque(maxlen=self._window_size))
+        window.append(sample)
+        weight = self._graph.edge(u, v)
+        spread = self._num_sigmas * weight.sigma
+        if abs(sample - weight.mu) <= spread:
+            return None
+        if len(window) >= self._min_refit:
+            n = len(window)
+            mean = sum(window) / n
+            variance = sum((x - mean) ** 2 for x in window) / n
+        else:
+            mean = sample
+            variance = weight.variance
+        return DetectedChange(u, v, sample, max(mean, 1e-9), variance)

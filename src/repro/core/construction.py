@@ -1,0 +1,140 @@
+"""Index construction — Algorithm 3.
+
+Two phases over the tree decomposition:
+
+1. **Bottom-up (contraction order)**: build the *edge-driven* path sets
+   ``P_e``.  Contracting ``v`` adds, for every pair ``(u, w)`` of its
+   remaining neighbours, the concatenations ``P_(u,v) (+) P_(v,w)`` into
+   ``P_(u,w)`` and refines.  The contraction *centers* of every pair are
+   recorded — they are the ``C(e)`` sets that drive maintenance
+   (Algorithm 4).
+2. **Top-down (root first)**: build each label entry
+   ``P^{>0.5}_{uv} = RF( U_w  P_(v,w) (+) P^{>0.5}_{uw} )`` over the bag
+   neighbours ``w`` (all ancestors of ``v``), reusing ancestor labels
+   already built.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.pathsummary import PathSummary, concatenate, edge_path
+from repro.core.pruning import LabelPathSet
+from repro.core.refine import Refiner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.covariance import CovarianceStore
+    from repro.network.graph import StochasticGraph
+    from repro.treedec.decomposition import TreeDecomposition
+
+__all__ = ["EdgeSetStore", "build_edge_sets", "build_labels", "build_label_entry"]
+
+EdgeKey = tuple[int, int]
+
+
+class EdgeSetStore:
+    """The edge-driven path sets ``P_e`` plus their center sets ``C(e)``."""
+
+    def __init__(self) -> None:
+        self.sets: dict[EdgeKey, list[PathSummary]] = {}
+        self.centers: dict[EdgeKey, list[int]] = {}
+
+    def num_paths(self) -> int:
+        return sum(len(paths) for paths in self.sets.values())
+
+    def centers_storage_entries(self) -> int:
+        """Entries in the C(e) maps — Table III's "extra storage"."""
+        return sum(len(centers) for centers in self.centers.values())
+
+
+def _edge_key(u: int, w: int) -> EdgeKey:
+    return (u, w) if u <= w else (w, u)
+
+
+def build_edge_sets(
+    graph: "StochasticGraph",
+    td: "TreeDecomposition",
+    refiner: Refiner,
+    cov: "CovarianceStore | None" = None,
+    window: int = 0,
+) -> EdgeSetStore:
+    """Phase 1 of Algorithm 3 (Lines 1-5)."""
+    store = EdgeSetStore()
+    with_windows = window > 0
+    for u, v, weight in graph.edges():
+        store.sets[_edge_key(u, v)] = [
+            edge_path(u, v, weight.mu, weight.variance, with_windows)
+        ]
+    for v in td.order:
+        neighbors = td.bags[v][1:]
+        for i, u in enumerate(neighbors):
+            set_uv = store.sets[_edge_key(u, v)]
+            for w in neighbors[i + 1 :]:
+                set_vw = store.sets[_edge_key(v, w)]
+                key = _edge_key(u, w)
+                candidates = list(store.sets.get(key, ()))
+                for p1 in set_uv:
+                    for p2 in set_vw:
+                        candidates.append(concatenate(p1, p2, v, cov, window))
+                store.sets[key] = refiner.refine(candidates)
+                store.centers.setdefault(key, []).append(v)
+    return store
+
+
+def build_label_entry(
+    v: int,
+    u: int,
+    bag_neighbors: tuple[int, ...],
+    store: EdgeSetStore,
+    labels: dict[int, dict[int, LabelPathSet]],
+    td: "TreeDecomposition",
+    refiner: Refiner,
+    cov: "CovarianceStore | None",
+    window: int,
+    independent: bool,
+) -> LabelPathSet:
+    """One label entry ``P^{>0.5}_{uv}`` (Lines 8-10 of Algorithm 3).
+
+    ``u`` must be a proper ancestor of ``v`` whose own label entries (and
+    those of all bag neighbours above ``v``) are already built.
+    """
+    candidates: list[PathSummary] = []
+    depth = td.depth
+    for w in bag_neighbors:
+        set_vw = store.sets[_edge_key(v, w)]
+        if w == u:
+            candidates.extend(set_vw)
+            continue
+        # u and w are both on v's root path, hence comparable; the label of
+        # the deeper one holds P_{uw}.
+        deeper, shallower = (u, w) if depth[u] > depth[w] else (w, u)
+        set_uw = labels[deeper][shallower].paths
+        for p1 in set_vw:
+            for p2 in set_uw:
+                candidates.append(concatenate(p1, p2, w, cov, window))
+    return LabelPathSet(refiner.refine(candidates), independent=independent)
+
+
+def build_labels(
+    graph: "StochasticGraph",
+    td: "TreeDecomposition",
+    store: EdgeSetStore,
+    refiner: Refiner,
+    cov: "CovarianceStore | None" = None,
+    window: int = 0,
+) -> dict[int, dict[int, LabelPathSet]]:
+    """Phase 2 of Algorithm 3 (Lines 6-10): all labels, root first."""
+    # Intersection-dominance statistics (Definitions 10-11) are only
+    # meaningful for the independent high plane, where sigmas strictly
+    # decrease along each refined set.
+    independent = not refiner.correlated and refiner.direction == "high"
+    labels: dict[int, dict[int, LabelPathSet]] = {}
+    for v in td.top_down():
+        bag_neighbors = td.bags[v][1:]
+        entry: dict[int, LabelPathSet] = {}
+        for u in td.ancestors(v):
+            entry[u] = build_label_entry(
+                v, u, bag_neighbors, store, labels, td, refiner, cov, window, independent
+            )
+        labels[v] = entry
+    return labels

@@ -1,0 +1,150 @@
+"""Query plans: a structured explanation of how Algorithm 1 answered.
+
+``NRPIndex.explain(s, t, alpha)`` runs the query while recording the
+decisions the paper's Figure 3 sketches — which case applied
+(ancestor-descendant vs separator), the LCA, both candidate separators and
+the chosen hoplink set, and per hoplink the label sizes before/after
+Algorithm-2 pruning and the best concatenation found.  Useful for teaching,
+debugging, and the test suite's white-box checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.pruning import prune_correlated, prune_pair
+from repro.stats.zscores import z_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import NRPIndex
+
+__all__ = ["HoplinkStep", "QueryExplanation", "explain_query"]
+
+
+@dataclass(frozen=True)
+class HoplinkStep:
+    """What happened at one hoplink ``h``."""
+
+    hoplink: int
+    sh_size: int
+    ht_size: int
+    sh_kept: int
+    ht_kept: int
+    best_value: float
+
+    @property
+    def concatenations(self) -> int:
+        return self.sh_kept * self.ht_kept
+
+
+@dataclass
+class QueryExplanation:
+    """The full plan of one query."""
+
+    source: int
+    target: int
+    alpha: float
+    case: str  # "trivial" | "ancestor" | "separator"
+    lca: int | None = None
+    separator_s: frozenset[int] = frozenset()
+    separator_t: frozenset[int] = frozenset()
+    hoplinks: tuple[int, ...] = ()
+    steps: list[HoplinkStep] = field(default_factory=list)
+    value: float = math.inf
+    winning_hoplink: int | None = None
+
+    def render(self) -> str:
+        """Human-readable plan."""
+        lines = [
+            f"RSP({self.source} -> {self.target}, alpha={self.alpha:.3f})",
+            f"case: {self.case}",
+        ]
+        if self.case == "separator":
+            lines.append(
+                f"LCA X({self.lca}); |H(s)|={len(self.separator_s)}, "
+                f"|H(t)|={len(self.separator_t)} -> "
+                f"{len(self.hoplinks)} hoplinks"
+            )
+            for step in self.steps:
+                marker = "  <- winner" if step.hoplink == self.winning_hoplink else ""
+                lines.append(
+                    f"  h={step.hoplink}: |P_sh| {step.sh_size}->{step.sh_kept}, "
+                    f"|P_ht| {step.ht_size}->{step.ht_kept}, "
+                    f"{step.concatenations} concat, best {step.best_value:.4g}"
+                    f"{marker}"
+                )
+        lines.append(f"answer: {self.value:.6g}")
+        return "\n".join(lines)
+
+
+def explain_query(
+    index: "NRPIndex", s: int, t: int, alpha: float, use_pruning: bool = True
+) -> QueryExplanation:
+    """Run Algorithm 1 and record its plan.  Mirrors ``answer_query``."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    if s == t:
+        return QueryExplanation(s, t, alpha, "trivial", value=0.0)
+    td = index.td
+    plane = index.plane_for(alpha)
+    labels = plane.labels
+    if plane.direction == "low":
+        use_pruning = False
+    ancestor = td.lca(s, t)
+    if ancestor in (s, t):
+        deeper = t if ancestor == s else s
+        other = s if ancestor == s else t
+        label_set = labels[deeper][other]
+        z = z_value(alpha)
+        best = min(p.mu + z * p.sigma for p in label_set.paths)
+        return QueryExplanation(s, t, alpha, "ancestor", lca=ancestor, value=best)
+
+    separator_s, separator_t = td.separators(s, t)
+    hoplinks = separator_s if len(separator_s) <= len(separator_t) else separator_t
+    explanation = QueryExplanation(
+        s,
+        t,
+        alpha,
+        "separator",
+        lca=ancestor,
+        separator_s=frozenset(separator_s),
+        separator_t=frozenset(separator_t),
+        hoplinks=tuple(sorted(hoplinks)),
+    )
+    z = z_value(alpha)
+    cov = index.cov if index.correlated else None
+    for h in explanation.hoplinks:
+        set_sh = labels[s][h]
+        set_ht = labels[t][h]
+        if use_pruning:
+            if index.correlated:
+                idx_sh, idx_ht = prune_correlated(set_sh, set_ht, alpha)
+            else:
+                idx_sh, idx_ht = prune_pair(set_sh, set_ht, alpha)
+        else:
+            idx_sh = list(range(len(set_sh)))
+            idx_ht = list(range(len(set_ht)))
+        best_here = math.inf
+        for i in idx_sh:
+            p1 = set_sh.paths[i]
+            for j in idx_ht:
+                p2 = set_ht.paths[j]
+                var = p1.var + p2.var
+                if cov is not None:
+                    var += 2.0 * cov.cross_covariance(
+                        p1.window_at(h), p2.window_at(h)
+                    )
+                    if var < 0.0:
+                        var = 0.0
+                value = p1.mu + p2.mu + (z * math.sqrt(var) if var > 0.0 else 0.0)
+                if value < best_here:
+                    best_here = value
+        explanation.steps.append(
+            HoplinkStep(h, len(set_sh), len(set_ht), len(idx_sh), len(idx_ht), best_here)
+        )
+        if best_here < explanation.value:
+            explanation.value = best_here
+            explanation.winning_hoplink = h
+    return explanation

@@ -1,0 +1,115 @@
+"""Convenience query modes built on Algorithm 1.
+
+- :func:`one_to_all` — single-source reliability values to every vertex
+  (service-area / isochrone analysis; see ``examples``).
+- :func:`reliability_isochrone` — the set of vertices reachable within a
+  budget at a confidence level.
+- :func:`query_topk` — the k best *represented* alternatives.  The NRP
+  index guarantees the optimum is among the stored non-dominated
+  candidates; beyond rank 1 the stored sets may omit paths (a dominated
+  path can still be the global runner-up), so for k > 1 this returns the k
+  best distinct candidates the index holds — the usual "alternative
+  routes" semantics, documented as such.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.core.pathsummary import PathSummary, concatenate
+from repro.core.query import QueryResult, QueryStats, answer_query
+from repro.stats.zscores import z_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import NRPIndex
+
+__all__ = ["one_to_all", "reliability_isochrone", "query_topk"]
+
+
+def one_to_all(
+    index: "NRPIndex", source: int, alpha: float
+) -> dict[int, float]:
+    """``F^{-1}(alpha)`` from ``source`` to every vertex."""
+    return {
+        t: answer_query(index, source, t, alpha).value
+        for t in index.graph.vertices()
+    }
+
+
+def reliability_isochrone(
+    index: "NRPIndex", source: int, alpha: float, budget: float
+) -> set[int]:
+    """Vertices reachable within ``budget`` with confidence ``alpha``.
+
+    The reliability-aware analogue of an isochrone: ``t`` is included iff
+    some path reaches it whose alpha-quantile travel time is at most the
+    budget.
+    """
+    return {
+        t for t, value in one_to_all(index, source, alpha).items() if value <= budget
+    }
+
+
+def query_topk(
+    index: "NRPIndex", s: int, t: int, alpha: float, k: int
+) -> list[QueryResult]:
+    """The k best stored alternatives, ascending by value.
+
+    Exact for ``k = 1`` (Theorem 1); for larger k, see the module note.
+    Fewer than k results are returned when the index holds fewer distinct
+    candidates.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if s == t:
+        return [answer_query(index, s, t, alpha)]
+    td = index.td
+    plane = index.plane_for(alpha)
+    labels = plane.labels
+    z = z_value(alpha)
+    cov = index.cov if index.correlated else None
+    candidates: list[tuple[float, PathSummary]] = []
+
+    ancestor = td.lca(s, t)
+    if ancestor in (s, t):
+        deeper = t if ancestor == s else s
+        other = s if ancestor == s else t
+        for p in labels[deeper][other].paths:
+            candidates.append((p.mu + z * p.sigma, p))
+    else:
+        separator_s, separator_t = td.separators(s, t)
+        hoplinks = separator_s if len(separator_s) <= len(separator_t) else separator_t
+        for h in hoplinks:
+            for p1 in labels[s][h].paths:
+                for p2 in labels[t][h].paths:
+                    var = p1.var + p2.var
+                    if cov is not None:
+                        var += 2.0 * cov.cross_covariance(
+                            p1.window_at(h), p2.window_at(h)
+                        )
+                        if var < 0.0:
+                            var = 0.0
+                    value = p1.mu + p2.mu + (z * math.sqrt(var) if var > 0.0 else 0.0)
+                    joined = concatenate(
+                        p1, p2, h, cov, index.window if cov is not None else 0
+                    )
+                    candidates.append((value, joined))
+
+    candidates.sort(key=lambda item: item[0])
+    results: list[QueryResult] = []
+    seen_routes: set[tuple[int, ...]] = set()
+    for value, summary in candidates:
+        vertices = summary.vertices()
+        if vertices and vertices[0] != s:
+            vertices.reverse()
+        route = tuple(vertices)
+        if route in seen_routes:
+            continue
+        seen_routes.add(route)
+        results.append(
+            QueryResult(s, t, alpha, value, summary.mu, summary.var, summary, QueryStats())
+        )
+        if len(results) == k:
+            break
+    return results

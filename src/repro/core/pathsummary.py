@@ -1,0 +1,186 @@
+"""Path summaries: the atoms stored in edge-driven sets and labels.
+
+A :class:`PathSummary` represents one u-v path by its travel-time moments
+``(mu, variance)``, its endpoints, a provenance record that lets the full
+vertex sequence be reconstructed lazily (queries return actual paths, but the
+index never materialises vertex lists), and — in the correlated case — the
+*head*/*tail* windows of Figure 6: the up-to-``K`` edges adjacent to each
+endpoint, used to evaluate covariances during concatenation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.stats.zscores import z_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.covariance import CovarianceStore
+
+__all__ = ["PathSummary", "concatenate", "trivial_path", "edge_path"]
+
+EdgeKey = tuple[int, int]
+_EMPTY: tuple[EdgeKey, ...] = ()
+
+
+class PathSummary:
+    """One path's moments, endpoints, edge windows, and provenance.
+
+    ``prov`` is ``None`` for an empty (single-vertex) path, the string
+    ``"edge"`` for a base edge, or a ``(left, right, via)`` triple whose
+    halves are themselves summaries.
+    """
+
+    __slots__ = ("mu", "var", "a", "b", "win_a", "win_b", "num_edges", "prov")
+
+    def __init__(
+        self,
+        mu: float,
+        var: float,
+        a: int,
+        b: int,
+        win_a: tuple[EdgeKey, ...] = _EMPTY,
+        win_b: tuple[EdgeKey, ...] = _EMPTY,
+        num_edges: int = 0,
+        prov=None,
+    ) -> None:
+        self.mu = mu
+        self.var = var
+        self.a = a
+        self.b = b
+        self.win_a = win_a
+        self.win_b = win_b
+        self.num_edges = num_edges
+        self.prov = prov
+
+    @property
+    def sigma(self) -> float:
+        return math.sqrt(self.var) if self.var > 0.0 else 0.0
+
+    def reliability(self, alpha: float) -> float:
+        """``F_p^{-1}(alpha) = mu + Z_alpha * sigma`` (Definition 3)."""
+        if self.var <= 0.0:
+            return self.mu
+        return self.mu + z_value(alpha) * math.sqrt(self.var)
+
+    def other_endpoint(self, v: int) -> int:
+        if v == self.a:
+            return self.b
+        if v == self.b:
+            return self.a
+        raise ValueError(f"{v} is not an endpoint of this path ({self.a}, {self.b})")
+
+    def window_at(self, v: int) -> tuple[EdgeKey, ...]:
+        """The up-to-K edges adjacent to endpoint ``v``, ordered outward."""
+        if v == self.a:
+            return self.win_a
+        if v == self.b:
+            return self.win_b
+        raise ValueError(f"{v} is not an endpoint of this path ({self.a}, {self.b})")
+
+    # ------------------------------------------------------------------
+    # Vertex recovery
+    # ------------------------------------------------------------------
+    def vertices(self) -> list[int]:
+        """Reconstruct the vertex sequence from ``a`` to ``b``.
+
+        Iterative (provenance trees can be deep for long paths).
+        """
+        out: list[int] = [self.a]
+        # Stack of (summary, start_vertex): emit that summary's vertices
+        # after `start_vertex`, oriented to begin at start_vertex.
+        stack: list[tuple[PathSummary, int]] = [(self, self.a)]
+        while stack:
+            summary, start = stack.pop()
+            if summary.prov is None:
+                continue
+            if summary.prov == "edge":
+                out.append(summary.other_endpoint(start))
+                continue
+            left, right, via = summary.prov
+            # `left` is the half holding endpoint `a` (see concatenate()):
+            # walking from `a` means left first, from `b` means right first.
+            if start == summary.a:
+                first, second = left, right
+            else:
+                first, second = right, left
+            # LIFO: push `second` below `first` so `first` expands first,
+            # emitting start -> via, then second emits via -> end.
+            stack.append((second, via))
+            stack.append((first, start))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PathSummary(mu={self.mu:.3g}, var={self.var:.3g}, {self.a}-{self.b})"
+
+
+def trivial_path(v: int) -> PathSummary:
+    """The empty path at ``v`` (travel time identically zero)."""
+    return PathSummary(0.0, 0.0, v, v)
+
+
+def edge_path(u: int, v: int, mu: float, var: float, window: bool) -> PathSummary:
+    """A single-edge path; ``window=True`` installs head/tail windows."""
+    if window:
+        key: tuple[EdgeKey, ...] = ((u, v) if u <= v else (v, u),)
+        return PathSummary(mu, var, u, v, key, key, 1, "edge")
+    return PathSummary(mu, var, u, v, _EMPTY, _EMPTY, 1, "edge")
+
+
+def _merge_window(
+    own: tuple[EdgeKey, ...],
+    own_edges: int,
+    other: tuple[EdgeKey, ...],
+    window_size: int,
+) -> tuple[EdgeKey, ...]:
+    """Window at a far endpoint after concatenation.
+
+    If the near path already has >= window_size edges its window is complete;
+    otherwise extend it across the junction with the other path's edges.
+    """
+    if own_edges >= window_size:
+        return own
+    return own + other[: window_size - own_edges]
+
+
+def concatenate(
+    p1: PathSummary,
+    p2: PathSummary,
+    via: int,
+    cov: "CovarianceStore | None" = None,
+    window_size: int = 0,
+) -> PathSummary:
+    """``p1 (+) p2`` joined at the shared vertex ``via`` (Definition 2).
+
+    For the independent case (``cov`` is None) moments simply add.  For the
+    correlated case the cross-covariance between the two junction windows is
+    added (``2 * cov(p1, p2)``), and the new endpoint windows are maintained
+    as in Figure 6.  Negative resulting variances (possible only under the
+    paper-faithful non-PSD sampling) are clamped to zero.
+    """
+    x = p1.other_endpoint(via)
+    y = p2.other_endpoint(via)
+    mu = p1.mu + p2.mu
+    var = p1.var + p2.var
+    if cov is None or window_size == 0:
+        win_x = win_y = _EMPTY
+    else:
+        w1 = p1.window_at(via)
+        w2 = p2.window_at(via)
+        if w1 and w2:
+            var += 2.0 * cov.cross_covariance(w1, w2)
+            if var < 0.0:
+                var = 0.0
+        win_x = _merge_window(p1.window_at(x), p1.num_edges, w2, window_size)
+        win_y = _merge_window(p2.window_at(y), p2.num_edges, w1, window_size)
+    return PathSummary(
+        mu,
+        var,
+        x,
+        y,
+        win_x,
+        win_y,
+        p1.num_edges + p2.num_edges,
+        (p1, p2, via),
+    )

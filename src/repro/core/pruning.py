@@ -1,0 +1,159 @@
+"""Query-time pruning (Section III-B): Algorithm 2 and Proposition 5.
+
+A :class:`LabelPathSet` wraps one refined set ``P^{>0.5}_{uv}`` together
+with the statistics the paper precomputes at indexing time:
+
+- ``sigma_min`` / ``sigma_max`` over the set,
+- each path's *upper bound maximizer* ``p_max`` (Definition 10) and *lower
+  bound minimizer* ``p_min`` (Definition 11).
+
+At query time, :func:`prune_pair` applies Algorithm 2: a path ``p`` of
+``P_sh`` survives only when ``B_p(p_max, sigma_min(P_ht)) <= alpha <=
+B_p(p_min, sigma_max(P_ht))`` where ``B_p(p_m, x) = Phi((mu_m - mu_p) /
+(sqrt(sigma_p^2+x^2) - sqrt(sigma_m^2+x^2)))`` — the intersection dominance
+(Prop. 2) from below and the reverse intersection dominance (Prop. 3) from
+above.  For correlated sets the intersection machinery is unsound (variances
+do not simply add), so :func:`prune_correlated` applies the correlated bound
+dominance of Proposition 5 instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.pathsummary import PathSummary
+from repro.stats.normal import phi_cdf
+from repro.stats.zscores import z_value
+
+__all__ = ["LabelPathSet", "prune_pair", "prune_correlated"]
+
+
+class LabelPathSet:
+    """One refined path set with precomputed pruning statistics.
+
+    ``paths`` must come out of the independent refine: strictly increasing
+    means, strictly decreasing sigmas.  The correlated case sets
+    ``independent=False`` and only ``sigma_min``/``sigma_max`` are used.
+    """
+
+    __slots__ = ("paths", "mus", "sigmas", "sigma_min", "sigma_max", "ub_ratio", "lb_ratio")
+
+    def __init__(self, paths: Sequence[PathSummary], independent: bool = True) -> None:
+        self.paths: tuple[PathSummary, ...] = tuple(paths)
+        self.mus: tuple[float, ...] = tuple(p.mu for p in self.paths)
+        self.sigmas: tuple[float, ...] = tuple(p.sigma for p in self.paths)
+        if self.paths:
+            self.sigma_min = min(self.sigmas)
+            self.sigma_max = max(self.sigmas)
+        else:
+            self.sigma_min = self.sigma_max = 0.0
+        if independent:
+            self.ub_ratio, self.lb_ratio = self._bound_refs()
+        else:
+            self.ub_ratio = self.lb_ratio = None
+
+    def _bound_refs(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Indices of each path's upper bound maximizer / lower bound minimizer.
+
+        Definition 10: ``p_max = argmax_{mu' < mu} Phi((mu-mu')/(sigma'-sigma))``;
+        Definition 11: ``p_min = argmin_{mu' > mu} Phi((mu'-mu)/(sigma-sigma'))``.
+        ``-1`` marks "no such path" (first/last elements).  Sets are sorted by
+        increasing mean and decreasing sigma, so candidates with smaller mean
+        are exactly the earlier indices.
+        """
+        k = len(self.paths)
+        ub = [-1] * k
+        lb = [-1] * k
+        for i in range(k):
+            best_ratio = -math.inf
+            for j in range(i):
+                ratio = (self.mus[i] - self.mus[j]) / (self.sigmas[j] - self.sigmas[i])
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    ub[i] = j
+            best_ratio = math.inf
+            for j in range(i + 1, k):
+                ratio = (self.mus[j] - self.mus[i]) / (self.sigmas[i] - self.sigmas[j])
+                if ratio < best_ratio:
+                    best_ratio = ratio
+                    lb[i] = j
+        return tuple(ub), tuple(lb)
+
+    def bound(self, i: int, j: int, x: float) -> float:
+        """``B_{p_i}(p_j, x)`` — the intersection confidence level.
+
+        The y-value where the quantile curves of ``p_i (+) q`` and
+        ``p_j (+) q`` cross, for an extension of standard deviation ``x``.
+        """
+        denom = math.sqrt(self.sigmas[i] ** 2 + x * x) - math.sqrt(
+            self.sigmas[j] ** 2 + x * x
+        )
+        return phi_cdf((self.mus[j] - self.mus[i]) / denom)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+
+def prune_pair(
+    set_sh: LabelPathSet, set_ht: LabelPathSet, alpha: float
+) -> tuple[list[int], list[int]]:
+    """Algorithm 2: prune both sides of a hoplink against each other.
+
+    Returns the surviving indices of each side.  Pruning one side uses only
+    the *precomputed* ``sigma_min``/``sigma_max`` of the other side's full
+    stored set, exactly as in the paper (Lines 1-4 of Algorithm 2).
+    """
+    return (
+        _survivors(set_sh, set_ht.sigma_min, set_ht.sigma_max, alpha),
+        _survivors(set_ht, set_sh.sigma_min, set_sh.sigma_max, alpha),
+    )
+
+
+def _survivors(
+    label_set: LabelPathSet, other_sigma_min: float, other_sigma_max: float, alpha: float
+) -> list[int]:
+    keep: list[int] = []
+    ub_ratio = label_set.ub_ratio
+    lb_ratio = label_set.lb_ratio
+    for i in range(len(label_set.paths)):
+        j = ub_ratio[i]
+        if j >= 0 and alpha < label_set.bound(i, j, other_sigma_min):
+            continue  # intersection dominance: a smaller-mean path wins at alpha
+        j = lb_ratio[i]
+        if j >= 0 and alpha > label_set.bound(i, j, other_sigma_max):
+            continue  # reverse intersection dominance: a larger-mean path wins
+        keep.append(i)
+    return keep
+
+
+def prune_correlated(
+    set_sh: LabelPathSet, set_ht: LabelPathSet, alpha: float
+) -> tuple[list[int], list[int]]:
+    """Proposition 5 pruning for correlated sets.
+
+    ``p_2`` is dominated w.r.t. the other side's set ``P`` when some ``p_1``
+    satisfies ``mu_1 + Z_alpha*(sigma_1 + sigma_max(P)) < mu_2``: even with
+    maximal positive correlation, ``p_1``'s concatenations stay below
+    ``p_2``'s mean alone.
+    """
+    z = z_value(alpha)
+    return (
+        _correlated_survivors(set_sh, set_ht.sigma_max, z),
+        _correlated_survivors(set_ht, set_sh.sigma_max, z),
+    )
+
+
+def _correlated_survivors(
+    label_set: LabelPathSet, other_sigma_max: float, z: float
+) -> list[int]:
+    if not label_set.paths:
+        return []
+    threshold = min(
+        mu + z * (sigma + other_sigma_max)
+        for mu, sigma in zip(label_set.mus, label_set.sigmas)
+    )
+    return [i for i, mu in enumerate(label_set.mus) if mu <= threshold]

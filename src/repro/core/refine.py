@@ -1,0 +1,335 @@
+"""The refining operation ``RF(P)`` (Section IV).
+
+Keeps only non-dominated paths in a same-endpoints path set:
+
+- **Independent case**: sort by mean; sweep keeping the practical condition
+  ``mu_1 + z_max*sigma_1 > mu_2 + z_max*sigma_2 > ...`` (paper uses
+  ``z_max = 3.1``, i.e. alpha <= 0.999).  ``z_max=None`` recovers the strict
+  M-V dominance of Proposition 1 (the limit ``alpha -> 1``).
+- **Correlated case**: Proposition 4's correlated M-V dominance, checked
+  against the K-hop neighbourhood path windows ``Nei_K(u) + Nei_K(v)``,
+  skipping neighbourhoods whose per-vertex correlation flag is off.
+
+Soundness of the ``z_max`` sweep: for ``mu_1 <= mu_2`` and any independent
+extension ``p_3``, ``sqrt(s1^2+s3^2) - sqrt(s2^2+s3^2) <= s1 - s2`` whenever
+``s1 >= s2``, so ``mu_1 + z*s1 <= mu_2 + z*s2`` implies dominance for every
+``Z_alpha`` in ``(0, z_max]``; for ``s1 <= s2`` plain M-V applies.  The
+correlated check applies the same compression argument to the covariance-
+adjusted variances ``sigma_i^2 + 2*cov(p_i, q)`` for each neighbourhood
+window ``q`` (and the empty window).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.pathsummary import PathSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.covariance import CovarianceStore
+    from repro.network.graph import StochasticGraph
+
+__all__ = [
+    "PRACTICAL_Z_MAX",
+    "refine_independent",
+    "refine_independent_low",
+    "NeighborhoodCache",
+    "Refiner",
+]
+
+#: The paper's practical refine bound: alpha <= 0.999 -> Z_alpha <= 3.1.
+PRACTICAL_Z_MAX = 3.1
+
+EdgeKey = tuple[int, int]
+
+
+def refine_independent(
+    paths: Iterable[PathSummary], z_max: float | None = PRACTICAL_Z_MAX
+) -> list[PathSummary]:
+    """``RF(P)`` for independent travel times on ``alpha > 0.5``.
+
+    Returns paths sorted by strictly increasing mean, strictly decreasing
+    sigma, and (when ``z_max`` is given) strictly decreasing
+    ``mu + z_max * sigma``.
+    """
+    ordered = sorted(paths, key=lambda p: (p.mu, p.var))
+    kept: list[PathSummary] = []
+    best_value = math.inf
+    best_var = math.inf
+    for p in ordered:
+        if p.var >= best_var:
+            continue  # M-V dominated by the previous kept path
+        if z_max is not None:
+            value = p.mu + z_max * p.sigma
+            if value >= best_value:
+                continue  # dominated on the whole interval alpha <= Phi(z_max)
+            best_value = value
+        best_var = p.var
+        kept.append(p)
+    return kept
+
+
+def refine_independent_low(
+    paths: Iterable[PathSummary], z_max: float | None = PRACTICAL_Z_MAX
+) -> list[PathSummary]:
+    """``RF(P)`` for the symmetric ``alpha < 0.5`` case (``P^{<0.5}``).
+
+    The paper omits this case "by symmetry" (Section III-B2); here it is:
+    on ``(0, 0.5)`` we have ``Z_alpha < 0``, so Proposition 1 flips —
+    ``p_1`` dominates ``p_2`` when ``mu_1 <= mu_2`` and ``sigma_1 >
+    sigma_2``.  The kept set has strictly increasing means and strictly
+    *increasing* sigmas, and the practical bound keeps
+    ``mu - z_max * sigma`` strictly decreasing (covering ``alpha >=
+    1 - Phi(z_max)``, i.e. 0.001 for the default 3.1).
+    """
+    # Equal means: the largest variance wins on (0, 0.5).
+    ordered = sorted(paths, key=lambda p: (p.mu, -p.var))
+    kept: list[PathSummary] = []
+    best_value = math.inf
+    best_var = -math.inf
+    for p in ordered:
+        if p.var <= best_var:
+            continue  # low-side M-V dominated
+        if z_max is not None:
+            value = p.mu - z_max * p.sigma
+            if value >= best_value:
+                continue  # dominated for every Z in [-z_max, 0)
+            best_value = value
+        best_var = p.var
+        kept.append(p)
+    return kept
+
+
+class NeighborhoodCache:
+    """Lazily enumerated ``Nei_K(v)``: edge windows of simple paths from v.
+
+    Only windows containing at least one *correlated* edge are kept —
+    windows made of uncorrelated edges behave exactly like the empty window,
+    which the dominance check always includes.  Each vertex also gets an
+    inverted index ``edge -> window positions`` so the dominance check can
+    visit only the windows that actually interact with a given pair of
+    paths (the hot path of correlated index construction).
+    """
+
+    def __init__(
+        self, graph: "StochasticGraph", cov: "CovarianceStore", hops: int
+    ) -> None:
+        self._graph = graph
+        self._cov = cov
+        self.hops = hops
+        self._cache: dict[
+            int,
+            tuple[tuple[tuple[EdgeKey, ...], ...], dict[EdgeKey, tuple[int, ...]]],
+        ] = {}
+        self._rowsums: dict[int, dict[EdgeKey, dict[int, float]]] = {}
+
+    def windows(self, v: int) -> tuple[tuple[EdgeKey, ...], ...]:
+        return self._entry(v)[0]
+
+    def window_index(self, v: int) -> dict[EdgeKey, tuple[int, ...]]:
+        """``edge -> indices of windows(v) containing that edge``."""
+        return self._entry(v)[1]
+
+    def rowsums(self, v: int, e: EdgeKey) -> dict[int, float]:
+        """``{window index i: sum_{f in q_i} cov(e, f)}`` at vertex ``v``.
+
+        Memoised; the covariance of a whole path window against every
+        neighbourhood window is then just the merge of its edges' rowsums.
+        """
+        per_vertex = self._rowsums.setdefault(v, {})
+        cached = per_vertex.get(e)
+        if cached is None:
+            cached = {}
+            partners = self._cov.correlated_partners(e)
+            if partners:
+                inverted = self._entry(v)[1]
+                for f, value in partners.items():
+                    for i in inverted.get(f, ()):
+                        cached[i] = cached.get(i, 0.0) + value
+            per_vertex[e] = cached
+        return cached
+
+    def path_covariances(self, v: int, window: tuple[EdgeKey, ...]) -> dict[int, float]:
+        """``{window index i: cov(path, q_i)}`` for a path window at ``v``."""
+        total: dict[int, float] = {}
+        for e in set(window):
+            for i, value in self.rowsums(v, e).items():
+                total[i] = total.get(i, 0.0) + value
+        return total
+
+    def _entry(self, v: int):
+        cached = self._cache.get(v)
+        if cached is None:
+            # Two windows with the same set of *correlated* edges yield the
+            # same cross-covariances against any path, hence the same
+            # dominance condition — keep one representative per subset.
+            cov = self._cov
+            subsets: dict[frozenset[EdgeKey], tuple[EdgeKey, ...]] = {}
+            for window in self._enumerate(v):
+                key = frozenset(e for e in window if cov.has_correlation(e))
+                if key and key not in subsets:
+                    subsets[key] = tuple(sorted(key))
+            windows = tuple(subsets.values())
+            inverted: dict[EdgeKey, list[int]] = {}
+            for i, window in enumerate(windows):
+                for key in window:
+                    inverted.setdefault(key, []).append(i)
+            cached = (windows, {k: tuple(ix) for k, ix in inverted.items()})
+            self._cache[v] = cached
+        return cached
+
+    def _enumerate(self, v: int) -> Iterable[tuple[EdgeKey, ...]]:
+        graph, cov = self._graph, self._cov
+        # DFS over simple paths of at most `hops` edges starting at v.
+        stack: list[tuple[int, tuple[EdgeKey, ...], frozenset[int], bool]] = [
+            (v, (), frozenset((v,)), False)
+        ]
+        while stack:
+            vertex, window, visited, correlated = stack.pop()
+            if window and correlated:
+                yield window
+            if len(window) == self.hops:
+                continue
+            for w in graph.neighbors(vertex):
+                if w in visited:
+                    continue
+                key = (vertex, w) if vertex <= w else (w, vertex)
+                now_correlated = correlated or cov.has_correlation(key)
+                stack.append((w, window + (key,), visited | {w}, now_correlated))
+
+    # Dropping uncorrelated windows is sound: their cross-covariance with
+    # anything is zero, so the dominance condition for them coincides with
+    # the always-checked empty-window condition.
+
+
+class Refiner:
+    """``RF(P)`` dispatcher used by index construction and maintenance.
+
+    Parameters
+    ----------
+    z_max:
+        Practical refine bound (None = strict M-V, the ``alpha -> 1`` limit).
+    cov, neighborhoods, flags:
+        Correlated-case machinery; all three must be given together.  When
+        both endpoints of a set are unflagged the independent refine is used
+        (the paper's per-vertex flag shortcut).
+    """
+
+    def __init__(
+        self,
+        z_max: float | None = PRACTICAL_Z_MAX,
+        cov: "CovarianceStore | None" = None,
+        neighborhoods: NeighborhoodCache | None = None,
+        flags: dict[int, bool] | None = None,
+        direction: str = "high",
+    ) -> None:
+        if direction not in ("high", "low"):
+            raise ValueError(f"direction must be 'high' or 'low', got {direction!r}")
+        self.z_max = z_max
+        self.cov = cov
+        self.neighborhoods = neighborhoods
+        self.flags = flags
+        self.direction = direction
+        self.correlated = cov is not None and not cov.is_empty()
+        if self.correlated and (neighborhoods is None or flags is None):
+            raise ValueError("correlated refine needs neighborhoods and flags")
+
+    def refine(self, paths: Sequence[PathSummary]) -> list[PathSummary]:
+        """Keep only the non-dominated paths of a same-endpoints set."""
+        independent_refine = (
+            refine_independent if self.direction == "high" else refine_independent_low
+        )
+        if len(paths) <= 1:
+            return list(paths)
+        if not self.correlated:
+            return independent_refine(paths, self.z_max)
+        sample = paths[0]
+        u, v = sample.a, sample.b
+        if not (self.flags.get(u, False) or self.flags.get(v, False)):
+            return independent_refine(paths, self.z_max)
+        return self._refine_correlated(paths, u, v)
+
+    # ------------------------------------------------------------------
+    # Correlated case (Proposition 4)
+    # ------------------------------------------------------------------
+    def _refine_correlated(
+        self, paths: Sequence[PathSummary], u: int, v: int
+    ) -> list[PathSummary]:
+        if self.direction == "high":
+            ordered = sorted(paths, key=lambda p: (p.mu, p.var))
+        else:
+            ordered = sorted(paths, key=lambda p: (p.mu, -p.var))
+        endpoints = tuple(x for x in ((u,) if u == v else (u, v)) if self.flags.get(x))
+        neighborhoods = self.neighborhoods
+        # Covariance vectors per path and flagged endpoint, computed once:
+        # vecs[j][x] = {window index i at x: cov(path_j, q_i)}.
+        vecs: list[dict[int, dict[int, float]]] = [
+            {
+                x: neighborhoods.path_covariances(x, p.window_at(x))
+                for x in endpoints
+            }
+            for p in ordered
+        ]
+        kept: list[int] = []
+        for j, candidate in enumerate(ordered):
+            if not any(
+                self._dominates(ordered[i], candidate, vecs[i], vecs[j], endpoints)
+                for i in kept
+            ):
+                kept.append(j)
+        return [ordered[j] for j in kept]
+
+    def _dominates(
+        self,
+        p1: PathSummary,
+        p2: PathSummary,
+        vec1: dict[int, dict[int, float]],
+        vec2: dict[int, dict[int, float]],
+        endpoints: tuple[int, ...],
+    ) -> bool:
+        """Proposition 4 check (``mu_1 <= mu_2`` holds by sort order)."""
+        if not self._adjusted_condition(p1.mu, p1.var, p2.mu, p2.var):
+            return False  # the empty-window check
+        for x in endpoints:
+            c1s = vec1[x]
+            c2s = vec2[x]
+            if not c1s and not c2s:
+                continue
+            for i in c1s.keys() | c2s.keys():
+                if not self._adjusted_condition(
+                    p1.mu,
+                    p1.var + 2.0 * c1s.get(i, 0.0),
+                    p2.mu,
+                    p2.var + 2.0 * c2s.get(i, 0.0),
+                ):
+                    return False
+        return True
+
+    def _adjusted_condition(
+        self, mu1: float, var1: float, mu2: float, var2: float
+    ) -> bool:
+        """Dominance for one adjusted-variance pair.
+
+        On the high side, ``var1 <= var2`` gives plain correlated M-V
+        dominance; otherwise the ``z_max`` compression bound must close the
+        gap.  On the low side (``alpha < 0.5``, ``Z < 0``) the variance
+        comparison flips.  Requires ``mu1 <= mu2`` (guaranteed by the
+        caller's sort order); equal paths count as dominated so duplicates
+        collapse.
+        """
+        if self.direction == "low":
+            if var1 >= var2:
+                return True
+            if self.z_max is None:
+                return False
+            s1 = math.sqrt(var1) if var1 > 0.0 else 0.0
+            s2 = math.sqrt(var2) if var2 > 0.0 else 0.0
+            return mu1 - self.z_max * s1 <= mu2 - self.z_max * s2
+        if var1 <= var2:
+            return True
+        if self.z_max is None:
+            return False
+        s1 = math.sqrt(var1) if var1 > 0.0 else 0.0
+        s2 = math.sqrt(var2) if var2 > 0.0 else 0.0
+        return mu1 + self.z_max * s1 <= mu2 + self.z_max * s2

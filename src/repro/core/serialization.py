@@ -1,0 +1,251 @@
+"""Index persistence: save/load an :class:`NRPIndex` without pickle.
+
+The index is written as a single JSON document (optionally gzipped by file
+extension).  Path summaries form a DAG through their provenance records —
+label paths share subpath objects with the edge-driven sets — so summaries
+are dumped once each, topologically, and provenance is stored as indices
+into that table.  Loading restores the full structure, including vertex
+recovery and correlated head/tail windows, bit-for-bit for query purposes.
+
+The graph and covariance store are embedded so a loaded index is
+self-contained (maintenance keeps working).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.index import IndexPlane, NRPIndex
+from repro.core.pathsummary import PathSummary
+from repro.core.pruning import LabelPathSet
+from repro.core.refine import NeighborhoodCache, Refiner
+from repro.core.construction import EdgeSetStore
+from repro.network.covariance import CovarianceStore
+from repro.network.graph import StochasticGraph
+from repro.treedec.decomposition import TreeDecomposition
+from repro.treedec.ordering import contract_in_order
+
+__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Path summary table (DAG-aware)
+# ----------------------------------------------------------------------
+class _SummaryTable:
+    """Assigns each distinct PathSummary object one slot, children first."""
+
+    def __init__(self) -> None:
+        self.index: dict[int, int] = {}
+        self.rows: list[list[Any]] = []
+
+    def add(self, summary: PathSummary) -> int:
+        slot = self.index.get(id(summary))
+        if slot is not None:
+            return slot
+        # Iterative post-order so provenance children land before parents.
+        stack: list[tuple[PathSummary, bool]] = [(summary, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in self.index:
+                continue
+            if not expanded and isinstance(node.prov, tuple):
+                stack.append((node, True))
+                stack.append((node.prov[1], False))
+                stack.append((node.prov[0], False))
+                continue
+            if isinstance(node.prov, tuple):
+                left, right, via = node.prov
+                prov: Any = [self.index[id(left)], self.index[id(right)], via]
+            else:
+                prov = node.prov  # None or "edge"
+            self.index[id(node)] = len(self.rows)
+            self.rows.append(
+                [
+                    node.mu,
+                    node.var,
+                    node.a,
+                    node.b,
+                    [list(e) for e in node.win_a],
+                    [list(e) for e in node.win_b],
+                    node.num_edges,
+                    prov,
+                ]
+            )
+        return self.index[id(summary)]
+
+
+def _restore_summaries(rows: list[list[Any]]) -> list[PathSummary]:
+    restored: list[PathSummary] = []
+    for mu, var, a, b, win_a, win_b, num_edges, prov in rows:
+        if isinstance(prov, list):
+            left, right, via = prov
+            provenance: Any = (restored[left], restored[right], via)
+        else:
+            provenance = prov
+        restored.append(
+            PathSummary(
+                mu,
+                var,
+                a,
+                b,
+                tuple(tuple(e) for e in win_a),
+                tuple(tuple(e) for e in win_b),
+                num_edges,
+                provenance,
+            )
+        )
+    return restored
+
+
+# ----------------------------------------------------------------------
+# Plane / store encoding
+# ----------------------------------------------------------------------
+def _encode_plane(plane: IndexPlane, table: _SummaryTable) -> dict[str, Any]:
+    return {
+        "direction": plane.direction,
+        "edge_sets": [
+            [list(key), [table.add(p) for p in paths]]
+            for key, paths in plane.edge_store.sets.items()
+        ],
+        "centers": [
+            [list(key), centers] for key, centers in plane.edge_store.centers.items()
+        ],
+        "labels": [
+            [v, u, [table.add(p) for p in label_set.paths]]
+            for v, entry in plane.labels.items()
+            for u, label_set in entry.items()
+        ],
+        "label_owners": sorted(plane.labels),
+    }
+
+
+def _decode_plane(
+    data: dict[str, Any],
+    summaries: list[PathSummary],
+    refiner: Refiner,
+    independent_stats: bool,
+) -> IndexPlane:
+    plane = IndexPlane.__new__(IndexPlane)
+    plane.direction = data["direction"]
+    plane.refiner = refiner
+    store = EdgeSetStore()
+    for key, slots in data["edge_sets"]:
+        store.sets[tuple(key)] = [summaries[i] for i in slots]
+    for key, centers in data["centers"]:
+        store.centers[tuple(key)] = list(centers)
+    plane.edge_store = store
+    labels: dict[int, dict[int, LabelPathSet]] = {
+        v: {} for v in data["label_owners"]
+    }
+    for v, u, slots in data["labels"]:
+        labels.setdefault(v, {})[u] = LabelPathSet(
+            [summaries[i] for i in slots], independent=independent_stats
+        )
+    plane.labels = labels
+    return plane
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def save_index(index: NRPIndex, path: str | Path) -> None:
+    """Serialise the index (graph + covariances + all planes) to ``path``.
+
+    A ``.gz`` suffix selects gzip compression.
+    """
+    table = _SummaryTable()
+    planes = [_encode_plane(plane, table) for plane in index.planes()]
+    document = {
+        "format": FORMAT_VERSION,
+        "graph": {
+            "vertices": sorted(index.graph.vertices()),
+            "edges": [
+                [u, v, w.mu, w.variance] for u, v, w in index.graph.edges()
+            ],
+            "coordinates": [
+                [v, *index.graph.coordinates(v)]
+                for v in index.graph.vertices()
+                if index.graph.coordinates(v) is not None
+            ],
+        },
+        "covariances": [[list(e), list(f), c] for e, f, c in index.cov.items()],
+        "window": index.window,
+        "z_max": index.z_max,
+        "order": list(index.td.order),
+        "planes": planes,
+        "summaries": table.rows,
+    }
+    raw = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wb") as handle:
+            handle.write(raw)
+    else:
+        path.write_bytes(raw)
+
+
+def load_index(path: str | Path) -> NRPIndex:
+    """Load an index written by :func:`save_index`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rb") as handle:
+            raw = handle.read()
+    else:
+        raw = path.read_bytes()
+    document = json.loads(raw)
+    if document.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format {document.get('format')!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+
+    graph = StochasticGraph()
+    for v in document["graph"]["vertices"]:
+        graph.add_vertex(v)
+    for u, v, mu, var in document["graph"]["edges"]:
+        graph.add_edge(u, v, mu, var)
+    for v, x, y in document["graph"]["coordinates"]:
+        graph.set_coordinates(v, x, y)
+    cov = CovarianceStore()
+    for e, f, value in document["covariances"]:
+        cov.set(tuple(e), tuple(f), value)
+
+    index = NRPIndex.__new__(NRPIndex)
+    index.graph = graph
+    index.cov = cov
+    index.correlated = not cov.is_empty()
+    index.window = document["window"]
+    index.z_max = document["z_max"]
+    order = document["order"]
+    index.td = TreeDecomposition(order, contract_in_order(graph, order))
+    if index.correlated:
+        neighborhoods = NeighborhoodCache(graph, cov, index.window)
+        flags = cov.compute_vertex_flags(graph, index.window)
+        plane_cov: CovarianceStore | None = cov
+    else:
+        neighborhoods = None
+        flags = None
+        plane_cov = None
+    summaries = _restore_summaries(document["summaries"])
+    index.high = None  # type: ignore[assignment]
+    index.low = None
+    for plane_data in document["planes"]:
+        direction = plane_data["direction"]
+        refiner = Refiner(
+            index.z_max, plane_cov, neighborhoods, flags, direction=direction
+        )
+        independent_stats = not index.correlated and direction == "high"
+        plane = _decode_plane(plane_data, summaries, refiner, independent_stats)
+        if direction == "high":
+            index.high = plane
+        else:
+            index.low = plane
+    if index.high is None:
+        raise ValueError("index file contains no high plane")
+    index.construction_seconds = 0.0
+    return index

@@ -1,0 +1,48 @@
+"""Experiment harness reproducing Section VI.
+
+One function per paper artefact (tables I-III, figures 7-11); see DESIGN.md
+Section 4 for the experiment index.  Each function returns plain data
+structures (dicts/lists) so the benchmark scripts can both time them and
+print the paper-style rows, and :mod:`repro.experiments.reporting` renders
+them as ASCII tables.
+"""
+
+from repro.experiments.figures import (
+    fig7_query_times,
+    fig8_hoplink_counts,
+    fig9_pruning_ablation,
+    fig10_real_data,
+    fig11_index_cost_vs_k,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runners import AlgorithmSuite, run_workload
+from repro.experiments.tables import (
+    table1_datasets,
+    table2_index_costs,
+    table3_maintenance,
+)
+from repro.experiments.workloads import (
+    Query,
+    alpha_query_sets,
+    distance_query_sets,
+    random_queries,
+)
+
+__all__ = [
+    "Query",
+    "distance_query_sets",
+    "alpha_query_sets",
+    "random_queries",
+    "AlgorithmSuite",
+    "run_workload",
+    "format_table",
+    "format_series",
+    "fig7_query_times",
+    "fig8_hoplink_counts",
+    "fig9_pruning_ablation",
+    "fig10_real_data",
+    "fig11_index_cost_vs_k",
+    "table1_datasets",
+    "table2_index_costs",
+    "table3_maintenance",
+]

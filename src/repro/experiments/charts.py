@@ -1,0 +1,87 @@
+"""Terminal-friendly chart rendering for experiment results.
+
+The paper's figures are log-scale line plots; these helpers render the same
+data as ASCII bar charts (one group per x value, one bar per series) so the
+benchmark result files are readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "log_bar_chart"]
+
+_FULL = "#"
+
+
+def _render(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    transform,
+    value_format: str,
+    width: int,
+    title: str,
+    scale_note: str,
+) -> str:
+    name_width = max(len(name) for name in series)
+    x_width = max(len(str(x)) for x in x_values)
+    transformed = {
+        name: [transform(v) for v in values] for name, values in series.items()
+    }
+    lo = min(min(vals) for vals in transformed.values())
+    hi = max(max(vals) for vals in transformed.values())
+    span = hi - lo if hi > lo else 1.0
+    lines: list[str] = []
+    if title:
+        lines.append(title + scale_note)
+    for i, x in enumerate(x_values):
+        lines.append(f"{x_label}={x}")
+        for name, values in series.items():
+            frac = (transformed[name][i] - lo) / span
+            bar = _FULL * max(1, round(frac * width))
+            value = value_format.format(values[i])
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar.ljust(width)}| {value}"
+            )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.4g}",
+) -> str:
+    """Linear-scale grouped ASCII bars."""
+    return _render(
+        x_label, x_values, series, lambda v: v, value_format, width, title, ""
+    )
+
+
+def log_bar_chart(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.4g}",
+) -> str:
+    """Log-scale bars — the scale the paper's query-time figures use.
+
+    Non-positive values are clamped to the smallest positive value present.
+    """
+    positives = [v for vals in series.values() for v in vals if v > 0]
+    floor = min(positives) if positives else 1e-12
+
+    def transform(v: float) -> float:
+        return math.log10(max(v, floor))
+
+    return _render(
+        x_label, x_values, series, transform, value_format, width, title, "  [log scale]"
+    )

@@ -1,0 +1,221 @@
+"""Per-figure experiment runners (Figures 7-11).
+
+Every function returns plain dicts keyed the way the paper's panels are,
+ready for :func:`repro.experiments.reporting.format_series`.  Scales and
+query counts default to pure-Python-friendly values; the paper's trends, not
+its absolute C++ timings, are the reproduction target (DESIGN.md
+substitution 2).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.index import NRPIndex
+from repro.core.query import QueryStats
+from repro.experiments.runners import ALGORITHM_ORDER, AlgorithmSuite
+from repro.experiments.workloads import (
+    Query,
+    alpha_query_sets,
+    distance_query_sets,
+)
+from repro.network.datasets import make_dataset
+from repro.network.generators import assign_random_cv, generate_correlations
+from repro.network.nyc_dot import fit_edge_distributions, simulate_dot_feed
+
+__all__ = [
+    "fig7_query_times",
+    "fig8_hoplink_counts",
+    "fig9_pruning_ablation",
+    "fig10_real_data",
+    "fig11_index_cost_vs_k",
+]
+
+CV_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+K_VALUES = (1, 2, 3, 4, 5)
+
+
+def _distance_panel(
+    suite: AlgorithmSuite, sets: dict[int, list[Query]]
+) -> dict[str, list[float]]:
+    """Workload seconds per algorithm across the five banded sets."""
+    out: dict[str, list[float]] = {name: [] for name in suite.algorithms}
+    for i in sorted(sets):
+        for name in suite.algorithms:
+            out[name].append(suite.run(name, sets[i]).seconds)
+    return out
+
+
+def fig7_query_times(
+    dataset: str,
+    factor: str,
+    *,
+    scale: float = 1.0,
+    queries_per_set: int = 50,
+    algorithms: tuple[str, ...] = ALGORITHM_ORDER,
+    correlation_density: float = 0.03,
+    seed: int = 7,
+) -> dict[str, list[float]]:
+    """One panel of Figure 7: workload time by Q, alpha, CV, or K.
+
+    ``factor`` is one of ``"Q"``, ``"alpha"``, ``"CV"``, ``"K"``.  Q/alpha
+    panels reuse one default network (CV=0.5, independent); each CV value
+    re-weights the network and rebuilds the indexes; each K value regenerates
+    correlations and rebuilds (the paper's default setting per panel).
+    """
+    if factor in ("Q", "alpha"):
+        graph, cov = make_dataset(dataset, scale=scale, seed=seed)
+        suite = AlgorithmSuite(graph, None, algorithms=algorithms)
+        q_sets = distance_query_sets(graph, queries_per_set, seed=seed)
+        if factor == "Q":
+            return _distance_panel(suite, q_sets)
+        return _distance_panel(suite, alpha_query_sets(q_sets[3], seed=seed))
+    if factor == "CV":
+        out: dict[str, list[float]] = {name: [] for name in algorithms}
+        for cv in CV_VALUES:
+            graph, _ = make_dataset(dataset, scale=scale, cv=cv, seed=seed)
+            suite = AlgorithmSuite(graph, None, algorithms=algorithms)
+            queries = distance_query_sets(graph, queries_per_set, seed=seed)[3]
+            for name in algorithms:
+                out[name].append(suite.run(name, queries).seconds)
+        return out
+    if factor == "K":
+        out = {name: [] for name in algorithms}
+        for k in K_VALUES:
+            graph, cov = make_dataset(
+                dataset,
+                scale=scale,
+                hops=k,
+                correlated=True,
+                correlation_density=correlation_density,
+                seed=seed,
+            )
+            suite = AlgorithmSuite(graph, cov, window=k, algorithms=algorithms)
+            queries = distance_query_sets(graph, queries_per_set, seed=seed)[3]
+            for name in algorithms:
+                out[name].append(suite.run(name, queries).seconds)
+        return out
+    raise ValueError(f"unknown factor {factor!r}; expected Q, alpha, CV, or K")
+
+
+def fig8_hoplink_counts(
+    dataset: str = "NY",
+    *,
+    scale: float = 1.0,
+    queries_per_set: int = 50,
+    seed: int = 7,
+) -> dict[str, dict[str, list[float]]]:
+    """Figure 8: average hoplinks and path concatenations per query.
+
+    Panel (a) varies Q on the default network; panel (b) varies CV using the
+    Q3 pairs.  Returns ``{"by_Q": {...}, "by_CV": {...}}`` with series
+    ``hoplinks`` and ``concatenations``.
+    """
+    graph, _ = make_dataset(dataset, scale=scale, seed=seed)
+    index = NRPIndex(graph)
+    q_sets = distance_query_sets(graph, queries_per_set, seed=seed)
+
+    def averages(index: NRPIndex, queries: list[Query]) -> tuple[float, float]:
+        stats = QueryStats()
+        for q in queries:
+            index.query(q.source, q.target, q.alpha, stats=stats)
+        n = max(1, len(queries))
+        return stats.hoplinks / n, stats.concatenations / n
+
+    by_q: dict[str, list[float]] = {"hoplinks": [], "concatenations": []}
+    for i in sorted(q_sets):
+        hops, concats = averages(index, q_sets[i])
+        by_q["hoplinks"].append(hops)
+        by_q["concatenations"].append(concats)
+
+    by_cv: dict[str, list[float]] = {"hoplinks": [], "concatenations": []}
+    pairs = q_sets[3]
+    for cv in CV_VALUES:
+        graph_cv, _ = make_dataset(dataset, scale=scale, cv=cv, seed=seed)
+        index_cv = NRPIndex(graph_cv)
+        hops, concats = averages(index_cv, pairs)
+        by_cv["hoplinks"].append(hops)
+        by_cv["concatenations"].append(concats)
+    return {"by_Q": by_q, "by_CV": by_cv}
+
+
+def fig9_pruning_ablation(
+    dataset: str = "NY",
+    *,
+    scale: float = 1.0,
+    queries_per_set: int = 50,
+    seed: int = 7,
+) -> dict[str, dict[str, list[float]]]:
+    """Figure 9: path concatenations with and without Algorithm 2 pruning."""
+    graph, _ = make_dataset(dataset, scale=scale, seed=seed)
+    index = NRPIndex(graph)
+    q_sets = distance_query_sets(graph, queries_per_set, seed=seed)
+
+    def avg_concats(index: NRPIndex, queries: list[Query], pruning: bool) -> float:
+        stats = QueryStats()
+        for q in queries:
+            index.query(q.source, q.target, q.alpha, use_pruning=pruning, stats=stats)
+        return stats.concatenations / max(1, len(queries))
+
+    by_q = {"NRP": [], "NRP-w/o pruning": []}
+    for i in sorted(q_sets):
+        by_q["NRP"].append(avg_concats(index, q_sets[i], True))
+        by_q["NRP-w/o pruning"].append(avg_concats(index, q_sets[i], False))
+
+    by_cv = {"NRP": [], "NRP-w/o pruning": []}
+    pairs = q_sets[3]
+    for cv in CV_VALUES:
+        graph_cv, _ = make_dataset(dataset, scale=scale, cv=cv, seed=seed)
+        index_cv = NRPIndex(graph_cv)
+        by_cv["NRP"].append(avg_concats(index_cv, pairs, True))
+        by_cv["NRP-w/o pruning"].append(avg_concats(index_cv, pairs, False))
+    return {"by_Q": by_q, "by_CV": by_cv}
+
+
+def fig10_real_data(
+    *,
+    scale: float = 1.0,
+    queries_per_set: int = 30,
+    algorithms: tuple[str, ...] = ALGORITHM_ORDER,
+    seed: int = 7,
+) -> dict[str, dict[str, list[float]]]:
+    """Figure 10: query times on the (simulated) NYC-DOT fitted network.
+
+    Runs the full pipeline: simulate the sensor feed during rush hour, fit
+    edge normals by MLE, then sweep Q and alpha workloads.
+    """
+    graph, _ = make_dataset("NY", scale=scale, seed=seed)
+    sensors = simulate_dot_feed(graph, rush_hour_factor=1.4, seed=seed)
+    fitted = fit_edge_distributions(graph, sensors)
+    suite = AlgorithmSuite(fitted, None, algorithms=algorithms)
+    q_sets = distance_query_sets(fitted, queries_per_set, seed=seed)
+    return {
+        "by_Q": _distance_panel(suite, q_sets),
+        "by_alpha": _distance_panel(suite, alpha_query_sets(q_sets[3], seed=seed)),
+    }
+
+
+def fig11_index_cost_vs_k(
+    dataset: str = "NY",
+    *,
+    scale: float = 0.6,
+    correlation_density: float = 0.03,
+    seed: int = 7,
+) -> dict[str, list[float]]:
+    """Figure 11: NRP index time (s) and size (bytes) for K = 1..5."""
+    times: list[float] = []
+    sizes: list[float] = []
+    for k in K_VALUES:
+        graph, cov = make_dataset(
+            dataset,
+            scale=scale,
+            hops=k,
+            correlated=True,
+            correlation_density=correlation_density,
+            seed=seed,
+        )
+        start = time.perf_counter()
+        index = NRPIndex(graph, cov, window=k)
+        times.append(time.perf_counter() - start)
+        sizes.append(float(index.size_info().estimated_bytes))
+    return {"index_time_s": times, "index_size_bytes": sizes}

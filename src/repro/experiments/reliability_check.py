@@ -1,0 +1,80 @@
+"""Empirical reliability experiment (beyond the paper's evaluation).
+
+For a workload of answered queries, Monte-Carlo-simulate each returned
+path's travel time and compare the *achieved* on-time probability against
+the requested alpha.  This is the end-to-end guarantee the whole system
+exists to provide; the paper validates it qualitatively in the Figure-12
+case study, and here it becomes a measurable experiment
+(``bench_reliability_check.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.index import NRPIndex
+from repro.experiments.workloads import Query
+from repro.validation.montecarlo import estimate_reliability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.covariance import CovarianceStore
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["ReliabilitySweep", "reliability_sweep"]
+
+
+@dataclass(frozen=True)
+class ReliabilitySweep:
+    """Aggregate calibration of achieved vs requested reliability."""
+
+    queries: int
+    trials_per_query: int
+    mean_requested: float
+    mean_achieved: float
+    worst_shortfall: float
+    within_tolerance: int
+
+    @property
+    def calibration_gap(self) -> float:
+        """Achieved minus requested, averaged (positive = conservative)."""
+        return self.mean_achieved - self.mean_requested
+
+
+def reliability_sweep(
+    graph: "StochasticGraph",
+    index: NRPIndex,
+    queries: list[Query],
+    cov: "CovarianceStore | None" = None,
+    *,
+    trials: int = 4000,
+    tolerance: float = 0.03,
+    seed: int = 0,
+) -> ReliabilitySweep:
+    """Answer every query, simulate its path, and aggregate calibration."""
+    if not queries:
+        raise ValueError("empty workload")
+    achieved: list[float] = []
+    requested: list[float] = []
+    worst = 0.0
+    ok = 0
+    for i, q in enumerate(queries):
+        result = index.query(q.source, q.target, q.alpha)
+        estimate = estimate_reliability(
+            graph, result.path, result.value, cov, trials=trials, seed=seed + i
+        )
+        requested.append(q.alpha)
+        achieved.append(estimate.estimate)
+        shortfall = max(0.0, q.alpha - estimate.estimate)
+        worst = max(worst, shortfall)
+        if shortfall <= tolerance:
+            ok += 1
+    n = len(queries)
+    return ReliabilitySweep(
+        queries=n,
+        trials_per_query=trials,
+        mean_requested=sum(requested) / n,
+        mean_achieved=sum(achieved) / n,
+        worst_shortfall=worst,
+        within_tolerance=ok,
+    )

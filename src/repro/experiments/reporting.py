@@ -1,0 +1,60 @@
+"""ASCII rendering of experiment results (the paper's tables and series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_seconds", "format_bytes"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: us / ms / s."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+def format_bytes(num_bytes: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if num_bytes < 1024.0 or unit == "GB":
+            return f"{num_bytes:.1f} {unit}"
+        num_bytes /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    value_format: str = "{:.4g}",
+) -> str:
+    """One figure panel as a table: x values as columns, one row per series."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = [
+        [name] + [value_format.format(v) for v in values]
+        for name, values in series.items()
+    ]
+    return format_table(headers, rows, title)

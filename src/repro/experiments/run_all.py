@@ -1,0 +1,197 @@
+"""One-shot driver: rerun the paper's full evaluation and emit a report.
+
+``python -m repro.experiments.run_all --scale 0.6 --queries 20`` executes
+every table and figure of Section VI at the requested scale and writes a
+markdown report with the measured numbers (the data behind EXPERIMENTS.md).
+Individual experiments can be selected with ``--only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.charts import log_bar_chart
+from repro.experiments.figures import (
+    CV_VALUES,
+    K_VALUES,
+    fig7_query_times,
+    fig8_hoplink_counts,
+    fig9_pruning_ablation,
+    fig10_real_data,
+    fig11_index_cost_vs_k,
+)
+from repro.experiments.reporting import format_bytes, format_series, format_table
+from repro.experiments.tables import (
+    table1_datasets,
+    table2_index_costs,
+    table3_maintenance,
+)
+
+__all__ = ["run_all", "main"]
+
+_Q_LABELS = ["Q1", "Q2", "Q3", "Q4", "Q5"]
+_A_LABELS = ["a1", "a2", "a3", "a4", "a5"]
+
+
+def _section(name: str, body: str) -> str:
+    return f"## {name}\n\n```\n{body}\n```\n"
+
+
+def run_all(
+    *,
+    scale: float = 0.6,
+    queries: int = 20,
+    seed: int = 7,
+    only: set[str] | None = None,
+    log=print,
+) -> str:
+    """Run the selected experiments; return the markdown report."""
+
+    def wanted(name: str) -> bool:
+        return only is None or name in only
+
+    sections: list[str] = [
+        "# NRP reproduction — measured results\n",
+        f"Configuration: scale={scale}, queries/set={queries}, seed={seed}, "
+        f"pure Python, single core.\n",
+    ]
+    started = time.perf_counter()
+
+    if wanted("table1"):
+        log("Table I ...")
+        rows = table1_datasets(scale=scale, seed=seed)
+        body = format_table(
+            ["Dataset", "Region", "|V|", "|E|", "d_max"],
+            [
+                [r["dataset"], r["region"], r["V"], r["E"], f"{r['d_max']:.0f}"]
+                for r in rows
+            ],
+        )
+        sections.append(_section("Table I — datasets", body))
+
+    if wanted("fig7"):
+        for dataset in ("NY", "BAY", "COL"):
+            for factor in ("Q", "alpha", "CV", "K"):
+                if factor == "K" and dataset != "NY":
+                    continue
+                log(f"Figure 7 [{dataset} x {factor}] ...")
+                series = fig7_query_times(
+                    dataset, factor, scale=scale, queries_per_set=queries, seed=seed
+                )
+                x = {
+                    "Q": _Q_LABELS,
+                    "alpha": _A_LABELS,
+                    "CV": list(CV_VALUES),
+                    "K": list(K_VALUES),
+                }[factor]
+                body = format_series(factor, x, series) + "\n\n" + log_bar_chart(
+                    factor, x, series, value_format="{:.4g} s"
+                )
+                sections.append(
+                    _section(f"Figure 7 — {dataset}, workload seconds vs {factor}", body)
+                )
+
+    if wanted("fig8"):
+        log("Figure 8 ...")
+        data = fig8_hoplink_counts("NY", scale=scale, queries_per_set=queries, seed=seed)
+        body = (
+            format_series("Q", _Q_LABELS, data["by_Q"])
+            + "\n\n"
+            + format_series("CV", list(CV_VALUES), data["by_CV"])
+        )
+        sections.append(_section("Figure 8 — hoplinks / concatenations (NY)", body))
+
+    if wanted("fig9"):
+        log("Figure 9 ...")
+        data = fig9_pruning_ablation("NY", scale=scale, queries_per_set=queries, seed=seed)
+        body = (
+            format_series("Q", _Q_LABELS, data["by_Q"])
+            + "\n\n"
+            + format_series("CV", list(CV_VALUES), data["by_CV"])
+        )
+        sections.append(_section("Figure 9 — pruning ablation (NY)", body))
+
+    if wanted("fig10"):
+        log("Figure 10 ...")
+        data = fig10_real_data(scale=scale, queries_per_set=max(10, queries // 2), seed=seed)
+        body = (
+            format_series("Q", _Q_LABELS, data["by_Q"])
+            + "\n\n"
+            + format_series("alpha", _A_LABELS, data["by_alpha"])
+        )
+        sections.append(_section("Figure 10 — simulated NYC-DOT data", body))
+
+    if wanted("fig11"):
+        log("Figure 11 ...")
+        data = fig11_index_cost_vs_k("NY", scale=min(scale, 0.6), seed=seed)
+        body = format_series("K", list(K_VALUES), data)
+        sections.append(_section("Figure 11 — index cost vs K (NY)", body))
+
+    if wanted("table2"):
+        log("Table II ...")
+        rows = table2_index_costs(scale=scale, seed=seed)
+        body = format_table(
+            ["Dataset", "omega", "eta", "NRP time", "NRP size", "TBS time", "TBS size"],
+            [
+                [
+                    r["dataset"],
+                    r["omega"],
+                    r["eta"],
+                    f"{r['nrp_time_s']:.2f} s",
+                    format_bytes(r["nrp_size_bytes"]),
+                    f"{r['tbs_time_s']:.2f} s",
+                    format_bytes(r["tbs_size_bytes"]),
+                ]
+                for r in rows
+            ],
+        )
+        sections.append(_section("Table II — index cost", body))
+
+    if wanted("table3"):
+        log("Table III ...")
+        rows = table3_maintenance(scale=scale, updates_per_op=25, seed=seed)
+        body = format_table(
+            ["Dataset", "Inc. mu", "Dec. mu", "Inc. sigma", "Dec. sigma", "Extra storage"],
+            [
+                [
+                    r["dataset"],
+                    f"{r['inc_mu'] * 1000:.1f} ms",
+                    f"{r['dec_mu'] * 1000:.1f} ms",
+                    f"{r['inc_sigma'] * 1000:.1f} ms",
+                    f"{r['dec_sigma'] * 1000:.1f} ms",
+                    format_bytes(r["extra_storage_bytes"]),
+                ]
+                for r in rows
+            ],
+        )
+        sections.append(_section("Table III — maintenance", body))
+
+    sections.append(
+        f"\nTotal driver time: {time.perf_counter() - started:.1f} s\n"
+    )
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--only",
+        help="comma-separated subset: table1,fig7,fig8,fig9,fig10,fig11,table2,table3",
+    )
+    parser.add_argument("--output", type=Path, default=Path("EXPERIMENTS_RAW.md"))
+    args = parser.parse_args(argv)
+    only = set(args.only.split(",")) if args.only else None
+    report = run_all(scale=args.scale, queries=args.queries, seed=args.seed, only=only)
+    args.output.write_text(report, encoding="utf-8")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Scaling experiment: how the NRP advantage grows with network size.
+
+Not a paper figure, but the paper's central claim — orders-of-magnitude
+query speedups on networks of hundreds of thousands of vertices — rests on
+how the algorithms *scale*.  This experiment sweeps the synthetic NY layout
+across grid scales and records per-query times, index cost, and the
+NRP-vs-baseline speedup at each size, substantiating EXPERIMENTS.md's
+extrapolation from our reduced scales to the paper's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.runners import AlgorithmSuite
+from repro.experiments.workloads import distance_query_sets
+from repro.network.datasets import make_dataset
+
+__all__ = ["ScalePoint", "scaling_sweep"]
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Measurements at one network size."""
+
+    scale: float
+    vertices: int
+    edges: int
+    nrp_build_seconds: float
+    nrp_index_bytes: int
+    per_query_seconds: dict[str, float]
+
+    def speedup(self, baseline: str) -> float:
+        """NRP speedup factor over the named baseline."""
+        return self.per_query_seconds[baseline] / self.per_query_seconds["NRP"]
+
+
+def scaling_sweep(
+    scales: tuple[float, ...] = (0.4, 0.6, 0.8, 1.0),
+    *,
+    algorithms: tuple[str, ...] = ("NRP", "TBS", "SDRSP-A*"),
+    queries_per_point: int = 20,
+    seed: int = 7,
+) -> list[ScalePoint]:
+    """Measure every algorithm across network sizes (Q3 workloads)."""
+    if "NRP" not in algorithms:
+        raise ValueError("the sweep measures speedups relative to NRP")
+    points: list[ScalePoint] = []
+    for scale in scales:
+        graph, _ = make_dataset("NY", scale=scale, seed=seed)
+        start = time.perf_counter()
+        suite = AlgorithmSuite(graph, None, algorithms=algorithms)
+        build_seconds = suite.nrp.construction_seconds
+        queries = distance_query_sets(graph, queries_per_point, seed=seed)[3]
+        per_query: dict[str, float] = {}
+        for name in algorithms:
+            result = suite.run(name, queries)
+            per_query[name] = result.seconds / max(1, len(queries))
+        points.append(
+            ScalePoint(
+                scale=scale,
+                vertices=graph.num_vertices,
+                edges=graph.num_edges,
+                nrp_build_seconds=build_seconds,
+                nrp_index_bytes=suite.nrp.size_info().estimated_bytes,
+                per_query_seconds=per_query,
+            )
+        )
+    return points

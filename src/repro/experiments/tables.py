@@ -1,0 +1,109 @@
+"""Per-table experiment runners (Tables I-III)."""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.baselines.tbs import TBSIndex
+from repro.baselines.dijkstra import approximate_diameter
+from repro.core.index import NRPIndex
+from repro.core.maintenance import IndexMaintainer
+from repro.network.datasets import DATASETS, make_dataset
+
+__all__ = ["table1_datasets", "table2_index_costs", "table3_maintenance"]
+
+
+def table1_datasets(*, scale: float = 1.0, seed: int = 7) -> list[dict[str, object]]:
+    """Table I: dataset name, region, |V|, |E|, approximate diameter."""
+    rows = []
+    for name, spec in DATASETS.items():
+        graph, _ = make_dataset(name, scale=scale, seed=seed)
+        rng = random.Random(seed)
+        seeds = rng.sample(list(graph.vertices()), min(3, graph.num_vertices))
+        rows.append(
+            {
+                "dataset": name,
+                "region": spec.region,
+                "V": graph.num_vertices,
+                "E": graph.num_edges,
+                "d_max": approximate_diameter(graph, seeds=seeds),
+            }
+        )
+    return rows
+
+
+def table2_index_costs(
+    *, scale: float = 1.0, seed: int = 7, datasets: tuple[str, ...] = ("NY", "BAY", "COL")
+) -> list[dict[str, object]]:
+    """Table II: treewidth, treeheight, NRP vs TBS index time and size."""
+    rows = []
+    for name in datasets:
+        graph, _ = make_dataset(name, scale=scale, seed=seed)
+        start = time.perf_counter()
+        nrp = NRPIndex(graph)
+        nrp_time = time.perf_counter() - start
+        start = time.perf_counter()
+        tbs = TBSIndex(graph)
+        tbs_time = time.perf_counter() - start
+        rows.append(
+            {
+                "dataset": name,
+                "omega": nrp.treewidth,
+                "eta": nrp.treeheight,
+                "nrp_time_s": nrp_time,
+                "nrp_size_bytes": nrp.size_info().estimated_bytes,
+                "tbs_time_s": tbs_time,
+                "tbs_size_bytes": tbs.estimated_bytes,
+            }
+        )
+    return rows
+
+
+def table3_maintenance(
+    *,
+    scale: float = 1.0,
+    updates_per_op: int = 50,
+    seed: int = 7,
+    datasets: tuple[str, ...] = ("NY", "BAY", "COL"),
+) -> list[dict[str, object]]:
+    """Table III: average update time per operation type + extra storage.
+
+    Following the paper (and [27]): increase mu to a random value in
+    ``[mu, 2*mu]``, decrease to ``[0.5*mu, mu]``, and likewise for sigma,
+    over randomly selected edges; each operation is applied through
+    Algorithms 4-5 and then reverted so operations stay comparable.
+    """
+    rows = []
+    for name in datasets:
+        graph, _ = make_dataset(name, scale=scale, seed=seed)
+        index = NRPIndex(graph)
+        maintainer = IndexMaintainer(index)
+        rng = random.Random(seed + 1)
+        edges = list(graph.edge_keys())
+        timings: dict[str, float] = {}
+        for op in ("inc_mu", "dec_mu", "inc_sigma", "dec_sigma"):
+            total = 0.0
+            for _ in range(updates_per_op):
+                u, v = edges[rng.randrange(len(edges))]
+                weight = graph.edge(u, v)
+                mu, var = weight.mu, weight.variance
+                if op == "inc_mu":
+                    new_mu, new_var = mu * rng.uniform(1.0, 2.0), var
+                elif op == "dec_mu":
+                    new_mu, new_var = mu * rng.uniform(0.5, 1.0), var
+                elif op == "inc_sigma":
+                    new_mu, new_var = mu, var * rng.uniform(1.0, 2.0) ** 2
+                else:
+                    new_mu, new_var = mu, var * rng.uniform(0.5, 1.0) ** 2
+                total += maintainer.update_edge(u, v, new_mu, new_var).seconds
+                maintainer.update_edge(u, v, mu, var)  # revert (untimed)
+            timings[op] = total / updates_per_op
+        rows.append(
+            {
+                "dataset": name,
+                **timings,
+                "extra_storage_bytes": index.size_info().extra_storage_bytes,
+            }
+        )
+    return rows

@@ -1,0 +1,27 @@
+"""Extensions beyond the paper's core scope.
+
+Section VIII lists two future-work directions; both are implemented here:
+
+- :mod:`timeofday` — travel-time distributions that depend on the time of
+  day.  One NRP index is kept live and rolled between day periods through
+  *batch* maintenance (Algorithm 5's batch mode), instead of rebuilding or
+  storing one index per period.
+- :mod:`streaming` — handling frequently changing distributions: an update
+  coalescer that absorbs a high-rate stream of distribution changes and
+  applies them in amortised batches, with throughput accounting against the
+  full-rebuild alternative.
+"""
+
+from repro.extensions.departure import DeparturePlan, best_departure
+from repro.extensions.streaming import StreamingUpdater, UpdateStats
+from repro.extensions.timeofday import DayPeriod, TimeOfDayModel, TimeOfDayRouter
+
+__all__ = [
+    "DayPeriod",
+    "TimeOfDayModel",
+    "TimeOfDayRouter",
+    "StreamingUpdater",
+    "UpdateStats",
+    "DeparturePlan",
+    "best_departure",
+]

@@ -1,0 +1,90 @@
+"""Departure-time optimisation over a time-of-day model.
+
+Given a deadline and a reliability requirement, when should the traveller
+leave?  For each candidate departure minute the time-of-day router yields
+that period's reliable shortest path; the latest departure whose budget
+still meets the deadline maximises time spent not sitting in traffic.
+This composes the paper's future-work direction (time-dependent
+distributions) with its core query — related in spirit to the
+arrival-window work of [55].
+
+The model here is piecewise-stationary: a trip departing in period P is
+evaluated under P's distributions (trips spanning a period boundary keep
+the departure period's conditions — the standard simplification for
+period-level models; noted in the docstrings and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.extensions.timeofday import TimeOfDayRouter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.query import QueryResult
+
+__all__ = ["DeparturePlan", "best_departure"]
+
+
+@dataclass(frozen=True)
+class DeparturePlan:
+    """One feasible (or best-effort) departure recommendation."""
+
+    depart_minute: float
+    arrival_budget: float  # departure + F^{-1}(alpha)
+    value: float  # the path's F^{-1}(alpha)
+    path: tuple[int, ...]
+    period: str
+    meets_deadline: bool
+
+
+def best_departure(
+    router: TimeOfDayRouter,
+    s: int,
+    t: int,
+    alpha: float,
+    deadline_minute: float,
+    *,
+    earliest_minute: float = 0.0,
+    step_minutes: float = 15.0,
+    candidates: Sequence[float] | None = None,
+) -> DeparturePlan:
+    """The latest departure that still meets the deadline at confidence alpha.
+
+    Scans candidate departure minutes (default: every ``step_minutes`` from
+    ``earliest_minute`` to the deadline), evaluating each under its period's
+    distributions.  Returns the latest feasible plan, or — if none is
+    feasible — the plan minimising the arrival budget, flagged
+    ``meets_deadline=False``.
+    """
+    if candidates is None:
+        if deadline_minute <= earliest_minute:
+            raise ValueError("deadline must lie after the earliest departure")
+        candidates = []
+        minute = earliest_minute
+        while minute < deadline_minute:
+            candidates.append(minute)
+            minute += step_minutes
+    if not candidates:
+        raise ValueError("no candidate departure times")
+
+    plans: list[DeparturePlan] = []
+    for minute in candidates:
+        result: "QueryResult" = router.query(s, t, alpha, minute)
+        budget_seconds = result.value
+        arrival = minute + budget_seconds / 60.0
+        plans.append(
+            DeparturePlan(
+                depart_minute=minute,
+                arrival_budget=arrival,
+                value=budget_seconds,
+                path=tuple(result.path),
+                period=router.current_period.name,
+                meets_deadline=arrival <= deadline_minute,
+            )
+        )
+    feasible = [p for p in plans if p.meets_deadline]
+    if feasible:
+        return max(feasible, key=lambda p: p.depart_minute)
+    return min(plans, key=lambda p: p.arrival_budget)

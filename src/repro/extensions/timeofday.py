@@ -1,0 +1,159 @@
+"""Time-of-day dependent travel-time distributions (paper future work).
+
+A :class:`TimeOfDayModel` holds one normal distribution per edge *per day
+period* (e.g. overnight / morning rush / midday / evening rush).  The
+:class:`TimeOfDayRouter` keeps a single live NRP index and, when a query
+falls into a different period than the index currently reflects, rolls the
+index forward with one *batch* maintenance pass over exactly the edges whose
+distributions differ between the two periods — typically a small fraction,
+so the roll is far cheaper than a rebuild (asserted in the tests and
+measured by ``bench_ext_timeofday.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.index import NRPIndex
+from repro.core.maintenance import IndexMaintainer, MaintenanceReport
+from repro.core.query import QueryResult
+from repro.network.covariance import edge_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["DayPeriod", "TimeOfDayModel", "TimeOfDayRouter"]
+
+EdgeKey = tuple[int, int]
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class DayPeriod:
+    """A half-open daily interval ``[start_minute, end_minute)``."""
+
+    name: str
+    start_minute: int
+    end_minute: int
+
+    def contains(self, minute: float) -> bool:
+        minute = minute % MINUTES_PER_DAY
+        if self.start_minute <= self.end_minute:
+            return self.start_minute <= minute < self.end_minute
+        # wraps midnight
+        return minute >= self.start_minute or minute < self.end_minute
+
+
+class TimeOfDayModel:
+    """Per-period edge distributions over one base network."""
+
+    def __init__(self, graph: "StochasticGraph", periods: Iterable[DayPeriod]) -> None:
+        self.graph = graph
+        self.periods = tuple(periods)
+        if not self.periods:
+            raise ValueError("at least one day period is required")
+        names = [p.name for p in self.periods]
+        if len(set(names)) != len(names):
+            raise ValueError("period names must be unique")
+        # Snapshot the base distributions NOW: the router mutates the live
+        # graph when rolling between periods, so fallbacks must come from
+        # this immutable copy, never from the graph's current state.
+        self._base: dict[EdgeKey, tuple[float, float]] = {
+            (u, v): (w.mu, w.variance) for u, v, w in graph.edges()
+        }
+        # period name -> {edge: (mu, variance)}; edges not listed fall back
+        # to the base snapshot.
+        self._overrides: dict[str, dict[EdgeKey, tuple[float, float]]] = {
+            p.name: {} for p in self.periods
+        }
+
+    def set_distribution(
+        self, period: str, u: int, v: int, mu: float, variance: float
+    ) -> None:
+        """Override one edge's distribution during one period."""
+        if period not in self._overrides:
+            raise KeyError(f"unknown period {period!r}")
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"edge ({u}, {v}) does not exist")
+        self._overrides[period][edge_key(u, v)] = (mu, variance)
+
+    def scale_region(
+        self,
+        period: str,
+        edges: Iterable[tuple[int, int]],
+        mu_factor: float,
+        sigma_factor: float,
+    ) -> None:
+        """Convenience: scale a set of edges' base distribution in a period."""
+        for u, v in edges:
+            mu, variance = self._base[edge_key(u, v)]
+            self.set_distribution(
+                period,
+                u,
+                v,
+                mu * mu_factor,
+                variance * sigma_factor * sigma_factor,
+            )
+
+    def period_at(self, minute: float) -> DayPeriod:
+        for period in self.periods:
+            if period.contains(minute):
+                return period
+        raise ValueError(f"minute {minute} falls in no period (gaps in schedule?)")
+
+    def distribution(self, period: str, u: int, v: int) -> tuple[float, float]:
+        override = self._overrides[period].get(edge_key(u, v))
+        if override is not None:
+            return override
+        return self._base[edge_key(u, v)]
+
+    def diff(
+        self, from_period: str, to_period: str
+    ) -> list[tuple[int, int, float, float]]:
+        """Edge changes needed to roll the network between two periods."""
+        changed: list[tuple[int, int, float, float]] = []
+        affected = set(self._overrides[from_period]) | set(self._overrides[to_period])
+        for u, v in affected:
+            old = self.distribution(from_period, u, v)
+            new = self.distribution(to_period, u, v)
+            if old != new:
+                changed.append((u, v, new[0], new[1]))
+        return changed
+
+
+class TimeOfDayRouter:
+    """One live NRP index rolled between day periods by batch maintenance."""
+
+    def __init__(
+        self,
+        model: TimeOfDayModel,
+        *,
+        initial_minute: float = 0.0,
+        **index_kwargs,
+    ) -> None:
+        self.model = model
+        self.current_period: DayPeriod = model.period_at(initial_minute)
+        # Install the initial period's distributions before building.
+        for (u, v) in list(model.graph.edge_keys()):
+            mu, var = model.distribution(self.current_period.name, u, v)
+            model.graph.set_edge_weight(u, v, mu, var)
+        self.index = NRPIndex(model.graph, **index_kwargs)
+        self._maintainer = IndexMaintainer(self.index)
+        self.roll_reports: list[tuple[str, str, MaintenanceReport]] = []
+
+    def roll_to(self, minute: float) -> MaintenanceReport | None:
+        """Ensure the index reflects the period containing ``minute``."""
+        target = self.model.period_at(minute)
+        if target.name == self.current_period.name:
+            return None
+        changes = self.model.diff(self.current_period.name, target.name)
+        report = self._maintainer.update_batch(changes)
+        self.roll_reports.append((self.current_period.name, target.name, report))
+        self.current_period = target
+        return report
+
+    def query(self, s: int, t: int, alpha: float, minute: float) -> QueryResult:
+        """Answer an RSP query as of the given time of day."""
+        self.roll_to(minute)
+        return self.index.query(s, t, alpha)

@@ -1,0 +1,36 @@
+"""Stochastic road-network substrate.
+
+Provides the graph model of Definition 1 (undirected graph with normal edge
+travel times), the K-hop covariance store for the correlated case, synthetic
+network generators (including the paper's Figure 1 example and stand-ins for
+the DIMACS NY/BAY/COL datasets), a DIMACS ``.gr``/``.co`` reader/writer, and
+a simulated NYC-DOT sensor feed with MLE distribution fitting.
+"""
+
+from repro.network.covariance import CovarianceStore, edge_key
+from repro.network.datasets import DATASETS, DatasetSpec, make_dataset
+from repro.network.generators import (
+    assign_random_cv,
+    generate_correlations,
+    grid_city,
+    paper_figure1,
+    random_connected_graph,
+)
+from repro.network.graph import StochasticGraph
+from repro.network.simplify import SimplifiedNetwork, contract_degree_two
+
+__all__ = [
+    "StochasticGraph",
+    "SimplifiedNetwork",
+    "contract_degree_two",
+    "CovarianceStore",
+    "edge_key",
+    "paper_figure1",
+    "grid_city",
+    "random_connected_graph",
+    "assign_random_cv",
+    "generate_correlations",
+    "make_dataset",
+    "DatasetSpec",
+    "DATASETS",
+]

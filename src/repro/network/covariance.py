@@ -1,0 +1,188 @@
+"""Sparse covariance store for correlated edge travel times.
+
+The paper assumes correlations only between edges at most ``K`` hops apart
+(Section III-B3, following [7], [8], [33]).  This module stores the sparse
+covariance structure, answers cross-covariance queries between edge windows
+(the *head*/*tail* machinery of Figure 6), computes the per-vertex
+correlation flags used to skip neighbourhood checks, and offers a
+diagonal-dominance rescaling that guarantees positive semi-definiteness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["CovarianceStore", "edge_key"]
+
+EdgeKey = tuple[int, int]
+
+
+def edge_key(u: int, v: int) -> EdgeKey:
+    """Canonical undirected edge key ``(min(u, v), max(u, v))``."""
+    return (u, v) if u <= v else (v, u)
+
+
+class CovarianceStore:
+    """Sparse symmetric covariance matrix over edges.
+
+    Off-diagonal entries are the paper's ``sigma_{e_i, e_j}``; the diagonal
+    (edge variances) lives on the graph itself.  Entries default to zero.
+    """
+
+    def __init__(self) -> None:
+        # _cov[e] maps correlated edge f -> sigma_{e,f}; symmetric by
+        # construction so lookups never need both orders.
+        self._cov: dict[EdgeKey, dict[EdgeKey, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def set(self, e: EdgeKey, f: EdgeKey, value: float) -> None:
+        """Set ``cov(W_e, W_f) = value`` (symmetric; zero removes the entry)."""
+        e = edge_key(*e)
+        f = edge_key(*f)
+        if e == f:
+            raise ValueError("edge variances live on the graph, not the store")
+        if value == 0.0:
+            self._cov.get(e, {}).pop(f, None)
+            self._cov.get(f, {}).pop(e, None)
+            return
+        self._cov.setdefault(e, {})[f] = value
+        self._cov.setdefault(f, {})[e] = value
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, e: EdgeKey, f: EdgeKey) -> float:
+        """``cov(W_e, W_f)`` (zero when uncorrelated)."""
+        row = self._cov.get(edge_key(*e))
+        if row is None:
+            return 0.0
+        return row.get(edge_key(*f), 0.0)
+
+    def correlated_partners(self, e: EdgeKey) -> dict[EdgeKey, float]:
+        """All edges with non-zero covariance with ``e``."""
+        return self._cov.get(edge_key(*e), {})
+
+    def has_correlation(self, e: EdgeKey) -> bool:
+        return bool(self._cov.get(edge_key(*e)))
+
+    @property
+    def num_entries(self) -> int:
+        """Number of non-zero off-diagonal pairs (each counted once)."""
+        return sum(len(row) for row in self._cov.values()) // 2
+
+    def is_empty(self) -> bool:
+        return not self._cov
+
+    def cross_covariance(
+        self, edges_a: Sequence[EdgeKey], edges_b: Sequence[EdgeKey]
+    ) -> float:
+        """``sum_{e in A, f in B} cov(W_e, W_f)``.
+
+        This is the covariance between two edge-disjoint path segments; it is
+        the quantity needed when concatenating a path's tail window with
+        another path's head window (paper Figure 6).
+        """
+        total = 0.0
+        for e in edges_a:
+            row = self._cov.get(e)
+            if not row:
+                continue
+            for f in edges_b:
+                total += row.get(f, 0.0)
+        return total
+
+    def path_variance(self, graph: "StochasticGraph", path: Sequence[int]) -> float:
+        """Exact variance of a path's travel time including all covariances.
+
+        ``var(W_p) = sum_i sigma_{e_i}^2 + 2 * sum_{i<j} sigma_{e_i, e_j}``.
+        Used as ground truth in tests and by the brute-force baseline.
+        """
+        edges = [edge_key(path[i], path[i + 1]) for i in range(len(path) - 1)]
+        var = sum(graph.edge(u, v).variance for (u, v) in edges)
+        for i in range(len(edges)):
+            row = self._cov.get(edges[i])
+            if not row:
+                continue
+            for j in range(i + 1, len(edges)):
+                var += 2.0 * row.get(edges[j], 0.0)
+        return var
+
+    # ------------------------------------------------------------------
+    # Vertex flags (Section IV, "we maintain a flag for each vertex v")
+    # ------------------------------------------------------------------
+    def compute_vertex_flags(
+        self, graph: "StochasticGraph", hops: int
+    ) -> dict[int, bool]:
+        """Flag each vertex whose ``hops``-hop neighbourhood contains a
+        correlated edge.
+
+        When both endpoints of a label are unflagged, the correlated refine
+        can fall back to the cheaper independent-case machinery.
+        """
+        flagged_roots = set()
+        for e in self._cov:
+            flagged_roots.update(e)
+        flags = {v: False for v in graph.vertices()}
+        # BFS outward from every endpoint of a correlated edge: any vertex
+        # within `hops` of such an endpoint can see a correlation.
+        frontier = {v for v in flagged_roots if graph.has_vertex(v)}
+        for v in frontier:
+            flags[v] = True
+        for _ in range(hops):
+            nxt = set()
+            for v in frontier:
+                for w in graph.neighbors(v):
+                    if not flags[w]:
+                        flags[w] = True
+                        nxt.add(w)
+            frontier = nxt
+        return flags
+
+    # ------------------------------------------------------------------
+    # Positive semi-definiteness
+    # ------------------------------------------------------------------
+    def scale_to_diagonal_dominance(
+        self, graph: "StochasticGraph", slack: float = 0.95
+    ) -> float:
+        """Rescale off-diagonal entries so the covariance matrix is PSD.
+
+        Enforces ``sum_f |cov(e, f)| <= slack * var(e)`` for every edge by a
+        single global scaling factor, which keeps the matrix strictly
+        diagonally dominant and hence positive definite.  Returns the factor
+        applied (1.0 when the matrix was already dominant).
+        """
+        worst = 0.0
+        for e, row in self._cov.items():
+            u, v = e
+            var = graph.edge(u, v).variance
+            if var <= 0.0:
+                raise ValueError(
+                    f"edge {e} has zero variance but non-zero covariances"
+                )
+            ratio = sum(abs(c) for c in row.values()) / var
+            worst = max(worst, ratio)
+        if worst <= slack:
+            return 1.0
+        factor = slack / worst
+        for row in self._cov.values():
+            for f in row:
+                row[f] *= factor
+        return factor
+
+    def copy(self) -> "CovarianceStore":
+        clone = CovarianceStore()
+        clone._cov = {e: dict(row) for e, row in self._cov.items()}
+        return clone
+
+    def items(self) -> Iterable[tuple[EdgeKey, EdgeKey, float]]:
+        """Yield each correlated pair once as ``(e, f, cov)`` with ``e < f``."""
+        for e, row in self._cov.items():
+            for f, value in row.items():
+                if e < f:
+                    yield e, f, value

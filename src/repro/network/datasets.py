@@ -1,0 +1,88 @@
+"""Synthetic stand-ins for the DIMACS benchmark networks of Table I.
+
+The paper evaluates on three DIMACS road networks (NY, BAY, COL).  Those
+files are not available offline, so :func:`make_dataset` synthesises
+city-like networks with the same qualitative character: NY is a dense grid
+with diagonal avenues, BAY and COL are progressively larger and sparser with
+obstacle carving (water / mountains).  Real DIMACS files can still be loaded
+via :mod:`repro.network.dimacs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.covariance import CovarianceStore
+from repro.network.generators import assign_random_cv, generate_correlations, grid_city
+from repro.network.graph import StochasticGraph
+
+__all__ = ["DatasetSpec", "DATASETS", "make_dataset"]
+
+#: Default coefficient-of-variation bound (paper default CV = 0.5).
+DEFAULT_CV = 0.5
+#: Default correlation locality (paper default K = 4).
+DEFAULT_K = 4
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape parameters for one synthetic city network."""
+
+    name: str
+    region: str
+    rows: int
+    cols: int
+    obstacle_fraction: float
+    diagonal_fraction: float
+    mean_range: tuple[float, float]
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    # NY: smallest + densest (Manhattan-like grid with diagonal avenues).
+    "NY": DatasetSpec("NY", "New York City", 26, 26, 0.0, 0.10, (40.0, 160.0)),
+    # BAY: larger, water carves the grid apart.
+    "BAY": DatasetSpec("BAY", "San Francisco Bay Area", 34, 34, 0.18, 0.05, (60.0, 240.0)),
+    # COL: largest and sparsest, long rural links.
+    "COL": DatasetSpec("COL", "Colorado", 40, 40, 0.22, 0.0, (90.0, 420.0)),
+}
+
+
+def make_dataset(
+    name: str,
+    *,
+    scale: float = 1.0,
+    cv: float = DEFAULT_CV,
+    hops: int = DEFAULT_K,
+    correlated: bool = False,
+    correlation_density: float = 0.05,
+    seed: int = 7,
+) -> tuple[StochasticGraph, CovarianceStore]:
+    """Build the named dataset with stochastic weights.
+
+    ``scale`` multiplies both grid dimensions (0.5 quarters the vertex
+    count); ``cv`` and ``hops`` follow Section VI-A's CV and K sweeps.
+    Returns ``(graph, covariance_store)``; the store is empty when
+    ``correlated`` is false.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}") from None
+    rows = max(4, round(spec.rows * scale))
+    cols = max(4, round(spec.cols * scale))
+    graph = grid_city(
+        rows,
+        cols,
+        seed=seed,
+        obstacle_fraction=spec.obstacle_fraction,
+        diagonal_fraction=spec.diagonal_fraction,
+        mean_range=spec.mean_range,
+    )
+    assign_random_cv(graph, cv, seed=seed + 1)
+    if correlated:
+        cov = generate_correlations(
+            graph, hops, seed=seed + 2, density=correlation_density
+        )
+    else:
+        cov = CovarianceStore()
+    return graph, cov

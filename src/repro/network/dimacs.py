@@ -1,0 +1,105 @@
+"""Reader/writer for the 9th DIMACS Implementation Challenge formats.
+
+The paper sources NY/BAY/COL from DIMACS [36].  ``.gr`` files carry directed
+arcs ``a u v w``; road networks list both directions, which we fold into one
+undirected edge whose mean travel time is the arc weight.  ``.co`` files
+carry vertex coordinates.  DIMACS provides deterministic weights only, so
+parsed graphs have zero variance until :func:`assign_random_cv` (or fitted
+real data) installs distributions — exactly the paper's procedure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.network.graph import StochasticGraph
+
+__all__ = ["read_gr", "write_gr", "read_co", "apply_co"]
+
+
+def read_gr(source: str | Path | TextIO) -> StochasticGraph:
+    """Parse a DIMACS ``.gr`` file into a :class:`StochasticGraph`.
+
+    DIMACS vertices are 1-based; we keep their ids as-is.  Antiparallel arcs
+    with differing weights are folded by keeping the smaller weight.
+    """
+    close = False
+    if isinstance(source, (str, Path)):
+        handle: TextIO = open(source, "r", encoding="ascii")
+        close = True
+    else:
+        handle = source
+    graph = StochasticGraph()
+    try:
+        for line in handle:
+            tag = line[:1]
+            if tag == "a":
+                _, u_s, v_s, w_s = line.split()
+                u, v, w = int(u_s), int(v_s), float(w_s)
+                if graph.has_edge(u, v):
+                    if w < graph.edge(u, v).mu:
+                        graph.set_edge_weight(u, v, w, 0.0)
+                else:
+                    graph.add_edge(u, v, w, 0.0)
+            elif tag == "p":
+                # "p sp <n> <m>" — pre-register the vertex count.
+                parts = line.split()
+                for vertex in range(1, int(parts[2]) + 1):
+                    graph.add_vertex(vertex)
+    finally:
+        if close:
+            handle.close()
+    return graph
+
+
+def write_gr(graph: StochasticGraph, destination: str | Path | TextIO, comment: str = "") -> None:
+    """Write a graph as a DIMACS ``.gr`` file (both arc directions, mean weights)."""
+    close = False
+    if isinstance(destination, (str, Path)):
+        handle: TextIO = open(destination, "w", encoding="ascii")
+        close = True
+    else:
+        handle = destination
+    try:
+        if comment:
+            handle.write(f"c {comment}\n")
+        # DIMACS vertex ids are 1-based; our graphs may be 0-based.  The
+        # p-line pre-registers ids 1..n, so emit the max id to avoid
+        # inventing a phantom isolated vertex on read-back.
+        max_id = max(graph.vertices(), default=0)
+        handle.write(f"p sp {max_id} {graph.num_edges * 2}\n")
+        for u, v, weight in graph.edges():
+            w = int(round(weight.mu))
+            handle.write(f"a {u} {v} {w}\n")
+            handle.write(f"a {v} {u} {w}\n")
+    finally:
+        if close:
+            handle.close()
+
+
+def read_co(source: str | Path | TextIO) -> dict[int, tuple[float, float]]:
+    """Parse a DIMACS ``.co`` coordinates file into ``{vertex: (x, y)}``."""
+    close = False
+    if isinstance(source, (str, Path)):
+        handle: TextIO = open(source, "r", encoding="ascii")
+        close = True
+    else:
+        handle = source
+    coords: dict[int, tuple[float, float]] = {}
+    try:
+        for line in handle:
+            if line[:1] == "v":
+                _, v_s, x_s, y_s = line.split()
+                coords[int(v_s)] = (float(x_s), float(y_s))
+    finally:
+        if close:
+            handle.close()
+    return coords
+
+
+def apply_co(graph: StochasticGraph, coords: dict[int, tuple[float, float]]) -> None:
+    """Attach parsed coordinates to the graph's vertices (missing ids skipped)."""
+    for v, (x, y) in coords.items():
+        if graph.has_vertex(v):
+            graph.set_coordinates(v, x, y)

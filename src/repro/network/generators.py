@@ -1,0 +1,270 @@
+"""Synthetic stochastic road-network generators.
+
+Includes the paper's running example (Figure 1, with edge parameters
+reconstructed from Examples 1-16), irregular grid "city" networks that stand
+in for the DIMACS datasets, random connected graphs for property tests, and
+the CV / correlation sampling procedures of Section VI-A.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.network.covariance import CovarianceStore, edge_key
+from repro.network.graph import StochasticGraph
+
+__all__ = [
+    "paper_figure1",
+    "PAPER_FIGURE1_ORDER",
+    "grid_city",
+    "random_connected_graph",
+    "assign_random_cv",
+    "generate_correlations",
+    "edges_within_hops",
+]
+
+#: The contraction order used by the paper's worked examples (Example 15
+#: contracts v1 first and v9 last).  Vertices are numbered 1..9 as in Fig. 1.
+PAPER_FIGURE1_ORDER: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+
+# (u, v) -> (mu, variance); reconstructed so every number quoted in the
+# paper's examples is reproduced exactly (see tests/test_paper_examples.py).
+_FIGURE1_EDGES: dict[tuple[int, int], tuple[float, float]] = {
+    (1, 2): (2.0, 5.0),
+    (1, 6): (2.0, 5.0),
+    (2, 9): (2.0, 6.0),
+    (3, 6): (1.0, 0.5),
+    (3, 8): (2.0, 0.5),
+    (4, 6): (3.0, 5.0),
+    (4, 7): (3.0, 5.0),
+    (5, 7): (3.0, 3.0),
+    (5, 9): (2.0, 4.0),
+    (6, 8): (2.0, 4.0),
+    (7, 8): (11.0, 8.0),
+    (8, 9): (5.0, 5.0),
+}
+
+
+def paper_figure1(correlated: bool = False) -> tuple[StochasticGraph, CovarianceStore]:
+    """The 9-vertex example network of the paper's Figure 1.
+
+    With ``correlated=True`` the two covariances of Example 1 are installed:
+    ``cov((v6,v4),(v4,v7)) = -2`` and ``cov((v4,v7),(v7,v5)) = 1``.
+    """
+    graph = StochasticGraph()
+    for (u, v), (mu, var) in _FIGURE1_EDGES.items():
+        graph.add_edge(u, v, mu, var)
+    cov = CovarianceStore()
+    if correlated:
+        cov.set(edge_key(6, 4), edge_key(4, 7), -2.0)
+        cov.set(edge_key(4, 7), edge_key(7, 5), 1.0)
+    return graph, cov
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    *,
+    seed: int = 0,
+    obstacle_fraction: float = 0.0,
+    diagonal_fraction: float = 0.0,
+    mean_range: tuple[float, float] = (60.0, 300.0),
+) -> StochasticGraph:
+    """An irregular grid network emulating a city road layout.
+
+    ``obstacle_fraction`` carves out rectangular blobs (bays / mountains, as
+    in BAY and COL), ``diagonal_fraction`` adds diagonal shortcut streets
+    (dense Manhattan-like layouts).  Edge means are travel times drawn from
+    ``mean_range`` (seconds); variances start at zero — call
+    :func:`assign_random_cv` to install the stochastic weights.  The returned
+    graph is the largest connected component, relabelled to ``0..n-1`` with
+    planar coordinates preserved.
+    """
+    rng = random.Random(seed)
+    blocked: set[tuple[int, int]] = set()
+    if obstacle_fraction > 0.0:
+        target = int(rows * cols * obstacle_fraction)
+        while len(blocked) < target:
+            h = rng.randint(2, max(2, rows // 5))
+            w = rng.randint(2, max(2, cols // 5))
+            r0 = rng.randint(0, rows - 1)
+            c0 = rng.randint(0, cols - 1)
+            for r in range(r0, min(rows, r0 + h)):
+                for c in range(c0, min(cols, c0 + w)):
+                    blocked.add((r, c))
+
+    def cell_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    graph = StochasticGraph()
+    lo, hi = mean_range
+    for r in range(rows):
+        for c in range(cols):
+            if (r, c) in blocked:
+                continue
+            graph.add_vertex(cell_id(r, c))
+            graph.set_coordinates(cell_id(r, c), float(c), float(r))
+            for dr, dc in ((0, -1), (-1, 0)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < cols and (nr, nc) not in blocked:
+                    graph.add_edge(cell_id(r, c), cell_id(nr, nc), rng.uniform(lo, hi), 0.0)
+            if diagonal_fraction > 0.0 and rng.random() < diagonal_fraction:
+                nr, nc = r - 1, c - 1
+                if 0 <= nr and 0 <= nc and (nr, nc) not in blocked:
+                    graph.add_edge(
+                        cell_id(r, c),
+                        cell_id(nr, nc),
+                        rng.uniform(lo, hi) * 1.4,
+                        0.0,
+                    )
+    return _largest_component(graph)
+
+
+def random_connected_graph(
+    num_vertices: int,
+    extra_edges: int,
+    *,
+    seed: int = 0,
+    mean_range: tuple[float, float] = (1.0, 10.0),
+) -> StochasticGraph:
+    """Random connected graph: a random spanning tree plus ``extra_edges``.
+
+    The workhorse of the property-based tests (small graphs, exhaustively
+    checkable against the brute-force baseline).
+    """
+    rng = random.Random(seed)
+    graph = StochasticGraph(num_vertices)
+    lo, hi = mean_range
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for i in range(1, num_vertices):
+        u = order[i]
+        v = order[rng.randrange(i)]
+        graph.add_edge(u, v, rng.uniform(lo, hi), 0.0)
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 20 * extra_edges + 20:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, rng.uniform(lo, hi), 0.0)
+            added += 1
+    return graph
+
+
+def assign_random_cv(
+    graph: StochasticGraph, cv_max: float, *, seed: int = 0
+) -> None:
+    """Install variances via the paper's CV procedure (Section VI-A).
+
+    Each edge's coefficient of variation ``CV_e = sigma_e / mu_e`` is sampled
+    uniformly from ``(0, cv_max)`` and the variance set to
+    ``(mu_e * CV_e)^2``, in place.
+    """
+    if cv_max <= 0.0:
+        raise ValueError(f"cv_max must be positive, got {cv_max}")
+    rng = random.Random(seed)
+    for u, v, weight in list(graph.edges()):
+        cv = rng.uniform(0.0, cv_max)
+        graph.set_edge_weight(u, v, weight.mu, (weight.mu * cv) ** 2)
+
+
+def edges_within_hops(
+    graph: StochasticGraph, e: tuple[int, int], hops: int
+) -> set[tuple[int, int]]:
+    """All edges within ``hops`` hops of edge ``e`` (excluding ``e``).
+
+    Two adjacent edges (sharing a vertex) are one hop apart; the paper's
+    ``K``-hop correlation locality corresponds to hop distance at most ``K``.
+    """
+    seen_vertices = set(e)
+    frontier = list(e)
+    found: set[tuple[int, int]] = set()
+    for _ in range(hops):
+        nxt = []
+        for v in frontier:
+            for w in graph.neighbors(v):
+                f = edge_key(v, w)
+                if f != e:
+                    found.add(f)
+                if w not in seen_vertices:
+                    seen_vertices.add(w)
+                    nxt.append(w)
+        frontier = nxt
+    return found
+
+
+def generate_correlations(
+    graph: StochasticGraph,
+    hops: int,
+    *,
+    seed: int = 0,
+    rho_range: tuple[float, float] = (-0.2, 1.0),
+    density: float = 0.15,
+    ensure_psd: bool = True,
+) -> CovarianceStore:
+    """Sample covariances for edge pairs within ``hops`` hops (Section VI-A).
+
+    Each selected pair gets ``cov = rho * sigma_e * sigma_f`` with ``rho``
+    uniform in ``rho_range`` (the paper uses [-0.2, 1]).  ``density`` is the
+    probability that a qualifying pair is correlated at all (the paper
+    correlates all of them; subsampling keeps pure-Python index builds
+    tractable and is reported in DESIGN.md).  With ``ensure_psd`` the store
+    is rescaled to diagonal dominance so every path variance is guaranteed
+    non-negative.
+    """
+    rng = random.Random(seed)
+    lo, hi = rho_range
+    cov = CovarianceStore()
+    for e in graph.edge_keys():
+        sigma_e = graph.edge(*e).sigma
+        if sigma_e == 0.0:
+            continue
+        for f in edges_within_hops(graph, e, hops):
+            if f <= e:  # visit each unordered pair once
+                continue
+            if rng.random() >= density:
+                continue
+            sigma_f = graph.edge(*f).sigma
+            if sigma_f == 0.0:
+                continue
+            cov.set(e, f, rng.uniform(lo, hi) * sigma_e * sigma_f)
+    if ensure_psd:
+        cov.scale_to_diagonal_dominance(graph)
+    return cov
+
+
+def _largest_component(graph: StochasticGraph) -> StochasticGraph:
+    """Relabel the largest connected component to vertices ``0..n-1``."""
+    remaining = set(graph.vertices())
+    best: list[int] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = [start]
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in graph.neighbors(u):
+                    if w not in seen:
+                        seen.add(w)
+                        component.append(w)
+                        nxt.append(w)
+            frontier = nxt
+        remaining -= seen
+        if len(component) > len(best):
+            best = component
+    relabel = {old: new for new, old in enumerate(sorted(best))}
+    result = StochasticGraph(len(best))
+    for old, new in relabel.items():
+        coords = graph.coordinates(old)
+        if coords is not None:
+            result.set_coordinates(new, *coords)
+    kept = set(best)
+    for u, v, weight in graph.edges():
+        if u in kept and v in kept:
+            result.add_edge(relabel[u], relabel[v], weight.mu, weight.variance)
+    return result

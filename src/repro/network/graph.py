@@ -1,0 +1,168 @@
+"""The stochastic road network of Definition 1.
+
+A :class:`StochasticGraph` is a connected undirected graph whose edges carry
+normal travel-time variables.  Vertices are integers; an edge between ``u``
+and ``v`` is canonically keyed by ``(min(u, v), max(u, v))`` so the two
+directions share one weight, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.stats.normal import Normal
+
+__all__ = ["StochasticGraph"]
+
+
+def _key(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u <= v else (v, u)
+
+
+class StochasticGraph:
+    """Undirected graph with normal edge travel times.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertices are ``0 .. num_vertices - 1``.  The graph can grow via
+        :meth:`add_vertex`.
+    """
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        self._adj: dict[int, dict[int, Normal]] = {v: {} for v in range(num_vertices)}
+        self._coords: dict[int, tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        self._adj.setdefault(v, {})
+
+    def add_edge(self, u: int, v: int, mu: float, variance: float) -> None:
+        """Add (or overwrite) the undirected edge ``(u, v) ~ N(mu, variance)``."""
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        if mu <= 0.0:
+            raise ValueError(f"edge mean travel time must be positive, got {mu}")
+        weight = Normal(mu, variance)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def set_edge_weight(self, u: int, v: int, mu: float, variance: float) -> None:
+        """Replace the travel-time distribution of an existing edge."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u}, {v}) does not exist")
+        self.add_edge(u, v, mu, variance)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``(u, v)``."""
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def set_coordinates(self, v: int, x: float, y: float) -> None:
+        """Attach planar coordinates to a vertex (used by the DOT simulator)."""
+        self.add_vertex(v)
+        self._coords[v] = (x, y)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[int, int, Normal]]:
+        """Yield each undirected edge once as ``(u, v, weight)`` with u < v."""
+        for u, nbrs in self._adj.items():
+            for v, weight in nbrs.items():
+                if u < v:
+                    yield u, v, weight
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def edge(self, u: int, v: int) -> Normal:
+        """Travel-time distribution of edge ``(u, v)``."""
+        return self._adj[u][v]
+
+    def neighbors(self, v: int) -> Iterator[int]:
+        return iter(self._adj[v])
+
+    def neighbor_items(self, v: int) -> Iterable[tuple[int, Normal]]:
+        """``(neighbor, weight)`` pairs — the hot loop of every search."""
+        return self._adj[v].items()
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def coordinates(self, v: int) -> tuple[float, float] | None:
+        return self._coords.get(v)
+
+    def edge_keys(self) -> Iterator[tuple[int, int]]:
+        """Canonical ``(u, v)`` keys with ``u < v`` for every edge."""
+        for u, v, _ in self.edges():
+            yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def copy(self) -> "StochasticGraph":
+        """Deep copy of the topology, weights, and coordinates."""
+        clone = StochasticGraph()
+        for v in self._adj:
+            clone.add_vertex(v)
+        for u, v, weight in self.edges():
+            clone.add_edge(u, v, weight.mu, weight.variance)
+        clone._coords = dict(self._coords)
+        return clone
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check (Definition 1 requires a connected graph)."""
+        if not self._adj:
+            return True
+        start = next(iter(self._adj))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in self._adj[u]:
+                    if w not in seen:
+                        seen.add(w)
+                        nxt.append(w)
+            frontier = nxt
+        return len(seen) == len(self._adj)
+
+    def path_mean_variance(self, path: Iterable[int]) -> tuple[float, float]:
+        """Sum of means and variances along a vertex sequence.
+
+        Covariances are *not* included — use
+        :meth:`CovarianceStore.path_variance` for the correlated case.
+        """
+        mu = 0.0
+        var = 0.0
+        prev: int | None = None
+        for v in path:
+            if prev is not None:
+                weight = self._adj[prev][v]
+                mu += weight.mu
+                var += weight.variance
+            prev = v
+        return mu, var
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StochasticGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,150 @@
+"""Degree-2 chain contraction for stochastic road networks.
+
+Real road graphs are full of degree-2 vertices (curve sampling points); the
+standard preprocessing step contracts maximal chains into single composite
+edges before indexing.  With stochastic weights a chain's travel time is
+the sum of its segments — still normal, with mean/variance summed plus any
+covariances *between segments of the same chain*.  The returned
+:class:`SimplifiedNetwork` maps every composite edge back to its original
+vertex run so query answers can be expanded to full resolution.
+
+Covariances between a chain segment and an edge *outside* the chain cannot
+be represented on the contracted graph and are rejected by default
+(``strict=True``) — contract first, correlate after, or keep such vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.network.covariance import CovarianceStore, edge_key
+from repro.network.graph import StochasticGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["SimplifiedNetwork", "contract_degree_two"]
+
+EdgeKey = tuple[int, int]
+
+
+@dataclass
+class SimplifiedNetwork:
+    """A contracted graph plus the expansion map back to the original."""
+
+    graph: StochasticGraph
+    #: composite edge (u, v) with u < v -> full original vertex run u..v.
+    expansions: dict[EdgeKey, tuple[int, ...]] = field(default_factory=dict)
+
+    def expand_path(self, path: Iterable[int]) -> list[int]:
+        """Replace composite edges in a contracted-graph path by their runs."""
+        path = list(path)
+        if len(path) < 2:
+            return path
+        out: list[int] = [path[0]]
+        for u, v in zip(path, path[1:]):
+            run = self.expansions.get(edge_key(u, v))
+            if run is None:
+                out.append(v)
+                continue
+            segment = list(run)
+            if segment[0] != u:
+                segment.reverse()
+            out.extend(segment[1:])
+        return out
+
+    @property
+    def num_contracted(self) -> int:
+        """How many original vertices were removed."""
+        return sum(len(run) - 2 for run in self.expansions.values())
+
+
+def _chain_from(
+    graph: StochasticGraph, start: int, first: int, keep: set[int]
+) -> list[int]:
+    """Follow degree-2 vertices from ``start`` through ``first`` until a
+    kept vertex is reached."""
+    run = [start, first]
+    while run[-1] not in keep:
+        prev, here = run[-2], run[-1]
+        nxt = [w for w in graph.neighbors(here) if w != prev]
+        run.append(nxt[0])
+    return run
+
+
+def contract_degree_two(
+    graph: StochasticGraph,
+    cov: CovarianceStore | None = None,
+    *,
+    strict: bool = True,
+) -> SimplifiedNetwork:
+    """Contract all maximal degree-2 chains; returns the simplified network.
+
+    Junction vertices (degree != 2) are always kept; chains that form pure
+    cycles keep one anchor vertex.  If contracting a chain would create an
+    edge parallel to an existing one (or a shorter chain between the same
+    junctions), the better (smaller-mean) composite wins and the other is
+    kept implicit — matching how routing treats parallel roads.
+    """
+    cov = cov or CovarianceStore()
+    keep = {v for v in graph.vertices() if graph.degree(v) != 2}
+    if not keep:  # pure cycle: anchor an arbitrary vertex
+        keep = {next(iter(graph.vertices()))} if graph.num_vertices else set()
+
+    simplified = StochasticGraph()
+    for v in keep:
+        simplified.add_vertex(v)
+        coords = graph.coordinates(v)
+        if coords is not None:
+            simplified.set_coordinates(v, *coords)
+
+    expansions: dict[EdgeKey, tuple[int, ...]] = {}
+    visited_edges: set[EdgeKey] = set()
+
+    def add_composite(run: list[int]) -> None:
+        mu = 0.0
+        var = 0.0
+        edges = [edge_key(run[i], run[i + 1]) for i in range(len(run) - 1)]
+        for i, e in enumerate(edges):
+            weight = graph.edge(*e)
+            mu += weight.mu
+            var += weight.variance
+            partners = cov.correlated_partners(e)
+            for f, value in partners.items():
+                if f in edges:
+                    if edges.index(f) > i:
+                        var += 2.0 * value
+                elif strict:
+                    raise ValueError(
+                        f"edge {e} in a contracted chain is correlated with "
+                        f"{f} outside it; contract before correlating or "
+                        f"pass strict=False to drop such covariances"
+                    )
+        u, v = run[0], run[-1]
+        if u == v:
+            return  # a pure loop at a junction: contributes no s-t paths
+        key = edge_key(u, v)
+        if simplified.has_edge(u, v):
+            if mu >= simplified.edge(u, v).mu:
+                return  # keep the better parallel composite
+        simplified.add_edge(u, v, mu, var)
+        expansions[key] = tuple(run) if key == (run[0], run[-1]) else tuple(reversed(run))
+
+    for start in sorted(keep):
+        for first in graph.neighbors(start):
+            e0 = edge_key(start, first)
+            if e0 in visited_edges:
+                continue
+            if first in keep:
+                visited_edges.add(e0)
+                add_composite([start, first])
+                continue
+            run = _chain_from(graph, start, first, keep)
+            for i in range(len(run) - 1):
+                visited_edges.add(edge_key(run[i], run[i + 1]))
+            add_composite(run)
+
+    # Drop trivial expansions (plain edges map to themselves).
+    expansions = {k: run for k, run in expansions.items() if len(run) > 2}
+    return SimplifiedNetwork(simplified, expansions)

@@ -1,0 +1,27 @@
+"""Normal-distribution toolkit used throughout the NRP reproduction.
+
+Everything in the paper reduces path evaluation to the Gaussian quantile
+``F_p^{-1}(alpha) = mu_p + Z_alpha * sigma_p``; this subpackage provides the
+standard-normal CDF ``phi_cdf``, its inverse ``phi_inv`` (the ``Z_alpha``
+lookup), and small helpers shared by the index and the baselines.
+"""
+
+from repro.stats.normal import (
+    Normal,
+    phi_cdf,
+    phi_inv,
+    phi_pdf,
+    reliability_value,
+)
+from repro.stats.zscores import Z_TABLE_ALPHAS, z_table, z_value
+
+__all__ = [
+    "Normal",
+    "phi_cdf",
+    "phi_inv",
+    "phi_pdf",
+    "reliability_value",
+    "z_value",
+    "z_table",
+    "Z_TABLE_ALPHAS",
+]

@@ -1,0 +1,142 @@
+"""Standard-normal CDF, PDF, and quantile function.
+
+The quantile ``phi_inv`` implements Peter Acklam's rational approximation
+with one Halley refinement step, which is accurate to ~1e-15 over the open
+unit interval.  We implement it directly (rather than importing scipy) so the
+core library stays dependency-free; the test suite cross-checks the values
+against ``scipy.special.ndtri``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["phi_cdf", "phi_pdf", "phi_inv", "reliability_value", "Normal"]
+
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+# Coefficients of Acklam's rational approximation for the normal quantile.
+_A = (
+    -3.969683028665376e01,
+    2.209460984245205e02,
+    -2.759285104469687e02,
+    1.383577518672690e02,
+    -3.066479806614716e01,
+    2.506628277459239e00,
+)
+_B = (
+    -5.447609879822406e01,
+    1.615858368580409e02,
+    -1.556989798598866e02,
+    6.680131188771972e01,
+    -1.328068155288572e01,
+)
+_C = (
+    -7.784894002430293e-03,
+    -3.223964580411365e-01,
+    -2.400758277161838e00,
+    -2.549732539343734e00,
+    4.374664141464968e00,
+    2.938163982698783e00,
+)
+_D = (
+    7.784695709041462e-03,
+    3.224671290700398e-01,
+    2.445134137142996e00,
+    3.754408661907416e00,
+)
+_P_LOW = 0.02425
+_P_HIGH = 1.0 - _P_LOW
+
+
+def phi_cdf(x: float) -> float:
+    """Cumulative distribution function of the standard normal N(0, 1)."""
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
+
+
+def phi_pdf(x: float) -> float:
+    """Probability density function of the standard normal N(0, 1)."""
+    return _INV_SQRT_2PI * math.exp(-0.5 * x * x)
+
+
+def _acklam(p: float) -> float:
+    """Acklam's rational approximation to the standard normal quantile."""
+    if p < _P_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        num = ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]
+        den = (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
+        return num / den
+    if p > _P_HIGH:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        num = ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]
+        den = (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
+        return -num / den
+    q = p - 0.5
+    r = q * q
+    num = ((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4]) * r + _A[5]
+    den = ((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4]) * r + 1.0
+    return num * q / den
+
+
+def phi_inv(p: float) -> float:
+    """Quantile (inverse CDF) of the standard normal distribution.
+
+    This is the paper's ``Z_alpha``.  Raises ``ValueError`` outside (0, 1).
+    ``phi_inv(0.5)`` is exactly ``0.0``.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"phi_inv requires p in (0, 1), got {p!r}")
+    x = _acklam(p)
+    # One step of Halley's method sharpens the approximation to ~1e-15.
+    err = phi_cdf(x) - p
+    u = err * math.sqrt(2.0 * math.pi) * math.exp(0.5 * x * x)
+    return x - u / (1.0 + 0.5 * x * u)
+
+
+def reliability_value(mu: float, variance: float, alpha: float) -> float:
+    """The path metric ``F_p^{-1}(alpha) = mu + Z_alpha * sigma``.
+
+    ``variance`` may be zero (degenerate constant travel time).  Negative
+    variances (possible under the paper-faithful non-PSD covariance sampling)
+    are clamped to zero, matching Section 3 of DESIGN.md.
+    """
+    if variance <= 0.0:
+        return mu
+    return mu + phi_inv(alpha) * math.sqrt(variance)
+
+
+@dataclass(frozen=True, slots=True)
+class Normal:
+    """A normal random variable N(mu, sigma^2) used for edge travel times."""
+
+    mu: float
+    variance: float
+
+    def __post_init__(self) -> None:
+        if self.variance < 0.0:
+            raise ValueError(f"variance must be non-negative, got {self.variance}")
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation."""
+        return math.sqrt(self.variance)
+
+    def cdf(self, w: float) -> float:
+        """``Pr(W <= w)`` — the paper's ``F_e(w)``."""
+        if self.variance == 0.0:
+            return 1.0 if w >= self.mu else 0.0
+        return phi_cdf((w - self.mu) / self.sigma)
+
+    def quantile(self, alpha: float) -> float:
+        """``F^{-1}(alpha)``: smallest w with ``Pr(W <= w) >= alpha``."""
+        return reliability_value(self.mu, self.variance, alpha)
+
+    def __add__(self, other: "Normal") -> "Normal":
+        """Sum of independent normals (means and variances add)."""
+        return Normal(self.mu + other.mu, self.variance + other.variance)
+
+    def sample(self, rng) -> float:
+        """Draw one travel-time sample using ``rng`` (``random.Random``)."""
+        return rng.gauss(self.mu, self.sigma)

@@ -1,0 +1,50 @@
+"""Cached ``Z_alpha`` lookups and a classic Z table.
+
+The paper notes that ``Z_alpha`` "can be found by looking up the standard
+normal table (also called the Z table) or using numerical function
+approximation".  We provide both: :func:`z_value` memoises exact quantile
+evaluations (queries reuse a handful of alpha values, so the cache is
+effective), and :func:`z_table` materialises a conventional table for
+documentation, examples, and tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.stats.normal import phi_inv
+
+__all__ = ["z_value", "z_table", "Z_TABLE_ALPHAS"]
+
+#: Confidence levels conventionally listed in Z tables.
+Z_TABLE_ALPHAS: tuple[float, ...] = (
+    0.5,
+    0.6,
+    0.7,
+    0.75,
+    0.8,
+    0.85,
+    0.9,
+    0.95,
+    0.975,
+    0.99,
+    0.995,
+    0.999,
+)
+
+
+@lru_cache(maxsize=4096)
+def z_value(alpha: float) -> float:
+    """Memoised ``Z_alpha = phi_inv(alpha)``.
+
+    ``alpha = 0.5`` returns exactly ``0.0`` (the paper's special case where
+    the RSP degenerates to the deterministic shortest path on means).
+    """
+    if alpha == 0.5:
+        return 0.0
+    return phi_inv(alpha)
+
+
+def z_table(alphas: tuple[float, ...] = Z_TABLE_ALPHAS) -> dict[float, float]:
+    """Return ``{alpha: Z_alpha}`` for the given confidence levels."""
+    return {alpha: z_value(alpha) for alpha in alphas}

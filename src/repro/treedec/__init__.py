@@ -1,0 +1,18 @@
+"""Tree decomposition substrate (Section II-B).
+
+Builds the rooted tree of bags ``X(v)`` by contracting vertices in a
+minimum-degree elimination order (Algorithm 6 of [26]), and supports the
+separator machinery of Lemma 1: O(1) LCA queries, ancestor tests, and
+"child of the LCA on the branch containing X(v)" lookups via binary lifting.
+"""
+
+from repro.treedec.decomposition import TreeDecomposition, build_tree_decomposition
+from repro.treedec.nested_dissection import nested_dissection_order
+from repro.treedec.ordering import min_degree_order
+
+__all__ = [
+    "TreeDecomposition",
+    "build_tree_decomposition",
+    "min_degree_order",
+    "nested_dissection_order",
+]

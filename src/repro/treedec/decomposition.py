@@ -1,0 +1,181 @@
+"""The rooted tree decomposition with LCA and separator support.
+
+Definition 4 and Lemma 1 of the paper.  Bags come from vertex contraction
+(:mod:`repro.treedec.ordering`); the tree parent of ``X(v)`` is ``X(u)``
+where ``u`` is the earliest-contracted vertex in ``X(v) \\ {v}``.  Every
+vertex in ``X(v) \\ {v}`` is then an ancestor of ``v`` — the property that
+makes the hoplink labels of the NRP index well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.treedec.ordering import contract_in_order, min_degree_order
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["TreeDecomposition", "build_tree_decomposition"]
+
+
+class TreeDecomposition:
+    """Rooted tree of bags with O(1)-ish LCA and ancestor queries."""
+
+    def __init__(self, order: Sequence[int], bags: dict[int, tuple[int, ...]]) -> None:
+        self.order: tuple[int, ...] = tuple(order)
+        self.position: dict[int, int] = {v: i for i, v in enumerate(order)}
+        self.bags = bags
+        self.parent: dict[int, int | None] = {}
+        self.children: dict[int, list[int]] = {v: [] for v in order}
+        roots: list[int] = []
+        for v in order:
+            bag = bags[v]
+            if len(bag) > 1:
+                parent = bag[1]  # earliest-contracted neighbour
+                self.parent[v] = parent
+                self.children[parent].append(v)
+            else:
+                self.parent[v] = None
+                roots.append(v)
+        if len(roots) != 1:
+            raise ValueError(
+                f"graph must be connected: tree decomposition has {len(roots)} roots"
+            )
+        self.root: int = roots[0]
+        self._compute_depths()
+        self._build_lifting()
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+    def _compute_depths(self) -> None:
+        self.depth: dict[int, int] = {self.root: 0}
+        self.tin: dict[int, int] = {}
+        self.tout: dict[int, int] = {}
+        clock = 0
+        stack: list[tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            v, done = stack.pop()
+            if done:
+                self.tout[v] = clock
+                clock += 1
+                continue
+            self.tin[v] = clock
+            clock += 1
+            stack.append((v, True))
+            for child in self.children[v]:
+                self.depth[child] = self.depth[v] + 1
+                stack.append((child, False))
+
+    def _build_lifting(self) -> None:
+        n = len(self.order)
+        levels = max(1, n.bit_length())
+        up: list[dict[int, int]] = [dict() for _ in range(levels)]
+        for v in self.order:
+            parent = self.parent[v]
+            up[0][v] = v if parent is None else parent
+        for k in range(1, levels):
+            prev = up[k - 1]
+            up[k] = {v: prev[prev[v]] for v in self.order}
+        self._up = up
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def treewidth(self) -> int:
+        """``max_v |X(v)| - 1`` (Table II reports ``omega = max |X(v)|``)."""
+        return max(len(bag) for bag in self.bags.values()) - 1
+
+    @property
+    def max_bag_size(self) -> int:
+        """The paper's ``omega``."""
+        return max(len(bag) for bag in self.bags.values())
+
+    @property
+    def treeheight(self) -> int:
+        """The paper's ``eta``: number of nodes on the longest root path."""
+        return max(self.depth.values()) + 1
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """True iff ``X(u)`` is an ancestor of ``X(v)`` (or ``u == v``)."""
+        return self.tin[u] <= self.tin[v] and self.tout[v] <= self.tout[u]
+
+    def ancestors(self, v: int) -> Iterator[int]:
+        """Yield proper ancestors of ``v``, nearest first."""
+        current = self.parent[v]
+        while current is not None:
+            yield current
+            current = self.parent[current]
+
+    def kth_ancestor(self, v: int, k: int) -> int:
+        """The ancestor ``k`` levels above ``v`` (binary lifting)."""
+        for bit, table in enumerate(self._up):
+            if k & (1 << bit):
+                v = table[v]
+        return v
+
+    def lca(self, u: int, v: int) -> int:
+        """Least common ancestor of ``X(u)`` and ``X(v)``."""
+        if self.is_ancestor(u, v):
+            return u
+        if self.is_ancestor(v, u):
+            return v
+        du, dv = self.depth[u], self.depth[v]
+        if du > dv:
+            u = self.kth_ancestor(u, du - dv)
+        elif dv > du:
+            v = self.kth_ancestor(v, dv - du)
+        for table in reversed(self._up):
+            if table[u] != table[v]:
+                u, v = table[u], table[v]
+        return self.parent[u]  # type: ignore[return-value]
+
+    def child_towards(self, ancestor: int, v: int) -> int:
+        """The child of ``ancestor`` on the branch containing ``v``.
+
+        Lemma 1's ``c_s`` / ``c_t``.  Requires ``ancestor`` to be a proper
+        ancestor of ``v``.
+        """
+        k = self.depth[v] - self.depth[ancestor] - 1
+        if k < 0:
+            raise ValueError(f"{ancestor} is not a proper ancestor of {v}")
+        return self.kth_ancestor(v, k)
+
+    def separators(self, s: int, t: int) -> tuple[set[int], set[int]]:
+        """The two candidate separators ``H(s)`` and ``H(t)`` of Lemma 1.
+
+        ``H(s) = X(c_s) \\ {c_s}`` and ``H(t) = X(c_t) \\ {c_t}`` where
+        ``c_s``/``c_t`` are the LCA's children towards ``s`` and ``t``.
+        Undefined (raises) when X(s)/X(t) are in ancestor-descendant
+        relation — Algorithm 1 answers those queries from a single label.
+        """
+        ancestor = self.lca(s, t)
+        if ancestor in (s, t):
+            raise ValueError("separator undefined for ancestor-descendant queries")
+        c_s = self.child_towards(ancestor, s)
+        c_t = self.child_towards(ancestor, t)
+        return set(self.bags[c_s][1:]), set(self.bags[c_t][1:])
+
+    def subtree(self, r: int) -> Iterator[int]:
+        """Yield the vertices of the subtree rooted at ``X(r)``, top-down."""
+        stack = [r]
+        while stack:
+            v = stack.pop()
+            yield v
+            stack.extend(self.children[v])
+
+    def top_down(self) -> Iterator[int]:
+        """All vertices in a root-first order (parents before children)."""
+        return self.subtree(self.root)
+
+
+def build_tree_decomposition(
+    graph: "StochasticGraph", order: Sequence[int] | None = None
+) -> TreeDecomposition:
+    """Build a tree decomposition, choosing a min-degree order if none given."""
+    if order is None:
+        order = min_degree_order(graph)
+    bags = contract_in_order(graph, order)
+    return TreeDecomposition(order, bags)

@@ -1,0 +1,145 @@
+"""Nested-dissection elimination ordering.
+
+The contraction order determines the tree decomposition's height and bag
+sizes, and through them NRP's label count and query-time hoplink sets.  The
+paper uses the min-degree heuristic of [26]; nested dissection is the
+classic alternative for road networks: recursively split the graph with a
+small balanced separator, order each part first and the separator last, so
+the tree height tracks the recursion depth (O(sqrt(n)) on planar-ish
+networks) instead of min-degree's more erratic chains.
+
+The separator heuristic here is geometry-free: a BFS level structure from a
+pseudo-peripheral vertex is cut at the median level (a "level separator"),
+which works well on grid-like road networks and needs no coordinates.
+``benchmarks/bench_ablation_ordering.py`` compares the two orderings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.treedec.ordering import min_degree_order
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["nested_dissection_order"]
+
+#: Below this size, min-degree on the fragment beats further dissection.
+_BASE_CASE = 24
+
+
+def _bfs_levels(
+    adj: dict[int, set[int]], start: int, members: set[int]
+) -> list[list[int]]:
+    levels = [[start]]
+    seen = {start}
+    while True:
+        nxt = []
+        for v in levels[-1]:
+            for w in adj[v]:
+                if w in members and w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+        if not nxt:
+            return levels
+        levels.append(nxt)
+
+
+def _pseudo_peripheral(adj: dict[int, set[int]], members: set[int]) -> int:
+    """Double-sweep: a vertex approximately maximising eccentricity."""
+    start = next(iter(members))
+    for _ in range(2):
+        levels = _bfs_levels(adj, start, members)
+        start = levels[-1][0]
+    return start
+
+
+def _level_separator(
+    adj: dict[int, set[int]], members: set[int]
+) -> tuple[set[int], list[set[int]]]:
+    """Split ``members`` into (separator, remaining components)."""
+    root = _pseudo_peripheral(adj, members)
+    levels = _bfs_levels(adj, root, members)
+    reached = {v for level in levels for v in level}
+    stranded = members - reached  # disconnected fragments order first
+    if len(levels) < 3:
+        return set(reached), [stranded] if stranded else []
+    separator = set(levels[len(levels) // 2])
+    rest = reached - separator
+    components: list[set[int]] = [stranded] if stranded else []
+    unvisited = set(rest)
+    while unvisited:
+        seed = next(iter(unvisited))
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for w in adj[v]:
+                    if w in unvisited and w not in component:
+                        component.add(w)
+                        nxt.append(w)
+            frontier = nxt
+        unvisited -= component
+        components.append(component)
+    return separator, components
+
+
+def _order_fragment_min_degree(
+    adj: dict[int, set[int]], members: set[int]
+) -> list[int]:
+    """Min-degree order of an induced fragment (fill-in locally only)."""
+    import heapq
+
+    local: dict[int, set[int]] = {v: adj[v] & members for v in members}
+    heap = [(len(nbrs), v) for v, nbrs in local.items()]
+    heapq.heapify(heap)
+    eliminated: set[int] = set()
+    order: list[int] = []
+    while heap:
+        degree, v = heapq.heappop(heap)
+        if v in eliminated or degree != len(local[v]):
+            continue
+        eliminated.add(v)
+        order.append(v)
+        nbrs = local.pop(v)
+        for u in nbrs:
+            local[u].discard(v)
+        nbr_list = list(nbrs)
+        for i, u in enumerate(nbr_list):
+            for w in nbr_list[i + 1 :]:
+                local[u].add(w)
+                local[w].add(u)
+        for u in nbr_list:
+            heapq.heappush(heap, (len(local[u]), u))
+    return order
+
+
+def nested_dissection_order(graph: "StochasticGraph") -> list[int]:
+    """A full elimination order by recursive level-separator dissection.
+
+    Separator vertices are ordered *after* both parts (eliminated last, so
+    they sit near the tree root), recursively; fragments below the base-case
+    size fall back to local min-degree.
+    """
+    adj: dict[int, set[int]] = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    order: list[int] = []
+
+    def dissect(members: set[int]) -> None:
+        if len(members) <= _BASE_CASE:
+            order.extend(_order_fragment_min_degree(adj, members))
+            return
+        separator, components = _level_separator(adj, members)
+        if not components:  # could not split: fall back
+            order.extend(_order_fragment_min_degree(adj, members))
+            return
+        for component in components:
+            if component:
+                dissect(component)
+        order.extend(_order_fragment_min_degree(adj, separator))
+
+    all_vertices = set(adj)
+    if all_vertices:
+        dissect(all_vertices)
+    return order

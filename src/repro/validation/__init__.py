@@ -1,0 +1,25 @@
+"""Empirical validation of RSP answers.
+
+The index proves ``P(W_p <= w) >= alpha`` analytically under the Gaussian
+model; this subpackage closes the loop by *sampling* travel times (with the
+full covariance structure, via a pure-Python Cholesky factorisation of the
+path's covariance submatrix) and estimating the achieved reliability — the
+kind of check the paper's case study (Figure 12) performs by replaying real
+traffic.
+"""
+
+from repro.validation.montecarlo import (
+    PathReliability,
+    cholesky,
+    estimate_reliability,
+    sample_path_times,
+    validate_query_result,
+)
+
+__all__ = [
+    "PathReliability",
+    "cholesky",
+    "sample_path_times",
+    "estimate_reliability",
+    "validate_query_result",
+]

@@ -1,0 +1,159 @@
+"""Monte-Carlo reliability estimation for paths in stochastic networks.
+
+Given a path, its edges' joint normal distribution is the multivariate
+normal with the graph's marginal variances on the diagonal and the
+covariance store's entries off-diagonal.  ``sample_path_times`` draws total
+travel times from that joint distribution via a Cholesky factorisation
+(pure Python — the matrices involved are |path| x |path|), and
+``estimate_reliability`` turns samples into an empirical
+``P(W_p <= budget)`` with a normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.network.covariance import edge_key
+from repro.stats.normal import phi_inv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.query import QueryResult
+    from repro.network.covariance import CovarianceStore
+    from repro.network.graph import StochasticGraph
+
+__all__ = [
+    "cholesky",
+    "sample_path_times",
+    "estimate_reliability",
+    "validate_query_result",
+    "PathReliability",
+]
+
+
+def cholesky(matrix: list[list[float]]) -> list[list[float]]:
+    """Lower-triangular Cholesky factor of a symmetric PSD matrix.
+
+    Semi-definite inputs are handled by zeroing negligible pivots (the
+    diagonally-dominant construction guarantees PSD, but boundary cases
+    arise with zero-variance edges).  Raises ``ValueError`` when the matrix
+    is indefinite beyond numerical tolerance.
+    """
+    n = len(matrix)
+    lower = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1):
+            acc = matrix[i][j] - sum(lower[i][k] * lower[j][k] for k in range(j))
+            if i == j:
+                if acc < -1e-9 * max(1.0, abs(matrix[i][i])):
+                    raise ValueError(f"matrix not PSD: pivot {i} = {acc}")
+                lower[i][j] = math.sqrt(acc) if acc > 0.0 else 0.0
+            elif lower[j][j] == 0.0:
+                lower[i][j] = 0.0
+            else:
+                lower[i][j] = acc / lower[j][j]
+    return lower
+
+
+def _path_cov_matrix(
+    graph: "StochasticGraph",
+    cov: "CovarianceStore | None",
+    path: Sequence[int],
+) -> tuple[list[float], list[list[float]]]:
+    edges = [edge_key(path[i], path[i + 1]) for i in range(len(path) - 1)]
+    means = [graph.edge(*e).mu for e in edges]
+    n = len(edges)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i, e in enumerate(edges):
+        matrix[i][i] = graph.edge(*e).variance
+        if cov is None:
+            continue
+        row = cov.correlated_partners(e)
+        if not row:
+            continue
+        for j in range(i + 1, n):
+            value = row.get(edges[j], 0.0)
+            matrix[i][j] = value
+            matrix[j][i] = value
+    return means, matrix
+
+
+def sample_path_times(
+    graph: "StochasticGraph",
+    path: Sequence[int],
+    cov: "CovarianceStore | None" = None,
+    *,
+    trials: int = 10_000,
+    seed: int = 0,
+    clamp_nonnegative: bool = True,
+) -> list[float]:
+    """Draw ``trials`` total travel times for ``path`` from the joint model."""
+    if len(path) < 2:
+        return [0.0] * trials
+    means, matrix = _path_cov_matrix(graph, cov, path)
+    lower = cholesky(matrix)
+    n = len(means)
+    rng = random.Random(seed)
+    samples: list[float] = []
+    for _ in range(trials):
+        z = [rng.gauss(0.0, 1.0) for _ in range(n)]
+        total = 0.0
+        for i in range(n):
+            value = means[i] + sum(lower[i][k] * z[k] for k in range(i + 1))
+            if clamp_nonnegative and value < 0.0:
+                value = 0.0
+            total += value
+        samples.append(total)
+    return samples
+
+
+@dataclass(frozen=True)
+class PathReliability:
+    """Empirical reliability of a path against a budget."""
+
+    budget: float
+    trials: int
+    successes: int
+
+    @property
+    def estimate(self) -> float:
+        return self.successes / self.trials
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """Normal-approximation CI on the empirical probability."""
+        p = self.estimate
+        z = phi_inv(0.5 + level / 2.0)
+        half = z * math.sqrt(max(p * (1.0 - p), 1e-12) / self.trials)
+        return (max(0.0, p - half), min(1.0, p + half))
+
+
+def estimate_reliability(
+    graph: "StochasticGraph",
+    path: Sequence[int],
+    budget: float,
+    cov: "CovarianceStore | None" = None,
+    *,
+    trials: int = 10_000,
+    seed: int = 0,
+) -> PathReliability:
+    """Empirical ``P(W_path <= budget)`` by Monte Carlo."""
+    samples = sample_path_times(graph, path, cov, trials=trials, seed=seed)
+    successes = sum(1 for s in samples if s <= budget)
+    return PathReliability(budget, trials, successes)
+
+
+def validate_query_result(
+    graph: "StochasticGraph",
+    result: "QueryResult",
+    cov: "CovarianceStore | None" = None,
+    *,
+    trials: int = 10_000,
+    seed: int = 0,
+) -> PathReliability:
+    """Check a query answer: the returned budget should be met with
+    probability ~alpha (sampling noise and clamping aside)."""
+    return estimate_reliability(
+        graph, result.path, result.value, cov, trials=trials, seed=seed
+    )

@@ -1,0 +1,5 @@
+"""Dependency-free SVG rendering of networks, routes, and case studies."""
+
+from repro.viz.svg import SvgMap, render_network
+
+__all__ = ["SvgMap", "render_network"]

@@ -1,0 +1,154 @@
+"""Standalone SVG rendering for road networks and routes.
+
+The paper's Figure 12 is a map with two highlighted routes; this module
+produces the same kind of artefact from any :class:`StochasticGraph` with
+coordinates — base network, uncertainty shading (edge thickness/colour by
+coefficient of variation), highlighted paths, and labelled markers — with
+no plotting dependencies (plain SVG text).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["SvgMap", "render_network"]
+
+_ROUTE_COLORS = ("#1e66a8", "#b3261e", "#2e7d32", "#7b1fa2", "#e65100")
+
+
+class SvgMap:
+    """Incrementally composed SVG map of one network."""
+
+    def __init__(
+        self,
+        graph: "StochasticGraph",
+        *,
+        width: int = 640,
+        height: int = 640,
+        margin: int = 24,
+        shade_uncertainty: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.width = width
+        self.height = height
+        self.margin = margin
+        coords = [
+            graph.coordinates(v) for v in graph.vertices() if graph.coordinates(v)
+        ]
+        if not coords:
+            raise ValueError("graph has no coordinates; nothing to draw")
+        xs = [c[0] for c in coords]
+        ys = [c[1] for c in coords]
+        self._x0, self._x1 = min(xs), max(xs)
+        self._y0, self._y1 = min(ys), max(ys)
+        self._body: list[str] = []
+        self._draw_base(shade_uncertainty)
+
+    # ------------------------------------------------------------------
+    def _project(self, v: int) -> tuple[float, float]:
+        coords = self.graph.coordinates(v)
+        if coords is None:
+            raise ValueError(f"vertex {v} has no coordinates")
+        x, y = coords
+        span_x = (self._x1 - self._x0) or 1.0
+        span_y = (self._y1 - self._y0) or 1.0
+        px = self.margin + (x - self._x0) / span_x * (self.width - 2 * self.margin)
+        # SVG y grows downward; flip so north is up.
+        py = self.height - self.margin - (y - self._y0) / span_y * (
+            self.height - 2 * self.margin
+        )
+        return px, py
+
+    def _draw_base(self, shade_uncertainty: bool) -> None:
+        for u, v, weight in self.graph.edges():
+            if self.graph.coordinates(u) is None or self.graph.coordinates(v) is None:
+                continue
+            x1, y1 = self._project(u)
+            x2, y2 = self._project(v)
+            if shade_uncertainty and weight.mu > 0:
+                cv = min(1.5, weight.sigma / weight.mu)
+                # calm grey -> alarmed orange as CV grows
+                tone = int(200 - 120 * min(1.0, cv))
+                color = f"rgb(220,{tone},{max(0, tone - 60)})" if cv > 0.4 else "#c9c9c9"
+                stroke = 1.0 + 2.0 * min(1.0, cv)
+            else:
+                color = "#c9c9c9"
+                stroke = 1.0
+            self._body.append(
+                f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+                f'stroke="{color}" stroke-width="{stroke:.1f}" />'
+            )
+
+    # ------------------------------------------------------------------
+    def add_route(
+        self, path: Sequence[int], *, label: str = "", color: str | None = None
+    ) -> None:
+        """Highlight one route (auto-colours cycle if none given)."""
+        if color is None:
+            used = sum(1 for line in self._body if "route-" in line)
+            color = _ROUTE_COLORS[used % len(_ROUTE_COLORS)]
+        points = " ".join(
+            f"{x:.1f},{y:.1f}" for x, y in (self._project(v) for v in path)
+        )
+        self._body.append(
+            f'<polyline class="route-{html.escape(label or color)}" points="{points}" '
+            f'fill="none" stroke="{color}" stroke-width="4" stroke-opacity="0.85" />'
+        )
+        if label and path:
+            x, y = self._project(path[len(path) // 2])
+            self._body.append(
+                f'<text x="{x + 6:.1f}" y="{y - 6:.1f}" font-size="13" '
+                f'fill="{color}" font-family="sans-serif">{html.escape(label)}</text>'
+            )
+
+    def add_marker(self, v: int, label: str = "", *, color: str = "#111111") -> None:
+        """A labelled dot at a vertex (origin/destination, sensors, ...)."""
+        x, y = self._project(v)
+        self._body.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="6" fill="{color}" />'
+        )
+        if label:
+            self._body.append(
+                f'<text x="{x + 9:.1f}" y="{y + 4:.1f}" font-size="13" '
+                f'fill="#111111" font-family="sans-serif">{html.escape(label)}</text>'
+            )
+
+    def render(self, title: str = "") -> str:
+        """The complete SVG document."""
+        head = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="#fbfbf8" />',
+        ]
+        if title:
+            head.append(
+                f'<text x="{self.margin}" y="{self.margin - 6}" font-size="15" '
+                f'font-weight="bold" font-family="sans-serif">{html.escape(title)}</text>'
+            )
+        return "\n".join(head + self._body + ["</svg>"])
+
+    def save(self, path, title: str = "") -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render(title), encoding="utf-8")
+
+
+def render_network(
+    graph: "StochasticGraph",
+    routes: Iterable[tuple[Sequence[int], str]] = (),
+    *,
+    markers: Iterable[tuple[int, str]] = (),
+    title: str = "",
+    **kwargs,
+) -> str:
+    """One-call rendering: base map + labelled routes + markers."""
+    svg = SvgMap(graph, **kwargs)
+    for path, label in routes:
+        svg.add_route(path, label=label)
+    for v, label in markers:
+        svg.add_marker(v, label)
+    return svg.render(title)

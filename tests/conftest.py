@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's running example and small random networks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    assign_random_cv,
+    build_index,
+    generate_correlations,
+    paper_figure1,
+    random_connected_graph,
+)
+from repro.network.generators import PAPER_FIGURE1_ORDER
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The independent Figure 1 network."""
+    graph, cov = paper_figure1()
+    return graph
+
+
+@pytest.fixture(scope="session")
+def fig1_correlated():
+    """Figure 1 with the covariances of Example 1."""
+    return paper_figure1(correlated=True)
+
+
+@pytest.fixture(scope="session")
+def fig1_index(fig1):
+    """NRP index over Figure 1 with the paper's contraction order."""
+    return build_index(fig1, order=PAPER_FIGURE1_ORDER)
+
+
+@pytest.fixture(scope="session")
+def fig1_correlated_index(fig1_correlated):
+    graph, cov = fig1_correlated
+    return build_index(graph, cov, window=1, order=PAPER_FIGURE1_ORDER)
+
+
+def make_random_instance(seed: int, *, n: int = 12, extra: int = 10, cv: float = 0.7):
+    """One small random independent instance (graph only)."""
+    graph = random_connected_graph(n, extra, seed=seed)
+    assign_random_cv(graph, cv, seed=seed + 1000)
+    return graph
+
+
+def make_correlated_instance(
+    seed: int, *, n: int = 10, extra: int = 8, cv: float = 0.6, hops: int = 2
+):
+    """Small correlated instance with non-negative correlations.
+
+    Non-negative rho keeps the optimal path simple, so the simple-path
+    brute force is exact ground truth (DESIGN.md Section 7).
+    """
+    graph = random_connected_graph(n, extra, seed=seed)
+    assign_random_cv(graph, cv, seed=seed + 1000)
+    cov = generate_correlations(
+        graph, hops, seed=seed + 2000, rho_range=(0.0, 0.8), density=0.5
+    )
+    return graph, cov
+
+
+def random_query(graph, rng: random.Random, alpha_lo: float = 0.55, alpha_hi: float = 0.99):
+    vertices = list(graph.vertices())
+    while True:
+        s = rng.choice(vertices)
+        t = rng.choice(vertices)
+        if s != t:
+            return s, t, rng.uniform(alpha_lo, alpha_hi)

@@ -1,0 +1,113 @@
+"""SDRSP-A* / ERSP-A* correctness and behaviour tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro.baselines.astar import SearchStats, ersp_query, sdrsp_query, stochastic_astar
+from repro.baselines.brute_force import exact_rsp
+from repro.network.graph import StochasticGraph
+
+
+class TestIndependentExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("fn", [sdrsp_query, ersp_query])
+    def test_matches_brute_force(self, seed, fn):
+        graph = make_random_instance(seed)
+        rng = random.Random(seed + 13)
+        for _ in range(4):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            value, path = fn(graph, s, t, alpha)
+            assert value == pytest.approx(expected)
+            assert path[0] == s and path[-1] == t
+
+    def test_path_realises_value(self):
+        graph = make_random_instance(1)
+        from repro.stats.zscores import z_value
+        import math
+
+        s, t, alpha = 0, 7, 0.9
+        value, path = ersp_query(graph, s, t, alpha)
+        mu, var = graph.path_mean_variance(path)
+        assert mu + z_value(alpha) * math.sqrt(var) == pytest.approx(value)
+
+
+class TestCorrelatedExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("fn", [sdrsp_query, ersp_query])
+    def test_matches_brute_force(self, seed, fn):
+        graph, cov = make_correlated_instance(seed)
+        rng = random.Random(seed + 29)
+        for _ in range(3):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha, cov)
+            value, _ = fn(graph, s, t, alpha, cov, window=12)
+            assert value == pytest.approx(expected)
+
+
+class TestBehaviour:
+    def test_source_equals_target(self):
+        graph = make_random_instance(0)
+        assert sdrsp_query(graph, 3, 3, 0.9) == (0.0, [3])
+
+    def test_disconnected_raises(self):
+        g = StochasticGraph(4)
+        g.add_edge(0, 1, 1.0, 0.5)
+        g.add_edge(2, 3, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            sdrsp_query(g, 0, 3, 0.9)
+
+    def test_alpha_below_half_rejected(self):
+        graph = make_random_instance(0)
+        with pytest.raises(ValueError):
+            sdrsp_query(graph, 0, 1, 0.4)
+
+    def test_stats_populated(self):
+        graph = make_random_instance(2, n=20, extra=15)
+        stats = SearchStats()
+        sdrsp_query(graph, 0, 15, 0.9, stats=stats)
+        assert stats.labels_generated > 0
+        assert stats.labels_expanded > 0
+
+    def test_mb_dominance_prunes_more(self):
+        """ERSP-A* should generate no more labels than SDRSP-A*."""
+        graph = make_random_instance(5, n=30, extra=25, cv=0.9)
+        rng = random.Random(5)
+        total_sdrsp = SearchStats()
+        total_ersp = SearchStats()
+        for _ in range(8):
+            s, t, alpha = random_query(graph, rng, 0.7, 0.8)
+            sdrsp_query(graph, s, t, alpha, stats=total_sdrsp)
+            ersp_query(graph, s, t, alpha, stats=total_ersp)
+        assert total_ersp.labels_generated <= total_sdrsp.labels_generated
+
+    def test_label_cap(self):
+        from repro.baselines.dijkstra import farthest_vertex
+
+        graph = make_random_instance(3, n=25, extra=20, cv=0.9)
+        target, _ = farthest_vertex(graph, 0)
+        with pytest.raises(RuntimeError):
+            stochastic_astar(graph, 0, target, 0.95, max_labels=1)
+
+    def test_stats_merge(self):
+        a = SearchStats(1, 2, 3, 4)
+        a.merge(SearchStats(10, 20, 30, 40))
+        assert (a.labels_generated, a.labels_expanded) == (11, 22)
+        assert (a.pruned_dominated, a.pruned_bound) == (33, 44)
+
+    def test_callable_potentials(self):
+        """The engine accepts callable potentials (the TBS integration)."""
+        from repro.baselines.dijkstra import dijkstra
+
+        graph = make_random_instance(4)
+        s, t = 0, 9
+        dist, _ = dijkstra(graph, t)
+        value_dict, _ = stochastic_astar(graph, s, t, 0.9, potentials=dist)
+        value_call, _ = stochastic_astar(
+            graph, s, t, 0.9, potentials=lambda v: dist.get(v, float("inf"))
+        )
+        assert value_dict == pytest.approx(value_call)

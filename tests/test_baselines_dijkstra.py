@@ -1,0 +1,94 @@
+"""Dijkstra substrate tests (cross-checked against networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from conftest import make_random_instance
+from repro.baselines.dijkstra import (
+    approximate_diameter,
+    dijkstra,
+    farthest_vertex,
+    mean_distance,
+    shortest_mean_path,
+)
+from repro.network.graph import StochasticGraph
+
+
+def to_networkx(graph, weight="mu"):
+    g = nx.Graph()
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=getattr(w, weight))
+    return g
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_distances_match_networkx(self, seed):
+        graph = make_random_instance(seed, n=25, extra=20)
+        nxg = to_networkx(graph)
+        source = 0
+        dist, _ = dijkstra(graph, source)
+        expected = nx.single_source_dijkstra_path_length(nxg, source)
+        assert set(dist) == set(expected)
+        for v, d in expected.items():
+            assert dist[v] == pytest.approx(d)
+
+    def test_variance_weighting(self):
+        g = StochasticGraph()
+        g.add_edge(0, 1, 1.0, 10.0)
+        g.add_edge(1, 2, 1.0, 10.0)
+        g.add_edge(0, 2, 100.0, 1.0)
+        dist, _ = dijkstra(g, 0, weight=lambda w: w.variance)
+        assert dist[2] == 1.0  # the direct edge has lower variance
+
+    def test_early_stop_with_target(self):
+        graph = make_random_instance(1, n=30, extra=25)
+        full, _ = dijkstra(graph, 0)
+        dist, _ = dijkstra(graph, 0, target=5)
+        assert dist[5] == pytest.approx(full[5])
+
+    def test_shortest_mean_path_valid(self):
+        graph = make_random_instance(2, n=20, extra=10)
+        d, path = shortest_mean_path(graph, 0, 7)
+        assert path[0] == 0 and path[-1] == 7
+        mu, _ = graph.path_mean_variance(path)
+        assert mu == pytest.approx(d)
+
+    def test_no_path_raises(self):
+        g = StochasticGraph(4)
+        g.add_edge(0, 1, 1.0, 0.0)
+        g.add_edge(2, 3, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            shortest_mean_path(g, 0, 3)
+
+    def test_mean_distance_complete(self):
+        graph = make_random_instance(3, n=15, extra=8)
+        assert len(mean_distance(graph, 0)) == 15
+
+
+class TestDiameter:
+    def test_path_graph_exact(self):
+        g = StochasticGraph()
+        for i in range(9):
+            g.add_edge(i, i + 1, 2.0, 0.0)
+        assert approximate_diameter(g) == pytest.approx(18.0)
+
+    def test_lower_bounds_true_diameter(self):
+        graph = make_random_instance(4, n=25, extra=15)
+        nxg = to_networkx(graph)
+        true = max(
+            max(lengths.values())
+            for _, lengths in nx.all_pairs_dijkstra_path_length(nxg)
+        )
+        estimate = approximate_diameter(graph, seeds=[0, 5, 10])
+        assert estimate <= true + 1e-9
+        assert estimate >= 0.5 * true  # double sweep is near-exact on these
+
+    def test_farthest_vertex(self):
+        g = StochasticGraph()
+        for i in range(5):
+            g.add_edge(i, i + 1, 1.0, 0.0)
+        v, d = farthest_vertex(g, 0)
+        assert (v, d) == (5, 5.0)

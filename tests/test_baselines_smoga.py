@@ -1,0 +1,78 @@
+"""SMOGA genetic baseline tests: validity, determinism, solution quality."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from conftest import make_random_instance, random_query
+from repro.baselines.brute_force import exact_rsp
+from repro.baselines.smoga import smoga_query
+from repro.stats.zscores import z_value
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_returns_valid_path(self, seed):
+        graph = make_random_instance(seed)
+        rng = random.Random(seed)
+        s, t, alpha = random_query(graph, rng)
+        value, path = smoga_query(graph, s, t, alpha, seed=seed)
+        assert path[0] == s and path[-1] == t
+        assert len(set(path)) == len(path)  # simple path (cycles removed)
+        for u, v in zip(path, path[1:]):
+            assert graph.has_edge(u, v)
+        mu, var = graph.path_mean_variance(path)
+        assert mu + z_value(alpha) * math.sqrt(var) == pytest.approx(value)
+
+    def test_source_equals_target(self):
+        graph = make_random_instance(0)
+        assert smoga_query(graph, 2, 2, 0.9) == (0.0, [2])
+
+    def test_disconnected_raises(self):
+        from repro.network.graph import StochasticGraph
+
+        g = StochasticGraph(4)
+        g.add_edge(0, 1, 1.0, 0.5)
+        g.add_edge(2, 3, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            smoga_query(g, 0, 3, 0.9)
+
+
+class TestQuality:
+    def test_never_better_than_exact(self):
+        graph = make_random_instance(2)
+        rng = random.Random(2)
+        for _ in range(5):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            value, _ = smoga_query(graph, s, t, alpha, seed=1)
+            assert value >= expected - 1e-9
+
+    def test_usually_near_optimal_on_small_graphs(self):
+        """Heuristic quality: within 10% of optimal on most small instances."""
+        hits = 0
+        trials = 10
+        for seed in range(trials):
+            graph = make_random_instance(seed, n=10, extra=6)
+            rng = random.Random(seed + 1)
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            value, _ = smoga_query(graph, s, t, alpha, seed=seed)
+            if value <= expected * 1.10 + 1e-9:
+                hits += 1
+        assert hits >= 7
+
+    def test_deterministic_given_seed(self):
+        graph = make_random_instance(3)
+        a = smoga_query(graph, 0, 8, 0.9, seed=5)
+        b = smoga_query(graph, 0, 8, 0.9, seed=5)
+        assert a == b
+
+    def test_more_rounds_never_hurt(self):
+        graph = make_random_instance(4, n=15, extra=12)
+        short, _ = smoga_query(graph, 0, 12, 0.9, rounds=1, seed=2)
+        long, _ = smoga_query(graph, 0, 12, 0.9, rounds=20, seed=2)
+        assert long <= short + 1e-9

@@ -1,0 +1,113 @@
+"""Hub labelling and TBS baseline tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro.baselines.brute_force import exact_rsp
+from repro.baselines.dijkstra import dijkstra
+from repro.baselines.hub_labels import HubLabeling
+from repro.baselines.tbs import TBSIndex
+
+
+class TestHubLabeling:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_mean_distances(self, seed):
+        graph = make_random_instance(seed, n=20, extra=15)
+        hl = HubLabeling(graph)
+        for source in (0, 5, 11):
+            dist, _ = dijkstra(graph, source)
+            for v in graph.vertices():
+                assert hl.distance(source, v) == pytest.approx(dist[v])
+
+    def test_exact_variance_distances(self):
+        graph = make_random_instance(7, n=15, extra=10)
+        hl = HubLabeling(graph, lambda w: w.variance)
+        dist, _ = dijkstra(graph, 0, weight=lambda w: w.variance)
+        for v in graph.vertices():
+            assert hl.distance(0, v) == pytest.approx(dist[v])
+
+    def test_self_distance_zero(self):
+        graph = make_random_instance(1, n=10, extra=5)
+        hl = HubLabeling(graph)
+        assert hl.distance(3, 3) == 0.0
+
+    def test_size_accounting(self):
+        graph = make_random_instance(2, n=12, extra=8)
+        hl = HubLabeling(graph)
+        assert hl.num_entries >= graph.num_vertices  # every vertex self-hub
+        assert hl.average_label_size() == hl.num_entries / graph.num_vertices
+
+    def test_custom_order(self):
+        graph = make_random_instance(3, n=10, extra=6)
+        order = sorted(graph.vertices())
+        hl = HubLabeling(graph, order=order)
+        dist, _ = dijkstra(graph, 0)
+        for v in graph.vertices():
+            assert hl.distance(0, v) == pytest.approx(dist[v])
+
+
+class TestTBS:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_independent_exactness(self, seed):
+        graph = make_random_instance(seed)
+        tbs = TBSIndex(graph)
+        rng = random.Random(seed + 3)
+        for _ in range(4):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            value, path = tbs.query(s, t, alpha)
+            assert value == pytest.approx(expected)
+            assert path[0] == s and path[-1] == t
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_correlated_exactness(self, seed):
+        graph, cov = make_correlated_instance(seed)
+        tbs = TBSIndex(graph)
+        rng = random.Random(seed + 5)
+        for _ in range(3):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha, cov)
+            value, _ = tbs.query(s, t, alpha, cov, window=12)
+            assert value == pytest.approx(expected)
+
+    def test_index_metadata(self):
+        graph = make_random_instance(1, n=15, extra=10)
+        tbs = TBSIndex(graph)
+        assert tbs.construction_seconds > 0
+        assert tbs.num_entries > 0
+        # Entries plus the materialised reversed paths (8 bytes/vertex).
+        assert tbs.estimated_bytes == (
+            tbs.num_entries * 20 + tbs.mean_labels.num_stored_path_vertices * 8
+        )
+        # Every mean-label entry stores its reversed path.
+        assert tbs.mean_labels.num_stored_path_vertices >= tbs.mean_labels.num_entries
+
+    def test_reversed_paths_stored(self):
+        graph = make_random_instance(2, n=12, extra=8)
+        tbs = TBSIndex(graph)
+        labels = tbs.mean_labels
+        path = labels.reversed_path(next(iter(graph.vertices())), 3)
+        if path is not None:
+            for u, v in zip(path, path[1:]):
+                assert graph.has_edge(u, v)
+        with pytest.raises(ValueError):
+            tbs.variance_labels.reversed_path(0, 1)
+
+    def test_bounds_prune_search(self):
+        """TBS's variance bound should cut labels vs plain SDRSP-A*."""
+        from repro.baselines.astar import SearchStats, sdrsp_query
+
+        graph = make_random_instance(6, n=30, extra=25, cv=0.9)
+        tbs = TBSIndex(graph)
+        rng = random.Random(6)
+        tbs_stats = SearchStats()
+        plain_stats = SearchStats()
+        for _ in range(6):
+            s, t, alpha = random_query(graph, rng, 0.7, 0.8)
+            tbs.query(s, t, alpha, stats=tbs_stats)
+            sdrsp_query(graph, s, t, alpha, stats=plain_stats)
+        assert tbs_stats.labels_generated <= plain_stats.labels_generated

@@ -1,0 +1,82 @@
+"""Tests for the exact enumeration ground truth itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import (
+    enumerate_simple_paths,
+    exact_non_dominated,
+    exact_rsp,
+)
+from repro.network.covariance import CovarianceStore
+from repro.network.graph import StochasticGraph
+
+
+@pytest.fixture()
+def k4():
+    g = StochasticGraph()
+    for u in range(4):
+        for v in range(u + 1, 4):
+            g.add_edge(u, v, float(u + v), 1.0)
+    return g
+
+
+class TestEnumeration:
+    def test_k4_path_count(self, k4):
+        # Simple 0-3 paths in K4: direct, 2 one-stop, 2 two-stop = 5.
+        assert sum(1 for _ in enumerate_simple_paths(k4, 0, 3)) == 5
+
+    def test_path_graph_single_path(self):
+        g = StochasticGraph()
+        for i in range(4):
+            g.add_edge(i, i + 1, 1.0, 0.0)
+        paths = list(enumerate_simple_paths(g, 0, 4))
+        assert paths == [[0, 1, 2, 3, 4]]
+
+    def test_cap_enforced(self, k4):
+        with pytest.raises(RuntimeError):
+            list(enumerate_simple_paths(k4, 0, 3, max_paths=2))
+
+    def test_all_paths_simple(self, k4):
+        for path in enumerate_simple_paths(k4, 0, 3):
+            assert len(set(path)) == len(path)
+
+
+class TestExactRsp:
+    def test_figure1_value(self, fig1):
+        value, path = exact_rsp(fig1, 6, 5, 0.95)
+        assert value == pytest.approx(14.93, abs=0.01)
+        assert path in ([6, 8, 9, 5], [6, 4, 7, 5])
+
+    def test_correlated_figure1(self, fig1_correlated):
+        graph, cov = fig1_correlated
+        value, path = exact_rsp(graph, 6, 5, 0.95, cov)
+        assert value == pytest.approx(14.46, abs=0.01)
+        assert path == [6, 4, 7, 5]
+
+    def test_alpha_half_minimises_mean(self, k4):
+        value, path = exact_rsp(k4, 0, 3, 0.5)
+        mu, _ = k4.path_mean_variance(path)
+        assert value == pytest.approx(mu)
+
+    def test_no_path(self):
+        g = StochasticGraph(3)
+        g.add_edge(0, 1, 1.0, 0.0)
+        g.add_vertex(2)
+        with pytest.raises(ValueError):
+            exact_rsp(g, 0, 2, 0.9)
+
+
+class TestExactNonDominated:
+    def test_pareto_structure(self, fig1):
+        front = exact_non_dominated(fig1, 6, 9)
+        mus = [m for m, _ in front]
+        variances = [v for _, v in front]
+        assert mus == sorted(mus)
+        assert all(variances[i] > variances[i + 1] for i in range(len(front) - 1))
+
+    def test_figure1_front_contains_example8(self, fig1):
+        front = exact_non_dominated(fig1, 6, 9)
+        for expected in [(6.0, 16.0), (7.0, 9.0), (8.0, 6.0)]:
+            assert expected in front

@@ -1,0 +1,80 @@
+"""Tests for the 2-sigma distribution-change detector (Section V)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ChangeDetector, IndexMaintainer, build_index
+from repro.network.graph import StochasticGraph
+
+
+@pytest.fixture()
+def graph():
+    g = StochasticGraph()
+    g.add_edge(0, 1, 10.0, 4.0)  # sigma = 2
+    g.add_edge(1, 2, 5.0, 1.0)
+    g.add_edge(0, 2, 20.0, 9.0)
+    return g
+
+
+class TestDetection:
+    def test_within_band_not_flagged(self, graph):
+        detector = ChangeDetector(graph)
+        assert detector.observe(0, 1, 10.0) is None
+        assert detector.observe(0, 1, 13.9) is None  # just inside mu + 2sigma
+        assert detector.observe(0, 1, 6.1) is None
+
+    def test_outside_band_flagged(self, graph):
+        detector = ChangeDetector(graph)
+        change = detector.observe(0, 1, 14.5)
+        assert change is not None
+        assert (change.u, change.v) == (0, 1)
+        assert change.sample == 14.5
+
+    def test_custom_band(self, graph):
+        strict = ChangeDetector(graph, num_sigmas=1.0)
+        assert strict.observe(0, 1, 12.5) is not None
+
+    def test_refit_uses_window_mle(self, graph):
+        detector = ChangeDetector(graph, window_size=50, min_refit_samples=5)
+        rng = random.Random(0)
+        change = None
+        # Regime shift: true distribution becomes N(20, 1).
+        for _ in range(30):
+            change = detector.observe(0, 1, rng.gauss(20.0, 1.0)) or change
+        assert change is not None
+        assert change.new_mu == pytest.approx(20.0, abs=1.0)
+        assert change.new_variance < 9.0
+
+    def test_few_samples_fall_back_to_sample(self, graph):
+        detector = ChangeDetector(graph, min_refit_samples=5)
+        change = detector.observe(0, 1, 30.0)
+        assert change is not None
+        assert change.new_mu == 30.0
+        assert change.new_variance == graph.edge(0, 1).variance
+
+    def test_invalid_window(self, graph):
+        with pytest.raises(ValueError):
+            ChangeDetector(graph, window_size=2, min_refit_samples=5)
+
+
+class TestClosedLoop:
+    def test_detector_drives_maintainer(self, graph):
+        """The Section-V loop: observe -> detect -> refit -> repair index."""
+        index = build_index(graph)
+        maintainer = IndexMaintainer(index)
+        detector = ChangeDetector(graph, window_size=40, min_refit_samples=5)
+        rng = random.Random(1)
+        before = index.query(0, 2, 0.9).value
+        for _ in range(25):
+            change = detector.observe(0, 1, rng.gauss(40.0, 2.0))
+            if change is not None and len(detector._recent[(0, 1)]) >= 20:
+                maintainer.update_edge(
+                    change.u, change.v, change.new_mu, change.new_variance
+                )
+                break
+        after = index.query(0, 2, 0.9)
+        assert after.value != before
+        assert after.path == [0, 2]  # detour now beats the congested edge

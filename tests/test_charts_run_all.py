@@ -1,0 +1,81 @@
+"""Tests for ASCII charts and the run-everything driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.charts import bar_chart, log_bar_chart
+from repro.experiments.run_all import main, run_all
+
+
+class TestBarChart:
+    def test_structure(self):
+        chart = bar_chart(
+            "Q", [1, 2], {"NRP": [1.0, 2.0], "TBS": [3.0, 4.0]}, title="demo"
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1] == "Q=1"
+        assert sum(1 for line in lines if "|" in line) == 4
+
+    def test_bars_scale_with_values(self):
+        chart = bar_chart("x", [1], {"a": [0.0], "b": [10.0]}, width=20)
+        bar_a = next(line for line in chart.splitlines() if line.strip().startswith("a"))
+        bar_b = next(line for line in chart.splitlines() if line.strip().startswith("b"))
+        assert bar_b.count("#") > bar_a.count("#")
+
+    def test_constant_series(self):
+        chart = bar_chart("x", [1, 2], {"a": [5.0, 5.0]})
+        assert "#" in chart  # no division-by-zero on flat data
+
+
+class TestLogBarChart:
+    def test_log_compresses_magnitudes(self):
+        chart = log_bar_chart("x", [1], {"fast": [1e-4], "slow": [1.0]}, width=30)
+        assert "[log scale]" not in chart  # no title given -> no note
+        bars = [line.count("#") for line in chart.splitlines() if "|" in line]
+        assert bars[0] >= 1 and bars[1] == 30
+
+    def test_title_notes_scale(self):
+        chart = log_bar_chart("x", [1], {"a": [1.0]}, title="t")
+        assert "[log scale]" in chart.splitlines()[0]
+
+    def test_nonpositive_clamped(self):
+        chart = log_bar_chart("x", [1], {"a": [0.0], "b": [1.0]})
+        assert "|" in chart
+
+
+class TestRunAll:
+    def test_subset_run(self):
+        report = run_all(
+            scale=0.3, queries=3, seed=5, only={"table1"}, log=lambda *a: None
+        )
+        assert "# NRP reproduction" in report
+        assert "Table I" in report
+        assert "Figure 7" not in report
+
+    def test_fig11_section(self):
+        report = run_all(
+            scale=0.3, queries=3, seed=5, only={"fig11"}, log=lambda *a: None
+        )
+        assert "Figure 11" in report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.3",
+                    "--queries",
+                    "3",
+                    "--only",
+                    "table1",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.exists()
+        assert "Table I" in out.read_text()

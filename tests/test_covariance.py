@@ -1,0 +1,138 @@
+"""Unit tests for the sparse covariance store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.covariance import CovarianceStore, edge_key
+from repro.network.generators import (
+    assign_random_cv,
+    generate_correlations,
+    random_connected_graph,
+)
+from repro.network.graph import StochasticGraph
+
+
+@pytest.fixture()
+def square():
+    g = StochasticGraph()
+    g.add_edge(0, 1, 1.0, 2.0)
+    g.add_edge(1, 2, 1.0, 3.0)
+    g.add_edge(2, 3, 1.0, 4.0)
+    g.add_edge(3, 0, 1.0, 5.0)
+    return g
+
+
+class TestEdgeKey:
+    def test_canonicalisation(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 3) == (1, 3)
+
+
+class TestStoreBasics:
+    def test_default_zero(self):
+        cov = CovarianceStore()
+        assert cov.get((0, 1), (1, 2)) == 0.0
+        assert cov.is_empty()
+
+    def test_symmetric_set_get(self):
+        cov = CovarianceStore()
+        cov.set((1, 0), (2, 1), -1.5)
+        assert cov.get((0, 1), (1, 2)) == -1.5
+        assert cov.get((2, 1), (1, 0)) == -1.5
+        assert cov.num_entries == 1
+
+    def test_setting_zero_removes(self):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 2.0)
+        cov.set((0, 1), (1, 2), 0.0)
+        assert not cov.has_correlation((0, 1))
+
+    def test_diagonal_rejected(self):
+        cov = CovarianceStore()
+        with pytest.raises(ValueError):
+            cov.set((0, 1), (1, 0), 1.0)
+
+    def test_copy_independent(self):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 2.0)
+        clone = cov.copy()
+        clone.set((0, 1), (1, 2), 5.0)
+        assert cov.get((0, 1), (1, 2)) == 2.0
+
+    def test_items_each_pair_once(self):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 2.0)
+        cov.set((0, 1), (2, 3), 1.0)
+        assert sorted(cov.items()) == [
+            ((0, 1), (1, 2), 2.0),
+            ((0, 1), (2, 3), 1.0),
+        ]
+
+
+class TestCrossCovariance:
+    def test_simple_sum(self):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 2.0)
+        cov.set((0, 1), (2, 3), -0.5)
+        total = cov.cross_covariance([(0, 1)], [(1, 2), (2, 3)])
+        assert total == pytest.approx(1.5)
+
+    def test_path_variance_matches_numpy(self, square):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 1.0)
+        cov.set((1, 2), (2, 3), -0.5)
+        path = [0, 1, 2, 3]
+        edges = [(0, 1), (1, 2), (2, 3)]
+        matrix = np.diag([square.edge(u, v).variance for u, v in edges])
+        matrix[0, 1] = matrix[1, 0] = 1.0
+        matrix[1, 2] = matrix[2, 1] = -0.5
+        expected = float(np.ones(3) @ matrix @ np.ones(3))
+        assert cov.path_variance(square, path) == pytest.approx(expected)
+
+
+class TestVertexFlags:
+    def test_flags_spread_by_hops(self, square):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 0.5)
+        flags0 = cov.compute_vertex_flags(square, 0)
+        assert flags0 == {0: True, 1: True, 2: True, 3: False}
+        flags1 = cov.compute_vertex_flags(square, 1)
+        assert all(flags1.values())
+
+    def test_no_correlations_no_flags(self, square):
+        flags = CovarianceStore().compute_vertex_flags(square, 3)
+        assert not any(flags.values())
+
+
+class TestDiagonalDominance:
+    def test_already_dominant_unchanged(self, square):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 0.1)
+        assert cov.scale_to_diagonal_dominance(square) == 1.0
+        assert cov.get((0, 1), (1, 2)) == 0.1
+
+    def test_rescaling_produces_psd(self):
+        graph = random_connected_graph(20, 15, seed=3)
+        assign_random_cv(graph, 0.9, seed=4)
+        cov = generate_correlations(graph, 3, seed=5, density=0.6, ensure_psd=True)
+        edges = list(graph.edge_keys())
+        index = {e: i for i, e in enumerate(edges)}
+        matrix = np.zeros((len(edges), len(edges)))
+        for e in edges:
+            matrix[index[e], index[e]] = graph.edge(*e).variance
+        for e, f, value in cov.items():
+            matrix[index[e], index[f]] = value
+            matrix[index[f], index[e]] = value
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert eigenvalues.min() >= -1e-9
+
+    def test_zero_variance_with_covariance_rejected(self):
+        g = StochasticGraph()
+        g.add_edge(0, 1, 1.0, 0.0)
+        g.add_edge(1, 2, 1.0, 1.0)
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 0.5)
+        with pytest.raises(ValueError):
+            cov.scale_to_diagonal_dominance(g)

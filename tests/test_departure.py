@@ -1,0 +1,72 @@
+"""Tests for departure-time optimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_random_instance
+from repro.extensions.departure import best_departure
+from repro.extensions.timeofday import DayPeriod, TimeOfDayModel, TimeOfDayRouter
+
+
+def make_router(seed: int = 1):
+    graph = make_random_instance(seed, n=14, extra=12, cv=0.3)
+    periods = [
+        DayPeriod("calm", 0, 7 * 60),
+        DayPeriod("rush", 7 * 60, 9 * 60),
+        DayPeriod("day", 9 * 60, 24 * 60),
+    ]
+    model = TimeOfDayModel(graph, periods)
+    # Rush hour triples everything: departing in rush is always worse.
+    model.scale_region("rush", list(graph.edge_keys()), 3.0, 3.0)
+    return graph, TimeOfDayRouter(model, initial_minute=0.0)
+
+
+class TestBestDeparture:
+    def test_avoids_rush_when_possible(self):
+        _, router = make_router()
+        plan = best_departure(
+            router, 0, 9, 0.9, deadline_minute=12 * 60, step_minutes=30.0
+        )
+        assert plan.meets_deadline
+        assert plan.period in ("calm", "day")
+
+    def test_latest_feasible_wins(self):
+        _, router = make_router(2)
+        plan = best_departure(
+            router, 0, 9, 0.9, deadline_minute=10 * 60, step_minutes=30.0
+        )
+        # Any later candidate must be infeasible or nonexistent.
+        later = plan.depart_minute + 30.0
+        if later < 10 * 60:
+            result = router.query(0, 9, 0.9, later)
+            assert later + result.value / 60.0 > 10 * 60 or result.value == plan.value
+
+    def test_infeasible_flagged(self):
+        _, router = make_router(3)
+        # The deadline is essentially "now": no trip can finish in time.
+        plan = best_departure(
+            router, 0, 9, 0.9, deadline_minute=0.005, candidates=[0.0]
+        )
+        assert not plan.meets_deadline
+        assert plan.arrival_budget > 0.005
+
+    def test_explicit_candidates(self):
+        _, router = make_router(4)
+        plan = best_departure(
+            router, 0, 9, 0.9, deadline_minute=12 * 60, candidates=[60.0, 480.0]
+        )
+        assert plan.depart_minute in (60.0, 480.0)
+
+    def test_bad_arguments(self):
+        _, router = make_router(5)
+        with pytest.raises(ValueError):
+            best_departure(router, 0, 9, 0.9, deadline_minute=0.0)
+        with pytest.raises(ValueError):
+            best_departure(router, 0, 9, 0.9, deadline_minute=60.0, candidates=[])
+
+    def test_path_belongs_to_graph(self):
+        graph, router = make_router(6)
+        plan = best_departure(router, 0, 9, 0.9, deadline_minute=12 * 60)
+        for u, v in zip(plan.path, plan.path[1:]):
+            assert graph.has_edge(u, v)

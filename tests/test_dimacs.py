@@ -1,0 +1,74 @@
+"""DIMACS reader/writer round-trip tests."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from conftest import make_random_instance
+from repro.network.dimacs import apply_co, read_co, read_gr, write_gr
+
+
+SAMPLE_GR = """c sample road network
+p sp 4 6
+a 1 2 10
+a 2 1 10
+a 2 3 5
+a 3 2 5
+a 3 4 7
+a 4 3 7
+"""
+
+SAMPLE_CO = """c coordinates
+p aux sp co 4
+v 1 -73990000 40750000
+v 2 -73980000 40760000
+v 3 -73970000 40770000
+v 4 -73960000 40780000
+"""
+
+
+class TestReadGr:
+    def test_parses_sample(self):
+        graph = read_gr(io.StringIO(SAMPLE_GR))
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+        assert graph.edge(1, 2).mu == 10.0
+        assert graph.edge(1, 2).variance == 0.0  # DIMACS is deterministic
+
+    def test_antiparallel_folded_to_min(self):
+        text = "p sp 2 2\na 1 2 10\na 2 1 8\n"
+        graph = read_gr(io.StringIO(text))
+        assert graph.edge(1, 2).mu == 8.0
+
+    def test_isolated_vertices_preserved(self):
+        text = "p sp 5 2\na 1 2 3\na 2 1 3\n"
+        graph = read_gr(io.StringIO(text))
+        assert graph.num_vertices == 5
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = make_random_instance(1, n=12, extra=8)
+        path = tmp_path / "net.gr"
+        write_gr(graph, path, comment="test network")
+        loaded = read_gr(path)
+        assert loaded.num_edges == graph.num_edges
+        for u, v, w in graph.edges():
+            assert loaded.edge(u, v).mu == pytest.approx(round(w.mu))
+
+
+class TestCoordinates:
+    def test_read_co(self):
+        coords = read_co(io.StringIO(SAMPLE_CO))
+        assert coords[1] == (-73990000.0, 40750000.0)
+        assert len(coords) == 4
+
+    def test_apply_co(self):
+        graph = read_gr(io.StringIO(SAMPLE_GR))
+        apply_co(graph, read_co(io.StringIO(SAMPLE_CO)))
+        assert graph.coordinates(2) == (-73980000.0, 40760000.0)
+
+    def test_apply_skips_unknown_vertices(self):
+        graph = read_gr(io.StringIO(SAMPLE_GR))
+        apply_co(graph, {99: (0.0, 0.0)})
+        assert not graph.has_vertex(99)

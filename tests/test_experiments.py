@@ -1,0 +1,124 @@
+"""Smoke + shape tests for the experiment harness (tiny scales)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    fig7_query_times,
+    fig8_hoplink_counts,
+    fig9_pruning_ablation,
+    fig10_real_data,
+    fig11_index_cost_vs_k,
+)
+from repro.experiments.runners import AlgorithmSuite, run_workload
+from repro.experiments.tables import (
+    table1_datasets,
+    table2_index_costs,
+    table3_maintenance,
+)
+from repro.experiments.workloads import random_queries
+from repro.network.datasets import make_dataset
+
+TINY = dict(scale=0.3, queries_per_set=4, seed=5)
+FAST_ALGOS = ("NRP", "TBS", "SDRSP-A*")
+
+
+class TestAlgorithmSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        graph, _ = make_dataset("NY", scale=0.3, seed=5)
+        return AlgorithmSuite(graph, None, algorithms=FAST_ALGOS)
+
+    def test_all_algorithms_agree(self, suite):
+        queries = random_queries(suite.graph, 6, seed=2)
+        results = run_workload(suite, queries)
+        exact_algos = [r.values for name, r in results.items() if name != "SMOGA"]
+        for values in exact_algos[1:]:
+            for a, b in zip(exact_algos[0], values):
+                assert a == pytest.approx(b)
+
+    def test_result_metadata(self, suite):
+        queries = random_queries(suite.graph, 3, seed=3)
+        result = suite.run("NRP", queries)
+        assert result.algorithm == "NRP"
+        assert result.seconds > 0
+        assert result.ms_per_query > 0
+        assert len(result.values) == 3
+
+    def test_unknown_algorithm_rejected(self):
+        graph, _ = make_dataset("NY", scale=0.3, seed=5)
+        with pytest.raises(KeyError):
+            AlgorithmSuite(graph, None, algorithms=("FOO",))
+
+
+class TestFigureRunners:
+    def test_fig7_q_panel(self):
+        series = fig7_query_times("NY", "Q", algorithms=FAST_ALGOS, **TINY)
+        assert set(series) == set(FAST_ALGOS)
+        assert all(len(v) == 5 for v in series.values())
+
+    def test_fig7_alpha_panel(self):
+        series = fig7_query_times("NY", "alpha", algorithms=("NRP",), **TINY)
+        assert len(series["NRP"]) == 5
+
+    def test_fig7_cv_panel(self):
+        series = fig7_query_times("NY", "CV", algorithms=("NRP",), **TINY)
+        assert len(series["NRP"]) == 5
+
+    def test_fig7_k_panel(self):
+        series = fig7_query_times("NY", "K", algorithms=("NRP",), **TINY)
+        assert len(series["NRP"]) == 5
+
+    def test_fig7_unknown_factor(self):
+        with pytest.raises(ValueError):
+            fig7_query_times("NY", "Z", **TINY)
+
+    def test_fig8_counts(self):
+        data = fig8_hoplink_counts("NY", **TINY)
+        assert set(data) == {"by_Q", "by_CV"}
+        for panel in data.values():
+            assert len(panel["hoplinks"]) == 5
+            assert len(panel["concatenations"]) == 5
+            assert all(h >= 0 for h in panel["hoplinks"])
+
+    def test_fig9_pruning_reduces_concatenations(self):
+        data = fig9_pruning_ablation("NY", **TINY)
+        for panel in data.values():
+            for with_p, without in zip(panel["NRP"], panel["NRP-w/o pruning"]):
+                assert with_p <= without + 1e-9
+
+    def test_fig10_pipeline(self):
+        data = fig10_real_data(
+            scale=0.3, queries_per_set=3, algorithms=("NRP", "TBS"), seed=5
+        )
+        assert set(data) == {"by_Q", "by_alpha"}
+        assert len(data["by_Q"]["NRP"]) == 5
+
+    def test_fig11_series(self):
+        data = fig11_index_cost_vs_k("NY", scale=0.3, seed=5)
+        assert len(data["index_time_s"]) == 5
+        assert len(data["index_size_bytes"]) == 5
+        assert all(t > 0 for t in data["index_time_s"])
+
+
+class TestTableRunners:
+    def test_table1_rows(self):
+        rows = table1_datasets(scale=0.3, seed=5)
+        assert {row["dataset"] for row in rows} == {"NY", "BAY", "COL"}
+        for row in rows:
+            assert row["V"] > 0 and row["E"] > 0 and row["d_max"] > 0
+
+    def test_table2_rows(self):
+        rows = table2_index_costs(scale=0.3, seed=5, datasets=("NY",))
+        row = rows[0]
+        assert row["omega"] > 1 and row["eta"] > 1
+        assert row["nrp_time_s"] > 0 and row["tbs_time_s"] > 0
+        assert row["nrp_size_bytes"] > 0 and row["tbs_size_bytes"] > 0
+
+    def test_table3_rows(self):
+        rows = table3_maintenance(scale=0.3, updates_per_op=3, seed=5, datasets=("NY",))
+        row = rows[0]
+        for op in ("inc_mu", "dec_mu", "inc_sigma", "dec_sigma"):
+            assert row[op] >= 0
+        assert row["extra_storage_bytes"] > 0

@@ -1,0 +1,89 @@
+"""Tests for query explanations (white-box Algorithm 1 plans)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro import build_index
+
+
+class TestExplainCases:
+    @pytest.fixture(scope="class")
+    def index(self, fig1):
+        from repro.network.generators import PAPER_FIGURE1_ORDER
+
+        return build_index(fig1, order=PAPER_FIGURE1_ORDER)
+
+    def test_trivial_case(self, index):
+        e = index.explain(3, 3, 0.9)
+        assert e.case == "trivial"
+        assert e.value == 0.0
+
+    def test_ancestor_case(self, index):
+        e = index.explain(9, 1, 0.9)  # v9 is the root, ancestor of v1
+        assert e.case == "ancestor"
+        assert e.lca == 9
+
+    def test_separator_case_matches_paper_example7(self, index):
+        e = index.explain(6, 5, 0.95)
+        assert e.case == "separator"
+        assert e.lca == 7
+        assert e.separator_s == frozenset({7, 8, 9})
+        assert e.separator_t == frozenset({7, 9})
+        assert set(e.hoplinks) == {7, 9}  # the smaller separator H(t)
+        assert e.value == pytest.approx(14.93, abs=0.01)
+
+    def test_pruning_recorded(self, index):
+        e = index.explain(6, 5, 0.95)
+        step9 = next(s for s in e.steps if s.hoplink == 9)
+        assert step9.sh_size == 3  # P_{v6v9} holds three paths (Example 8)
+        assert step9.sh_kept == 1  # Algorithm 2 keeps only (v6,v8,v9)
+
+    def test_render_mentions_winner(self, index):
+        text = index.explain(6, 5, 0.95).render()
+        assert "winner" in text
+        assert "alpha=0.950" in text
+
+    def test_alpha_domain(self, index):
+        with pytest.raises(ValueError):
+            index.explain(1, 2, 1.5)
+
+
+class TestExplainAgreesWithQuery:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_value_matches_query(self, seed):
+        graph = make_random_instance(seed, n=16, extra=12)
+        index = build_index(graph)
+        rng = random.Random(seed + 7)
+        for _ in range(5):
+            s, t, alpha = random_query(graph, rng)
+            explanation = index.explain(s, t, alpha)
+            result = index.query(s, t, alpha)
+            assert explanation.value == pytest.approx(result.value)
+
+    def test_correlated_value_matches(self):
+        graph, cov = make_correlated_instance(3)
+        index = build_index(graph, cov, window=3)
+        rng = random.Random(3)
+        for _ in range(4):
+            s, t, alpha = random_query(graph, rng)
+            assert index.explain(s, t, alpha).value == pytest.approx(
+                index.query(s, t, alpha).value
+            )
+
+    def test_without_pruning_counts_full_sets(self):
+        graph = make_random_instance(8, n=20, extra=15, cv=0.9)
+        index = build_index(graph)
+        rng = random.Random(8)
+        for _ in range(6):
+            s, t, alpha = random_query(graph, rng, 0.7, 0.8)
+            pruned = index.explain(s, t, alpha)
+            full = index.explain(s, t, alpha, use_pruning=False)
+            assert full.value == pytest.approx(pruned.value)
+            if pruned.case == "separator":
+                pruned_concats = sum(s.concatenations for s in pruned.steps)
+                full_concats = sum(s.concatenations for s in full.steps)
+                assert pruned_concats <= full_concats

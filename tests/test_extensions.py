@@ -1,0 +1,190 @@
+"""Tests for the future-work extensions: time-of-day and streaming updates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_random_instance, random_query
+from repro import build_index
+from repro.baselines.brute_force import exact_rsp
+from repro.extensions.streaming import StreamingUpdater
+from repro.extensions.timeofday import DayPeriod, TimeOfDayModel, TimeOfDayRouter
+
+
+PERIODS = [
+    DayPeriod("overnight", 22 * 60, 6 * 60),  # wraps midnight
+    DayPeriod("morning_rush", 6 * 60, 10 * 60),
+    DayPeriod("midday", 10 * 60, 16 * 60),
+    DayPeriod("evening_rush", 16 * 60, 22 * 60),
+]
+
+
+def make_model(seed: int = 1):
+    graph = make_random_instance(seed, n=14, extra=12, cv=0.4)
+    model = TimeOfDayModel(graph, PERIODS)
+    rng = random.Random(seed)
+    edges = list(graph.edge_keys())
+    rush_edges = rng.sample(edges, 5)
+    model.scale_region("morning_rush", rush_edges, 2.0, 2.0)
+    model.scale_region("evening_rush", rush_edges[:3], 1.7, 1.5)
+    return graph, model
+
+
+class TestDayPeriod:
+    def test_plain_interval(self):
+        period = DayPeriod("midday", 600, 960)
+        assert period.contains(600)
+        assert period.contains(959)
+        assert not period.contains(960)
+
+    def test_wrapping_interval(self):
+        night = DayPeriod("overnight", 22 * 60, 6 * 60)
+        assert night.contains(23 * 60)
+        assert night.contains(60)
+        assert not night.contains(12 * 60)
+
+    def test_day_modulo(self):
+        period = DayPeriod("midday", 600, 960)
+        assert period.contains(600 + 24 * 60)
+
+
+class TestTimeOfDayModel:
+    def test_period_lookup(self):
+        _, model = make_model()
+        assert model.period_at(7 * 60).name == "morning_rush"
+        assert model.period_at(2 * 60).name == "overnight"
+
+    def test_distribution_fallback(self):
+        graph, model = make_model()
+        u, v = next(iter(graph.edge_keys()))
+        base = graph.edge(u, v)
+        mu, var = model.distribution("midday", u, v)
+        assert (mu, var) == (base.mu, base.variance)
+
+    def test_diff_only_changed_edges(self):
+        _, model = make_model()
+        diff = model.diff("midday", "morning_rush")
+        assert 1 <= len(diff) <= 5
+        assert model.diff("midday", "midday") == []
+
+    def test_duplicate_period_names_rejected(self):
+        graph = make_random_instance(2, n=6, extra=3)
+        with pytest.raises(ValueError):
+            TimeOfDayModel(graph, [DayPeriod("a", 0, 10), DayPeriod("a", 10, 20)])
+
+    def test_unknown_period_rejected(self):
+        graph, model = make_model()
+        u, v = next(iter(graph.edge_keys()))
+        with pytest.raises(KeyError):
+            model.set_distribution("happy_hour", u, v, 1.0, 1.0)
+
+    def test_unknown_edge_rejected(self):
+        _, model = make_model()
+        with pytest.raises(KeyError):
+            model.set_distribution("midday", 998, 999, 1.0, 1.0)
+
+    def test_schedule_gap_detected(self):
+        graph = make_random_instance(3, n=6, extra=3)
+        model = TimeOfDayModel(graph, [DayPeriod("am", 0, 720)])
+        with pytest.raises(ValueError):
+            model.period_at(800)
+
+
+class TestTimeOfDayRouter:
+    def test_queries_match_per_period_rebuilds(self):
+        graph, model = make_model(4)
+        # Snapshot ground-truth graphs per period BEFORE the router mutates
+        # the live graph (regression: fallback distributions must come from
+        # the base snapshot, not the rolled graph).
+        truth = {}
+        for period in PERIODS:
+            g = graph.copy()
+            for u, v in g.edge_keys():
+                mu, var = model.distribution(period.name, u, v)
+                g.set_edge_weight(u, v, mu, var)
+            truth[period.name] = g
+        router = TimeOfDayRouter(model, initial_minute=12 * 60)
+        rng = random.Random(4)
+        for minute in (12 * 60, 7 * 60, 18 * 60, 2 * 60, 8 * 60, 12 * 60):
+            s, t, alpha = random_query(graph, rng)
+            result = router.query(s, t, alpha, minute)
+            period = model.period_at(minute).name
+            expected, _ = exact_rsp(truth[period], s, t, alpha)
+            assert result.value == pytest.approx(expected)
+            assert router.current_period.name == period
+
+    def test_no_roll_within_period(self):
+        graph, model = make_model(5)
+        router = TimeOfDayRouter(model, initial_minute=11 * 60)
+        assert router.roll_to(12 * 60) is None
+        assert router.roll_reports == []
+
+    def test_roll_touches_few_labels(self):
+        graph, model = make_model(6)
+        router = TimeOfDayRouter(model, initial_minute=12 * 60)
+        report = router.roll_to(7 * 60)
+        assert report is not None
+        assert report.labels_rebuilt <= graph.num_vertices
+
+
+class TestStreamingUpdater:
+    def test_coalescing(self):
+        graph = make_random_instance(7, n=12, extra=10)
+        index = build_index(graph)
+        updater = StreamingUpdater(index, batch_size=100)
+        u, v = next(iter(graph.edge_keys()))
+        for i in range(5):
+            updater.submit(u, v, 10.0 + i, 1.0)
+        assert updater.stats.changes_submitted == 5
+        assert updater.stats.changes_coalesced == 4
+        assert updater.pending_count == 1
+        updater.flush()
+        assert index.graph.edge(u, v).mu == 14.0
+
+    def test_auto_flush_at_batch_size(self):
+        graph = make_random_instance(8, n=14, extra=12)
+        index = build_index(graph)
+        updater = StreamingUpdater(index, batch_size=3)
+        edges = list(graph.edge_keys())[:3]
+        flushed = [updater.submit(u, v, graph.edge(u, v).mu * 1.5, 1.0) for u, v in edges]
+        assert flushed == [False, False, True]
+        assert updater.pending_count == 0
+        assert updater.stats.batches_applied == 1
+
+    def test_index_correct_after_stream(self):
+        graph = make_random_instance(9, n=12, extra=10)
+        index = build_index(graph)
+        updater = StreamingUpdater(index, batch_size=4)
+        rng = random.Random(9)
+        edges = list(graph.edge_keys())
+        for _ in range(20):
+            u, v = edges[rng.randrange(len(edges))]
+            w = graph.edge(u, v)
+            updater.submit(u, v, w.mu * rng.uniform(0.6, 1.8), w.variance + 0.1)
+        updater.flush()
+        s, t, alpha = random_query(graph, rng)
+        expected, _ = exact_rsp(graph, s, t, alpha)
+        assert index.query(s, t, alpha).value == pytest.approx(expected)
+
+    def test_empty_flush(self):
+        graph = make_random_instance(10, n=8, extra=4)
+        updater = StreamingUpdater(build_index(graph))
+        assert updater.flush() == 0
+
+    def test_invalid_batch_size(self):
+        graph = make_random_instance(11, n=8, extra=4)
+        with pytest.raises(ValueError):
+            StreamingUpdater(build_index(graph), batch_size=0)
+
+    def test_amortised_accounting(self):
+        graph = make_random_instance(12, n=12, extra=10)
+        updater = StreamingUpdater(build_index(graph), batch_size=5)
+        edges = list(graph.edge_keys())
+        for u, v in edges[:10]:
+            w = graph.edge(u, v)
+            updater.submit(u, v, w.mu * 1.2, w.variance)
+        updater.flush()
+        assert updater.stats.changes_applied == 10
+        assert updater.stats.amortised_seconds_per_change > 0

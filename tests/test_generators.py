@@ -1,0 +1,171 @@
+"""Unit tests for network generators and Section VI-A sampling procedures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.covariance import edge_key
+from repro.network.datasets import DATASETS, make_dataset
+from repro.network.generators import (
+    PAPER_FIGURE1_ORDER,
+    assign_random_cv,
+    edges_within_hops,
+    generate_correlations,
+    grid_city,
+    paper_figure1,
+    random_connected_graph,
+)
+
+
+class TestPaperFigure1:
+    def test_shape(self, fig1):
+        assert fig1.num_vertices == 9
+        assert fig1.num_edges == 12
+        assert fig1.is_connected()
+
+    def test_edge_values_pinned_by_examples(self, fig1):
+        # Sums quoted across Examples 2, 5, 8, 13, 15.
+        assert fig1.path_mean_variance([6, 8, 9, 5]) == (9.0, 13.0)
+        assert fig1.path_mean_variance([6, 4, 7, 5]) == (9.0, 13.0)
+        assert fig1.path_mean_variance([6, 3, 8]) == (3.0, 1.0)
+        assert fig1.path_mean_variance([6, 1, 2, 9]) == (6.0, 16.0)
+        assert fig1.path_mean_variance([6, 8, 7]) == (13.0, 12.0)
+
+    def test_correlated_covariances(self, fig1_correlated):
+        _, cov = fig1_correlated
+        assert cov.get(edge_key(6, 4), edge_key(4, 7)) == -2.0
+        assert cov.get(edge_key(4, 7), edge_key(7, 5)) == 1.0
+        assert cov.num_entries == 2
+
+    def test_order_covers_vertices(self, fig1):
+        assert sorted(PAPER_FIGURE1_ORDER) == sorted(fig1.vertices())
+
+
+class TestGridCity:
+    def test_plain_grid(self):
+        g = grid_city(5, 7, seed=1)
+        assert g.num_vertices == 35
+        assert g.num_edges == 5 * 6 + 4 * 7  # horizontal + vertical
+        assert g.is_connected()
+
+    def test_obstacles_reduce_vertices(self):
+        dense = grid_city(12, 12, seed=2)
+        carved = grid_city(12, 12, seed=2, obstacle_fraction=0.25)
+        assert carved.num_vertices < dense.num_vertices
+        assert carved.is_connected()
+
+    def test_diagonals_increase_edges(self):
+        plain = grid_city(10, 10, seed=3)
+        diag = grid_city(10, 10, seed=3, diagonal_fraction=0.5)
+        assert diag.num_edges > plain.num_edges
+
+    def test_coordinates_present(self):
+        g = grid_city(4, 4, seed=4)
+        assert all(g.coordinates(v) is not None for v in g.vertices())
+
+    def test_relabelled_contiguous(self):
+        g = grid_city(10, 10, seed=5, obstacle_fraction=0.3)
+        assert sorted(g.vertices()) == list(range(g.num_vertices))
+
+
+class TestRandomConnectedGraph:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_connected(self, seed):
+        g = random_connected_graph(15, 10, seed=seed)
+        assert g.num_vertices == 15
+        assert g.is_connected()
+        assert g.num_edges >= 14
+
+    def test_no_duplicate_edges(self):
+        g = random_connected_graph(10, 30, seed=9)
+        keys = list(g.edge_keys())
+        assert len(keys) == len(set(keys))
+
+
+class TestAssignRandomCv:
+    def test_cv_bounds(self):
+        g = random_connected_graph(20, 10, seed=1)
+        assign_random_cv(g, 0.5, seed=2)
+        for _, _, w in g.edges():
+            assert 0.0 <= w.sigma < 0.5 * w.mu
+
+    def test_preserves_means(self):
+        g = random_connected_graph(10, 5, seed=1)
+        means = {k: g.edge(*k).mu for k in g.edge_keys()}
+        assign_random_cv(g, 0.9, seed=2)
+        assert {k: g.edge(*k).mu for k in g.edge_keys()} == means
+
+    def test_invalid_cv(self):
+        g = random_connected_graph(5, 2, seed=1)
+        with pytest.raises(ValueError):
+            assign_random_cv(g, 0.0)
+
+
+class TestEdgesWithinHops:
+    def test_path_graph_hops(self):
+        from repro.network.graph import StochasticGraph
+
+        g = StochasticGraph()
+        for i in range(5):
+            g.add_edge(i, i + 1, 1.0, 1.0)
+        e = (2, 3)
+        assert edges_within_hops(g, e, 1) == {(1, 2), (3, 4)}
+        assert edges_within_hops(g, e, 2) == {(1, 2), (3, 4), (0, 1), (4, 5)}
+
+    def test_excludes_self(self):
+        g = random_connected_graph(8, 4, seed=0)
+        e = next(iter(g.edge_keys()))
+        assert e not in edges_within_hops(g, e, 3)
+
+
+class TestGenerateCorrelations:
+    def test_locality(self):
+        g = random_connected_graph(25, 12, seed=1)
+        assign_random_cv(g, 0.5, seed=2)
+        hops = 2
+        cov = generate_correlations(g, hops, seed=3, density=0.8, ensure_psd=False)
+        for e, f, _ in cov.items():
+            assert f in edges_within_hops(g, e, hops)
+
+    def test_density_zero_gives_empty(self):
+        g = random_connected_graph(10, 5, seed=1)
+        assign_random_cv(g, 0.5, seed=2)
+        cov = generate_correlations(g, 2, seed=3, density=0.0)
+        assert cov.is_empty()
+
+    def test_rho_range_respected(self):
+        g = random_connected_graph(15, 8, seed=1)
+        assign_random_cv(g, 0.5, seed=2)
+        cov = generate_correlations(
+            g, 2, seed=3, rho_range=(0.0, 1.0), density=0.8, ensure_psd=False
+        )
+        for e, f, value in cov.items():
+            assert value >= 0.0
+            assert value <= g.edge(*e).sigma * g.edge(*f).sigma + 1e-12
+
+
+class TestMakeDataset:
+    def test_all_specs_buildable_small(self):
+        for name in DATASETS:
+            graph, cov = make_dataset(name, scale=0.3)
+            assert graph.is_connected()
+            assert cov.is_empty()
+
+    def test_relative_sizes_match_table1_order(self):
+        sizes = {
+            name: make_dataset(name, scale=0.4)[0].num_vertices for name in ("NY", "BAY", "COL")
+        }
+        assert sizes["NY"] < sizes["COL"]
+
+    def test_correlated_dataset(self):
+        graph, cov = make_dataset("NY", scale=0.3, correlated=True, hops=2)
+        assert not cov.is_empty()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("LA")
+
+    def test_scale_changes_size(self):
+        small = make_dataset("NY", scale=0.3)[0]
+        large = make_dataset("NY", scale=0.6)[0]
+        assert large.num_vertices > small.num_vertices

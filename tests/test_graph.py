@@ -1,0 +1,95 @@
+"""Unit tests for the stochastic graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.graph import StochasticGraph
+
+
+@pytest.fixture()
+def triangle():
+    g = StochasticGraph()
+    g.add_edge(0, 1, 2.0, 1.0)
+    g.add_edge(1, 2, 3.0, 4.0)
+    g.add_edge(0, 2, 10.0, 0.5)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+
+    def test_edge_is_undirected(self, triangle):
+        assert triangle.edge(0, 1) is triangle.edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        g = StochasticGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1, 1.0, 0.0)
+
+    def test_nonpositive_mean_rejected(self):
+        g = StochasticGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -2.0, 1.0)
+
+    def test_add_vertex_idempotent(self):
+        g = StochasticGraph(2)
+        g.add_vertex(1)
+        g.add_vertex(5)
+        assert sorted(g.vertices()) == [0, 1, 5]
+
+    def test_set_edge_weight_requires_existing(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.set_edge_weight(0, 5, 1.0, 1.0)
+        triangle.set_edge_weight(0, 1, 7.0, 2.0)
+        assert triangle.edge(1, 0).mu == 7.0
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+        assert triangle.num_edges == 2
+
+
+class TestInspection:
+    def test_edges_yield_canonical_once(self, triangle):
+        keys = list(triangle.edge_keys())
+        assert len(keys) == 3
+        assert all(u < v for u, v in keys)
+
+    def test_neighbors_and_degree(self, triangle):
+        assert sorted(triangle.neighbors(1)) == [0, 2]
+        assert triangle.degree(1) == 2
+
+    def test_coordinates(self, triangle):
+        assert triangle.coordinates(0) is None
+        triangle.set_coordinates(0, 1.5, -2.0)
+        assert triangle.coordinates(0) == (1.5, -2.0)
+
+
+class TestUtilities:
+    def test_copy_is_deep_for_weights(self, triangle):
+        clone = triangle.copy()
+        clone.set_edge_weight(0, 1, 99.0, 1.0)
+        assert triangle.edge(0, 1).mu == 2.0
+        assert clone.num_edges == triangle.num_edges
+
+    def test_connectivity(self, triangle):
+        assert triangle.is_connected()
+        g = StochasticGraph(4)
+        g.add_edge(0, 1, 1.0, 0.0)
+        g.add_edge(2, 3, 1.0, 0.0)
+        assert not g.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert StochasticGraph().is_connected()
+
+    def test_path_mean_variance(self, triangle):
+        mu, var = triangle.path_mean_variance([0, 1, 2])
+        assert (mu, var) == (5.0, 5.0)
+
+    def test_path_mean_variance_single_vertex(self, triangle):
+        assert triangle.path_mean_variance([0]) == (0.0, 0.0)

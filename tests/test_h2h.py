@@ -1,0 +1,67 @@
+"""Tests for the deterministic H2H distance index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_random_instance
+from repro import build_index
+from repro.baselines.dijkstra import dijkstra
+from repro.baselines.h2h import H2HIndex
+from repro.network.generators import PAPER_FIGURE1_ORDER, grid_city, assign_random_cv
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_pairs_match_dijkstra(self, seed):
+        graph = make_random_instance(seed, n=18, extra=14)
+        index = H2HIndex(graph)
+        for s in list(graph.vertices())[:6]:
+            dist, _ = dijkstra(graph, s)
+            for t in graph.vertices():
+                assert index.distance(s, t) == pytest.approx(dist[t])
+
+    def test_grid(self):
+        graph = grid_city(6, 6, seed=1)
+        assign_random_cv(graph, 0.3, seed=2)
+        index = H2HIndex(graph)
+        dist, _ = dijkstra(graph, 0)
+        for t in (5, 17, 35):
+            assert index.distance(0, t) == pytest.approx(dist[t])
+
+    def test_figure1(self, fig1):
+        index = H2HIndex(fig1, order=PAPER_FIGURE1_ORDER)
+        # Shortest mean 6->5 is 8 via (6,1,2,9,5).
+        assert index.distance(6, 5) == pytest.approx(8.0)
+        assert index.distance(5, 6) == pytest.approx(8.0)
+
+    def test_self_distance(self, fig1):
+        index = H2HIndex(fig1, order=PAPER_FIGURE1_ORDER)
+        assert index.distance(4, 4) == 0.0
+
+    def test_ancestor_descendant(self, fig1):
+        index = H2HIndex(fig1, order=PAPER_FIGURE1_ORDER)
+        dist, _ = dijkstra(fig1, 9)
+        assert index.distance(9, 1) == pytest.approx(dist[1])
+
+
+class TestAgainstNRP:
+    def test_matches_nrp_at_alpha_half(self):
+        """H2H is exactly NRP's alpha = 0.5 special case."""
+        graph = make_random_instance(7, n=16, extra=12)
+        h2h = H2HIndex(graph)
+        nrp = build_index(graph, order=h2h.td.order)
+        rng = random.Random(7)
+        vertices = list(graph.vertices())
+        for _ in range(10):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            assert h2h.distance(s, t) == pytest.approx(nrp.query(s, t, 0.5).value)
+
+    def test_smaller_than_nrp(self):
+        """Scalar labels are leaner than non-dominated path sets."""
+        graph = make_random_instance(8, n=20, extra=15, cv=0.9)
+        h2h = H2HIndex(graph)
+        nrp = build_index(graph, order=h2h.td.order)
+        assert h2h.num_entries <= nrp.size_info().label_paths

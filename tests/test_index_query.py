@@ -1,0 +1,173 @@
+"""End-to-end NRP index correctness against exact ground truth."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro import build_index
+from repro.baselines.brute_force import exact_rsp
+from repro.baselines.dijkstra import shortest_mean_path
+from repro.core.query import QueryStats
+
+
+class TestIndependentExactness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, seed):
+        graph = make_random_instance(seed)
+        index = build_index(graph)
+        rng = random.Random(seed + 77)
+        for _ in range(6):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            result = index.query(s, t, alpha)
+            assert result.value == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_returned_path_consistent(self, seed):
+        """The reported path exists, runs s->t, and realises the value."""
+        graph = make_random_instance(seed)
+        index = build_index(graph)
+        rng = random.Random(seed)
+        for _ in range(5):
+            s, t, alpha = random_query(graph, rng)
+            result = index.query(s, t, alpha)
+            path = result.path
+            assert path[0] == s and path[-1] == t
+            for u, v in zip(path, path[1:]):
+                assert graph.has_edge(u, v)
+            mu, var = graph.path_mean_variance(path)
+            assert mu == pytest.approx(result.mu)
+            assert var == pytest.approx(result.variance)
+
+    def test_alpha_half_equals_dijkstra(self):
+        graph = make_random_instance(3, n=20, extra=15)
+        index = build_index(graph)
+        rng = random.Random(5)
+        for _ in range(10):
+            s, t, _ = random_query(graph, rng)
+            expected, _ = shortest_mean_path(graph, s, t)
+            assert index.query(s, t, 0.5).value == pytest.approx(expected)
+
+    def test_without_pruning_same_answers(self):
+        graph = make_random_instance(4)
+        index = build_index(graph)
+        rng = random.Random(4)
+        for _ in range(10):
+            s, t, alpha = random_query(graph, rng)
+            with_pruning = index.query(s, t, alpha)
+            without = index.query(s, t, alpha, use_pruning=False)
+            assert with_pruning.value == pytest.approx(without.value)
+
+    def test_strict_mv_variant_matches(self):
+        graph = make_random_instance(6)
+        strict = build_index(graph, z_max=None)
+        rng = random.Random(6)
+        for _ in range(8):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            assert strict.query(s, t, alpha).value == pytest.approx(expected)
+
+
+class TestCorrelatedExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_full_window(self, seed):
+        graph, cov = make_correlated_instance(seed)
+        index = build_index(graph, cov, window=12)  # full windows: exact
+        rng = random.Random(seed + 31)
+        for _ in range(5):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha, cov)
+            assert index.query(s, t, alpha).value == pytest.approx(expected)
+
+    def test_short_window_is_close(self):
+        """With window = K the covariance accounting is the paper's
+        approximation: values stay within the total correlation budget."""
+        graph, cov = make_correlated_instance(3, hops=2)
+        exact_index = build_index(graph, cov, window=12)
+        approx_index = build_index(graph, cov, window=2)
+        rng = random.Random(9)
+        for _ in range(10):
+            s, t, alpha = random_query(graph, rng)
+            exact = exact_index.query(s, t, alpha).value
+            approx = approx_index.query(s, t, alpha).value
+            assert approx == pytest.approx(exact, rel=0.25)
+
+
+class TestQueryEdgeCases:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return build_index(make_random_instance(11, n=15, extra=10))
+
+    def test_source_equals_target(self, index):
+        result = index.query(4, 4, 0.9)
+        assert result.value == 0.0
+        assert result.path == [4]
+
+    def test_alpha_domain(self, index):
+        with pytest.raises(ValueError):
+            index.query(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            index.query(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            index.query(0, 1, 0.3)
+
+    def test_ancestor_descendant_queries(self, index):
+        """Queries answered directly from one label (Lines 2-5 of Alg. 1)."""
+        td = index.td
+        graph = index.graph
+        count = 0
+        for v in td.order:
+            for u in td.ancestors(v):
+                expected, _ = exact_rsp(graph, u, v, 0.9)
+                result = index.query(u, v, 0.9)
+                assert result.value == pytest.approx(expected)
+                assert result.stats.hoplinks == 0
+                count += 1
+                if count >= 10:
+                    return
+
+    def test_stats_accumulate(self, index):
+        stats = QueryStats()
+        rng = random.Random(2)
+        for _ in range(5):
+            s, t, alpha = random_query(index.graph, rng)
+            index.query(s, t, alpha, stats=stats)
+        assert stats.label_lookups > 0
+        assert stats.concatenations >= 0
+
+    def test_stats_merge(self):
+        a = QueryStats(hoplinks=1, concatenations=2, label_lookups=3)
+        b = QueryStats(hoplinks=10, concatenations=20, label_lookups=30)
+        a.merge(b)
+        assert (a.hoplinks, a.concatenations, a.label_lookups) == (11, 22, 33)
+
+
+class TestIndexIntrospection:
+    def test_size_info_counts(self):
+        graph = make_random_instance(1, n=10, extra=6)
+        index = build_index(graph)
+        info = index.size_info()
+        assert info.label_entries == sum(len(e) for e in index.labels.values())
+        assert info.label_paths >= info.label_entries  # every entry non-empty
+        assert info.estimated_bytes > 0
+        assert info.extra_storage_bytes >= 0
+
+    def test_construction_time_recorded(self):
+        graph = make_random_instance(2, n=8, extra=4)
+        index = build_index(graph)
+        assert index.construction_seconds > 0
+
+    def test_pruning_reduces_concatenations(self):
+        graph = make_random_instance(8, n=25, extra=20, cv=0.9)
+        index = build_index(graph)
+        rng = random.Random(8)
+        pruned = QueryStats()
+        full = QueryStats()
+        for _ in range(20):
+            s, t, alpha = random_query(graph, rng, 0.7, 0.8)
+            index.query(s, t, alpha, stats=pruned)
+            index.query(s, t, alpha, use_pruning=False, stats=full)
+        assert pruned.concatenations <= full.concatenations

@@ -1,0 +1,59 @@
+"""Tests for the plain label-correcting baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro.baselines.astar import SearchStats, sdrsp_query
+from repro.baselines.brute_force import exact_rsp
+from repro.baselines.labelcorrecting import label_correcting_query
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        graph = make_random_instance(seed)
+        rng = random.Random(seed + 17)
+        for _ in range(4):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            value, path = label_correcting_query(graph, s, t, alpha)
+            assert value == pytest.approx(expected)
+            assert path[0] == s and path[-1] == t
+
+    def test_correlated(self):
+        graph, cov = make_correlated_instance(2)
+        rng = random.Random(2)
+        s, t, alpha = random_query(graph, rng)
+        expected, _ = exact_rsp(graph, s, t, alpha, cov)
+        value, _ = label_correcting_query(graph, s, t, alpha, cov, window=12)
+        assert value == pytest.approx(expected)
+
+
+class TestSearchEffort:
+    def test_astar_expands_no_more_labels(self):
+        """The point of the comparison: goal direction shrinks the search."""
+        graph = make_random_instance(3, n=40, extra=30)
+        rng = random.Random(3)
+        lc = SearchStats()
+        astar = SearchStats()
+        for _ in range(6):
+            s, t, alpha = random_query(graph, rng, 0.7, 0.8)
+            label_correcting_query(graph, s, t, alpha, stats=lc)
+            sdrsp_query(graph, s, t, alpha, stats=astar)
+        assert astar.labels_expanded <= lc.labels_expanded
+
+    def test_available_in_suite(self):
+        from repro.experiments.runners import AlgorithmSuite
+        from repro.experiments.workloads import random_queries
+
+        graph = make_random_instance(4, n=15, extra=10)
+        suite = AlgorithmSuite(graph, None, algorithms=("NRP", "LC"))
+        queries = random_queries(graph, 4, seed=1)
+        nrp = suite.run("NRP", queries)
+        lc = suite.run("LC", queries)
+        for a, b in zip(nrp.values, lc.values):
+            assert a == pytest.approx(b)

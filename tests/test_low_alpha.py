@@ -1,0 +1,138 @@
+"""Tests for the symmetric ``P^{<0.5}`` plane (risk-seeking queries).
+
+The paper omits alpha < 0.5 "by symmetry"; this reproduction implements it
+(``support_low_alpha=True``).  Ground-truth note: with ``Z_alpha < 0`` a
+cycle can in principle *reduce* a walk's value, but only when
+``|Z_alpha| * CV >= 1``; the instances below keep ``CV = 0.25 < 1/3.1`` so
+the optimum is provably simple and brute force is exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import random_query
+from repro import assign_random_cv, build_index, random_connected_graph
+from repro.baselines.brute_force import exact_rsp
+from repro.core.refine import refine_independent_low
+from repro.core.pathsummary import edge_path
+
+
+def low_instance(seed: int, n: int = 12, extra: int = 10):
+    graph = random_connected_graph(n, extra, seed=seed)
+    assign_random_cv(graph, 0.25, seed=seed + 1)
+    return graph
+
+
+class TestRefineLow:
+    def test_sigma_increasing(self):
+        rng = random.Random(0)
+        paths = [
+            edge_path(0, 1, rng.uniform(1, 20), rng.uniform(0, 30), False)
+            for _ in range(60)
+        ]
+        kept = refine_independent_low(paths)
+        mus = [p.mu for p in kept]
+        sigmas = [p.sigma for p in kept]
+        assert mus == sorted(mus)
+        assert all(sigmas[i] < sigmas[i + 1] for i in range(len(sigmas) - 1))
+
+    def test_min_mean_always_kept(self):
+        paths = [edge_path(0, 1, 5.0, 1.0, False), edge_path(0, 1, 6.0, 9.0, False)]
+        kept = refine_independent_low(paths)
+        assert kept[0].mu == 5.0
+
+    def test_high_variance_survives_low_side(self):
+        # Higher mean + higher variance: pruned on the high side, kept low.
+        from repro.core.refine import refine_independent
+
+        paths = [edge_path(0, 1, 5.0, 1.0, False), edge_path(0, 1, 6.0, 25.0, False)]
+        assert len(refine_independent(paths)) == 1
+        assert len(refine_independent_low(paths)) == 2
+
+
+class TestLowAlphaQueries:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        graph = low_instance(seed)
+        index = build_index(graph, support_low_alpha=True)
+        rng = random.Random(seed + 41)
+        for _ in range(5):
+            s, t, _ = random_query(graph, rng)
+            alpha = rng.uniform(0.01, 0.499)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            result = index.query(s, t, alpha)
+            assert result.value == pytest.approx(expected)
+
+    def test_low_alpha_without_support_raises(self):
+        graph = low_instance(1)
+        index = build_index(graph)
+        with pytest.raises(ValueError, match="support_low_alpha"):
+            index.query(0, 5, 0.3)
+
+    def test_high_alpha_still_exact_with_low_plane(self):
+        graph = low_instance(2)
+        index = build_index(graph, support_low_alpha=True)
+        rng = random.Random(2)
+        for _ in range(5):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            assert index.query(s, t, alpha).value == pytest.approx(expected)
+
+    def test_risk_seeker_prefers_variance(self):
+        """At alpha < 0.5 a gambler picks the riskier of two equal-mean
+        routes; at alpha > 0.5 the safer one."""
+        from repro.network.graph import StochasticGraph
+
+        g = StochasticGraph()
+        g.add_edge(0, 1, 10.0, 25.0)  # risky direct road
+        g.add_edge(0, 2, 5.0, 0.25)
+        g.add_edge(2, 1, 5.0, 0.25)  # safe two-leg route, same mean
+        index = build_index(g, support_low_alpha=True)
+        assert index.query(0, 1, 0.2).path == [0, 1]
+        assert index.query(0, 1, 0.8).path == [0, 2, 1]
+
+    def test_size_info_counts_both_planes(self):
+        graph = low_instance(3)
+        single = build_index(graph)
+        double = build_index(graph, support_low_alpha=True)
+        assert double.size_info().label_paths > single.size_info().label_paths
+
+    def test_validate_passes(self):
+        graph = low_instance(4)
+        index = build_index(graph, support_low_alpha=True)
+        index.validate()
+
+    def test_batch_queries(self):
+        graph = low_instance(5)
+        index = build_index(graph, support_low_alpha=True)
+        rng = random.Random(5)
+        triples = []
+        for _ in range(6):
+            s, t, _ = random_query(graph, rng)
+            triples.append((s, t, rng.choice([0.3, 0.7])))
+        results = index.query_batch(triples)
+        assert len(results) == 6
+        for (s, t, alpha), r in zip(triples, results):
+            assert (r.source, r.target, r.alpha) == (s, t, alpha)
+
+
+class TestLowAlphaMaintenance:
+    def test_updates_repair_both_planes(self):
+        from repro import IndexMaintainer
+
+        graph = low_instance(6)
+        index = build_index(graph, support_low_alpha=True)
+        maintainer = IndexMaintainer(index)
+        rng = random.Random(6)
+        edges = list(graph.edge_keys())
+        for _ in range(3):
+            u, v = edges[rng.randrange(len(edges))]
+            w = graph.edge(u, v)
+            maintainer.update_edge(u, v, w.mu * 1.6, w.variance * 1.2 + 0.01)
+            s, t, _ = random_query(graph, rng)
+            for alpha in (0.3, 0.9):
+                expected, _ = exact_rsp(graph, s, t, alpha)
+                assert index.query(s, t, alpha).value == pytest.approx(expected)

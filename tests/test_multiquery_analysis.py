@@ -1,0 +1,117 @@
+"""Tests for one-to-all / isochrone / top-k queries and index analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_random_instance, random_query
+from repro import build_index
+from repro.baselines.brute_force import exact_rsp
+from repro.core.analysis import analyze_index
+from repro.core.multiquery import one_to_all, query_topk, reliability_isochrone
+
+
+@pytest.fixture(scope="module")
+def indexed_graph():
+    graph = make_random_instance(21, n=16, extra=12)
+    return graph, build_index(graph)
+
+
+class TestOneToAll:
+    def test_covers_all_vertices(self, indexed_graph):
+        graph, index = indexed_graph
+        values = one_to_all(index, 0, 0.9)
+        assert set(values) == set(graph.vertices())
+        assert values[0] == 0.0
+
+    def test_values_match_point_queries(self, indexed_graph):
+        graph, index = indexed_graph
+        values = one_to_all(index, 3, 0.8)
+        rng = random.Random(1)
+        for t in rng.sample(sorted(values), 5):
+            assert values[t] == pytest.approx(index.query(3, t, 0.8).value)
+
+    def test_isochrone_monotone_in_budget(self, indexed_graph):
+        _, index = indexed_graph
+        small = reliability_isochrone(index, 0, 0.9, 5.0)
+        large = reliability_isochrone(index, 0, 0.9, 50.0)
+        assert small <= large
+        assert 0 in small
+
+    def test_isochrone_shrinks_with_alpha(self, indexed_graph):
+        _, index = indexed_graph
+        values = one_to_all(index, 0, 0.9)
+        budget = sorted(values.values())[len(values) // 2]
+        lax = reliability_isochrone(index, 0, 0.55, budget)
+        strict = reliability_isochrone(index, 0, 0.99, budget)
+        assert strict <= lax
+
+
+class TestTopK:
+    def test_k1_is_exact(self, indexed_graph):
+        graph, index = indexed_graph
+        rng = random.Random(2)
+        for _ in range(5):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            top = query_topk(index, s, t, alpha, 1)
+            assert len(top) == 1
+            assert top[0].value == pytest.approx(expected)
+
+    def test_values_ascending_and_routes_distinct(self, indexed_graph):
+        graph, index = indexed_graph
+        rng = random.Random(3)
+        s, t, alpha = random_query(graph, rng)
+        top = query_topk(index, s, t, alpha, 4)
+        values = [r.value for r in top]
+        assert values == sorted(values)
+        routes = {tuple(r.path) for r in top}
+        assert len(routes) == len(top)
+
+    def test_paths_valid(self, indexed_graph):
+        graph, index = indexed_graph
+        top = query_topk(index, 0, 9, 0.9, 3)
+        for r in top:
+            assert r.path[0] == 0 and r.path[-1] == 9
+            for u, v in zip(r.path, r.path[1:]):
+                assert graph.has_edge(u, v)
+
+    def test_source_equals_target(self, indexed_graph):
+        _, index = indexed_graph
+        top = query_topk(index, 4, 4, 0.9, 3)
+        assert len(top) == 1
+        assert top[0].value == 0.0
+
+    def test_invalid_k(self, indexed_graph):
+        _, index = indexed_graph
+        with pytest.raises(ValueError):
+            query_topk(index, 0, 1, 0.9, 0)
+
+
+class TestAnalysis:
+    def test_consistent_with_size_info(self, indexed_graph):
+        _, index = indexed_graph
+        stats = analyze_index(index)
+        info = index.size_info()
+        assert stats.label_entries == info.label_entries
+        assert stats.label_paths == info.label_paths
+        assert sum(stats.set_size_histogram.values()) == stats.label_entries
+        assert sum(k * v for k, v in stats.set_size_histogram.items()) == stats.label_paths
+
+    def test_mean_and_max(self, indexed_graph):
+        _, index = indexed_graph
+        stats = analyze_index(index)
+        assert 1.0 <= stats.mean_set_size <= stats.max_set_size
+        assert 0.0 <= stats.singleton_fraction <= 1.0
+
+    def test_label_sets_grow_with_cv(self):
+        """The mechanism behind Figure 7's CV panels."""
+        from repro.network.datasets import make_dataset
+
+        mean_sizes = []
+        for cv in (0.1, 0.9):
+            graph, _ = make_dataset("NY", scale=0.4, cv=cv, seed=7)
+            mean_sizes.append(analyze_index(build_index(graph)).mean_set_size)
+        assert mean_sizes[1] > mean_sizes[0]

@@ -1,0 +1,61 @@
+"""Tests for the nested-dissection elimination ordering."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_random_instance, random_query
+from repro import build_index
+from repro.baselines.brute_force import exact_rsp
+from repro.network.datasets import make_dataset
+from repro.network.generators import grid_city, random_connected_graph
+from repro.treedec.decomposition import build_tree_decomposition
+from repro.treedec.nested_dissection import nested_dissection_order
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_is_a_permutation(self, seed):
+        graph = random_connected_graph(40, 25, seed=seed)
+        order = nested_dissection_order(graph)
+        assert sorted(order) == sorted(graph.vertices())
+
+    def test_empty_graph(self):
+        from repro.network.graph import StochasticGraph
+
+        assert nested_dissection_order(StochasticGraph()) == []
+
+    def test_small_graph_falls_back(self):
+        graph = random_connected_graph(8, 4, seed=1)
+        order = nested_dissection_order(graph)
+        assert sorted(order) == sorted(graph.vertices())
+
+    def test_valid_tree_decomposition(self):
+        graph = grid_city(9, 9, seed=2)
+        td = build_tree_decomposition(graph, nested_dissection_order(graph))
+        # Bag-ancestor invariant (the property NRP labels rely on).
+        for v in td.order:
+            for u in td.bags[v][1:]:
+                assert td.is_ancestor(u, v)
+
+    def test_shallower_than_min_degree_on_grids(self):
+        graph, _ = make_dataset("NY", scale=0.6, seed=7)
+        td_md = build_tree_decomposition(graph)
+        td_nd = build_tree_decomposition(graph, nested_dissection_order(graph))
+        # On grid-like road networks ND should not be substantially worse
+        # in height; typically it is shallower.
+        assert td_nd.treeheight <= 1.25 * td_md.treeheight
+
+
+class TestIndexWithNdOrder:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_queries_exact(self, seed):
+        graph = make_random_instance(seed, n=16, extra=12)
+        index = build_index(graph, order=nested_dissection_order(graph))
+        rng = random.Random(seed + 3)
+        for _ in range(4):
+            s, t, alpha = random_query(graph, rng)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            assert index.query(s, t, alpha).value == pytest.approx(expected)

@@ -1,0 +1,93 @@
+"""Tests for the simulated NYC-DOT feed and MLE fitting pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generators import assign_random_cv, grid_city
+from repro.network.nyc_dot import (
+    Sensor,
+    SensorReading,
+    fit_edge_distributions,
+    simulate_dot_feed,
+)
+
+
+@pytest.fixture(scope="module")
+def city():
+    graph = grid_city(8, 8, seed=1)
+    assign_random_cv(graph, 0.4, seed=2)
+    return graph
+
+
+class TestSimulateFeed:
+    def test_coverage_controls_sensor_count(self, city):
+        none = simulate_dot_feed(city, coverage=0.0, seed=3)
+        most = simulate_dot_feed(city, coverage=0.9, seed=3)
+        assert len(none) == 0
+        assert len(most) > 0.7 * city.num_edges
+
+    def test_readings_in_window(self, city):
+        sensors = simulate_dot_feed(city, readings_per_sensor=12, seed=4)
+        for sensor in sensors[:10]:
+            assert len(sensor.readings) == 12
+            for reading in sensor.readings:
+                assert 0.0 <= reading.minute <= 15.0
+                assert reading.travel_time > 0.0
+
+    def test_rush_hour_inflates_times(self, city):
+        calm = simulate_dot_feed(city, rush_hour_factor=1.0, seed=5)
+        rush = simulate_dot_feed(city, rush_hour_factor=2.0, seed=5)
+        mean = lambda sensors: sum(
+            r.travel_time for s in sensors for r in s.readings
+        ) / sum(len(s.readings) for s in sensors)
+        assert mean(rush) > 1.5 * mean(calm)
+
+
+class TestFitting:
+    def test_fitted_close_to_truth(self, city):
+        sensors = simulate_dot_feed(
+            city, coverage=1.0, readings_per_sensor=200, position_noise=0.0, seed=6
+        )
+        fitted = fit_edge_distributions(city, sensors)
+        errors = []
+        for u, v, truth in city.edges():
+            estimate = fitted.edge(u, v)
+            errors.append(abs(estimate.mu - truth.mu) / truth.mu)
+        assert sum(errors) / len(errors) < 0.05
+
+    def test_uncovered_edges_get_default_cv(self, city):
+        fitted = fit_edge_distributions(city, [], default_cv=0.3)
+        for u, v, truth in city.edges():
+            estimate = fitted.edge(u, v)
+            assert estimate.mu == truth.mu
+            assert estimate.sigma == pytest.approx(0.3 * truth.mu)
+
+    def test_input_graph_untouched(self, city):
+        before = {k: city.edge(*k).mu for k in city.edge_keys()}
+        sensors = simulate_dot_feed(city, seed=7)
+        fit_edge_distributions(city, sensors)
+        assert {k: city.edge(*k).mu for k in city.edge_keys()} == before
+
+    def test_min_readings_respected(self, city):
+        sparse = [Sensor(0, 0.5, 0.0, [SensorReading(1.0, 42.0)])]
+        fitted = fit_edge_distributions(city, sparse, min_readings=2)
+        # The lone reading is below the threshold: no edge gets mu == 42.
+        assert all(w.mu != 42.0 for _, _, w in fitted.edges())
+
+    def test_requires_coordinates(self):
+        from repro.network.generators import random_connected_graph
+
+        bare = random_connected_graph(5, 3, seed=1)
+        with pytest.raises(ValueError):
+            fit_edge_distributions(bare, [])
+
+    def test_pipeline_feeds_index(self, city):
+        """Figure 10's precondition: the fitted network is indexable."""
+        from repro import build_index
+
+        sensors = simulate_dot_feed(city, rush_hour_factor=1.4, seed=8)
+        fitted = fit_edge_distributions(city, sensors)
+        index = build_index(fitted)
+        result = index.query(0, fitted.num_vertices - 1, 0.9)
+        assert result.value > 0.0

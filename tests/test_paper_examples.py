@@ -1,0 +1,210 @@
+"""Every worked example of the paper, with its published numbers.
+
+These tests pin the reproduction to the paper: Examples 1-16 quote concrete
+means, variances, bounds, and answers for the Figure 1 network, and each is
+asserted here (one known erratum is documented inline).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import build_index, paper_figure1, z_value
+from repro.baselines.brute_force import exact_rsp
+from repro.core.maintenance import IndexMaintainer
+from repro.core.pruning import LabelPathSet, prune_pair
+from repro.network.generators import PAPER_FIGURE1_ORDER
+from repro.stats.normal import phi_cdf
+
+
+def reliability(mu, var, alpha):
+    return mu + z_value(alpha) * math.sqrt(var)
+
+
+class TestExample1And2:
+    def test_edge_v6_v8_is_n_2_4(self, fig1):
+        weight = fig1.edge(6, 8)
+        assert weight.mu == 2.0
+        assert weight.sigma == 2.0
+        assert weight.variance == 4.0
+
+    def test_independent_optimum(self, fig1_index):
+        """p* = (v6,v8,v9,v5) with W ~ N(9,13) and F^{-1}(0.95) = 14.93."""
+        result = fig1_index.query(6, 5, 0.95)
+        assert result.mu == 9.0
+        assert result.variance == 13.0
+        assert result.value == pytest.approx(14.93, abs=0.01)
+        assert result.path in ([6, 8, 9, 5], [6, 4, 7, 5])  # tie in the paper
+
+    def test_correlated_optimum(self, fig1_correlated_index):
+        """Correlated case: p* = (v6,v4,v7,v5), variance 11, F = 14.46."""
+        result = fig1_correlated_index.query(6, 5, 0.95)
+        assert result.path == [6, 4, 7, 5]
+        assert result.variance == pytest.approx(11.0)
+        assert result.value == pytest.approx(14.46, abs=0.01)
+
+    def test_correlated_variance_formula(self, fig1_correlated):
+        graph, cov = fig1_correlated
+        var = cov.path_variance(graph, [6, 4, 7, 5])
+        assert var == pytest.approx(5 + 5 + 3 + 2 * (-2) + 2 * 1)
+
+
+class TestExample4Separators:
+    def test_lca_and_separators(self, fig1_index):
+        td = fig1_index.td
+        assert td.lca(6, 5) == 7
+        h_s, h_t = td.separators(6, 5)
+        assert h_s == {7, 8, 9}  # X(v6) \ {v6}
+        assert h_t == {7, 9}  # X(v5) \ {v5}
+
+
+class TestExample5NoOptimalSubstructure:
+    """The locally optimal v6-v8 subpath is not part of the optimal path."""
+
+    def test_local_values(self, fig1):
+        # The paper rounds Z_0.95 to 1.645; abs=0.02 covers the rounding.
+        alpha = 0.95
+        assert reliability(3, 1, alpha) == pytest.approx(4.65, abs=0.02)  # (6,3,8)
+        assert reliability(2, 4, alpha) == pytest.approx(5.30, abs=0.02)  # (6,8)
+        assert reliability(8, 6, alpha) == pytest.approx(12.03, abs=0.02)  # (6,3,8,9)
+        assert reliability(7, 9, alpha) == pytest.approx(11.93, abs=0.02)  # (6,8,9)
+
+    def test_concatenation_flips_the_winner(self, fig1):
+        alpha = 0.95
+        # (6,3,8) beats (6,8) ...
+        assert reliability(3, 1, alpha) < reliability(2, 4, alpha)
+        # ... but (6,3,8,9) loses to (6,8,9) after appending (8,9).
+        assert reliability(8, 6, alpha) > reliability(7, 9, alpha)
+
+
+class TestExample8LabelContents:
+    def test_p_v6v9(self, fig1_index):
+        """P^{>0.5}_{v6v9} = {(6,16), (7,9), (8,6)} (Example 8)."""
+        label_set = fig1_index.labels[6][9]
+        assert [(p.mu, p.var) for p in label_set.paths] == [
+            (6.0, 16.0),
+            (7.0, 9.0),
+            (8.0, 6.0),
+        ]
+        vertex_paths = sorted(p.vertices() for p in label_set.paths)
+        assert [6, 1, 2, 9] in vertex_paths
+        assert [6, 8, 9] in vertex_paths
+        assert [6, 3, 8, 9] in vertex_paths
+
+
+class TestExamples9To12Pruning:
+    """Intersection dominance bounds on P_{v6v9} vs P_{v9v5} at alpha=0.95."""
+
+    @pytest.fixture()
+    def sets(self, fig1_index):
+        return fig1_index.labels[6][9], fig1_index.labels[5][9]
+
+    def test_example9_intersection_value(self, sets):
+        set_sh, set_ht = sets
+        # (v6,v8,v9) is index 1, (v6,v3,v8,v9) is index 2; after
+        # concatenating (v9,v5) (sigma = 2) the intersection is at 0.988.
+        assert set_ht.sigma_min == 2.0
+        y = phi_cdf((10 - 9) / (math.sqrt(9 + 4) - math.sqrt(6 + 4)))
+        assert y == pytest.approx(0.988, abs=0.001)
+        assert set_sh.bound(2, 1, set_ht.sigma_min) == pytest.approx(y)
+
+    def test_example10_upper_bound_maximizer(self, sets):
+        set_sh, _ = sets
+        # For (v6,v3,v8,v9): maximizer is (v6,v8,v9) (index 1), not index 0.
+        assert set_sh.ub_ratio[2] == 1
+        assert phi_cdf((8 - 7) / (3 - math.sqrt(6))) > phi_cdf((8 - 6) / (4 - math.sqrt(6)))
+
+    def test_example11_lower_bound_minimizer(self, sets):
+        set_sh, _ = sets
+        # For (v6,v1,v2,v9): minimizer is (v6,v8,v9) (index 1).
+        assert set_sh.lb_ratio[0] == 1
+        assert phi_cdf((7 - 6) / (4 - 3)) < phi_cdf((8 - 6) / (4 - math.sqrt(6)))
+
+    def test_example12_pruning_outcome(self, sets):
+        set_sh, set_ht = sets
+        # B for (v6,v1,v2,v9) against its minimizer: 0.88 -> pruned at 0.95.
+        b = set_sh.bound(0, 1, set_ht.sigma_max)
+        assert b == pytest.approx(0.88, abs=0.005)
+        keep_sh, keep_ht = prune_pair(set_sh, set_ht, 0.95)
+        assert keep_sh == [1]  # only (v6,v8,v9) survives
+        assert keep_ht == [0]  # (v9,v5) has no maximizer/minimizer: kept
+
+    def test_example12_bounds_for_kept_path(self, sets):
+        set_sh, set_ht = sets
+        lower = set_sh.bound(1, set_sh.ub_ratio[1], set_ht.sigma_min)
+        upper = set_sh.bound(1, set_sh.lb_ratio[1], set_ht.sigma_max)
+        assert lower == pytest.approx(0.88, abs=0.005)
+        assert upper == pytest.approx(0.988, abs=0.005)
+        assert lower <= 0.95 <= upper
+
+
+class TestExamples13And14Correlated:
+    def test_example13_correlated_mv_dominance(self, fig1_correlated):
+        graph, cov = fig1_correlated
+        # p1 = (6,4,7): mu 6, adjusted variance with (7,5) neighbour:
+        var1 = cov.path_variance(graph, [6, 4, 7])
+        assert var1 == pytest.approx(6.0)  # 5 + 5 - 2*2
+        sigma_p1_p3 = cov.get((4, 7), (5, 7))
+        assert var1 + 2 * sigma_p1_p3 == pytest.approx(8.0)
+        var2 = cov.path_variance(graph, [6, 8, 7])
+        assert var2 == pytest.approx(12.0)
+
+    def test_example14_correlated_bound_dominance(self, fig1_correlated):
+        graph, cov = fig1_correlated
+        z = z_value(0.95)
+        bound = 6 + z * (math.sqrt(6) + math.sqrt(3))
+        assert bound == pytest.approx(12.88, abs=0.01)
+        assert bound < 13  # so (6,4,7) prunes (6,8,7) w.r.t. P_{v7v5}
+
+
+class TestExample15Construction:
+    def test_edge_driven_sets(self, fig1_index):
+        store = fig1_index.edge_store
+        assert [(p.mu, p.var) for p in store.sets[(2, 6)]] == [(4.0, 10.0)]
+        assert [(p.mu, p.var) for p in store.sets[(6, 8)]] == [(2.0, 4.0), (3.0, 1.0)]
+
+    def test_label_v8(self, fig1_index):
+        assert [(p.mu, p.var) for p in fig1_index.labels[8][9].paths] == [(5.0, 5.0)]
+
+    def test_label_v7(self, fig1_index):
+        # Known erratum: Example 15 prints P_{v7v9} = {(4, 7)}, but the
+        # edge parameters quoted by Examples 2/13/14 force the best v7-v9
+        # path to be (v7,v5,v9) with mu = 3+2 = 5, var = 3+4 = 7.
+        assert [(p.mu, p.var) for p in fig1_index.labels[7][9].paths] == [(5.0, 7.0)]
+
+    def test_root_label_empty(self, fig1_index):
+        assert fig1_index.labels[9] == {}
+
+
+class TestExample16Maintenance:
+    def test_update_v6_v8(self):
+        graph, _ = paper_figure1()
+        index = build_index(graph, order=PAPER_FIGURE1_ORDER)
+        assert index.edge_store.centers[(6, 8)] == [3]
+        maintainer = IndexMaintainer(index)
+        report = maintainer.update_edge(6, 8, 2.0, 2.0)
+        # P_(6,8) = {(2,2), (3,1)} afterwards.
+        assert [(p.mu, p.var) for p in index.edge_store.sets[(6, 8)]] == [
+            (2.0, 2.0),
+            (3.0, 1.0),
+        ]
+        # Example 16 claims P_(7,8)/P_(8,9) stay unchanged and only the
+        # X(v6) subtree (5 labels) is rebuilt; with the edge parameters the
+        # paper's *other* examples pin down (see the Example 15 erratum
+        # note), P_(7,8) does change ((8,14) -> (8,12)), so the rebuild
+        # correctly covers the subtree rooted at X(v7): 7 labels.
+        assert report.edge_sets_changed == 2
+        assert report.labels_rebuilt == 7
+        # The repaired index answers exactly.
+        for (s, t, alpha) in [(6, 5, 0.95), (1, 9, 0.8), (3, 5, 0.99)]:
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            assert index.query(s, t, alpha).value == pytest.approx(expected)
+
+
+class TestExample7Hoplinks:
+    def test_hoplinks_for_query(self, fig1_index):
+        result = fig1_index.query(6, 5, 0.95)
+        # Hoplinks = H(v5) = {v7, v9} (smaller than |H(v6)| = 3).
+        assert result.stats.hoplinks == 2

@@ -1,0 +1,132 @@
+"""Unit tests for path summaries, concatenation, and vertex recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pathsummary import PathSummary, concatenate, edge_path, trivial_path
+from repro.network.covariance import CovarianceStore
+
+
+class TestAtoms:
+    def test_trivial(self):
+        p = trivial_path(4)
+        assert (p.mu, p.var, p.a, p.b, p.num_edges) == (0.0, 0.0, 4, 4, 0)
+        assert p.vertices() == [4]
+
+    def test_edge_without_window(self):
+        p = edge_path(2, 5, 3.0, 4.0, window=False)
+        assert p.win_a == p.win_b == ()
+        assert p.sigma == 2.0
+        assert p.vertices() == [2, 5]
+
+    def test_edge_with_window(self):
+        p = edge_path(5, 2, 3.0, 4.0, window=True)
+        assert p.win_a == p.win_b == ((2, 5),)
+
+    def test_other_endpoint(self):
+        p = edge_path(2, 5, 3.0, 4.0, window=False)
+        assert p.other_endpoint(2) == 5
+        assert p.other_endpoint(5) == 2
+        with pytest.raises(ValueError):
+            p.other_endpoint(7)
+
+    def test_reliability(self):
+        p = edge_path(0, 1, 10.0, 4.0, window=False)
+        assert p.reliability(0.5) == 10.0
+        assert p.reliability(0.95) == pytest.approx(10 + 1.6448536 * 2, abs=1e-5)
+
+    def test_zero_variance_reliability(self):
+        p = edge_path(0, 1, 10.0, 0.0, window=False)
+        assert p.reliability(0.999) == 10.0
+
+
+class TestConcatenationIndependent:
+    def test_moments_add(self):
+        p1 = edge_path(0, 1, 2.0, 3.0, window=False)
+        p2 = edge_path(1, 2, 4.0, 5.0, window=False)
+        joined = concatenate(p1, p2, 1)
+        assert (joined.mu, joined.var) == (6.0, 8.0)
+        assert (joined.a, joined.b) == (0, 2)
+        assert joined.num_edges == 2
+
+    def test_vertex_recovery_forward(self):
+        p1 = edge_path(0, 1, 1.0, 0.0, window=False)
+        p2 = edge_path(1, 2, 1.0, 0.0, window=False)
+        p3 = edge_path(2, 3, 1.0, 0.0, window=False)
+        joined = concatenate(concatenate(p1, p2, 1), p3, 2)
+        assert joined.vertices() == [0, 1, 2, 3]
+
+    def test_vertex_recovery_mixed_orientations(self):
+        # Build 3-0-1-2 by concatenating at both ends with reversed pieces.
+        p01 = edge_path(0, 1, 1.0, 0.0, window=False)
+        p12 = edge_path(2, 1, 1.0, 0.0, window=False)  # reversed edge
+        p30 = edge_path(3, 0, 1.0, 0.0, window=False)
+        right = concatenate(p01, p12, 1)  # 0 -> 2
+        full = concatenate(p30, right, 0)  # 3 -> 2
+        assert full.vertices() == [3, 0, 1, 2]
+
+    def test_long_chain_iterative_recovery(self):
+        # 600 edges: would overflow a naive recursive reconstruction.
+        parts = [edge_path(i, i + 1, 1.0, 0.0, window=False) for i in range(600)]
+        path = parts[0]
+        for i, part in enumerate(parts[1:], start=1):
+            path = concatenate(path, part, i)
+        assert path.vertices() == list(range(601))
+
+    def test_with_trivial_half(self):
+        p = edge_path(0, 1, 2.0, 1.0, window=False)
+        joined = concatenate(trivial_path(0), p, 0)
+        assert (joined.mu, joined.var) == (2.0, 1.0)
+        assert joined.vertices() == [0, 1]
+
+
+class TestConcatenationCorrelated:
+    @pytest.fixture()
+    def cov(self):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), -0.5)
+        cov.set((1, 2), (2, 3), 1.0)
+        return cov
+
+    def test_covariance_applied_at_junction(self, cov):
+        p1 = edge_path(0, 1, 2.0, 3.0, window=True)
+        p2 = edge_path(1, 2, 4.0, 5.0, window=True)
+        joined = concatenate(p1, p2, 1, cov, window_size=2)
+        assert joined.var == pytest.approx(3 + 5 + 2 * (-0.5))
+
+    def test_windows_extended_across_junction(self, cov):
+        p1 = edge_path(0, 1, 2.0, 3.0, window=True)
+        p2 = edge_path(1, 2, 4.0, 5.0, window=True)
+        joined = concatenate(p1, p2, 1, cov, window_size=2)
+        assert joined.window_at(0) == ((0, 1), (1, 2))
+        assert joined.window_at(2) == ((1, 2), (0, 1))
+
+    def test_window_truncated_at_k(self, cov):
+        p1 = edge_path(0, 1, 2.0, 3.0, window=True)
+        p2 = edge_path(1, 2, 4.0, 5.0, window=True)
+        joined = concatenate(p1, p2, 1, cov, window_size=1)
+        assert joined.window_at(0) == ((0, 1),)
+        assert joined.window_at(2) == ((1, 2),)
+
+    def test_three_edge_chain_variance(self, cov):
+        p1 = edge_path(0, 1, 1.0, 2.0, window=True)
+        p2 = edge_path(1, 2, 1.0, 3.0, window=True)
+        p3 = edge_path(2, 3, 1.0, 4.0, window=True)
+        joined = concatenate(concatenate(p1, p2, 1, cov, 3), p3, 2, cov, 3)
+        # Full quadratic form: 2+3+4 + 2*(-0.5) + 2*1.0 (edges (0,1),(2,3)
+        # are uncorrelated).
+        assert joined.var == pytest.approx(9 + 2 * (-0.5) + 2 * 1.0)
+
+    def test_negative_variance_clamped(self):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), -10.0)  # deliberately non-PSD
+        p1 = edge_path(0, 1, 1.0, 2.0, window=True)
+        p2 = edge_path(1, 2, 1.0, 3.0, window=True)
+        joined = concatenate(p1, p2, 1, cov, 2)
+        assert joined.var == 0.0
+
+    def test_window_at_wrong_vertex(self):
+        p = edge_path(0, 1, 1.0, 0.0, window=True)
+        with pytest.raises(ValueError):
+            p.window_at(9)

@@ -1,0 +1,110 @@
+"""Tests for probe-vehicle trace simulation, matching, and estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.covariance import edge_key
+from repro.network.generators import assign_random_cv, grid_city
+from repro.network.probe_vehicles import (
+    ProbePing,
+    ProbeTrace,
+    estimate_from_traces,
+    match_trace,
+    simulate_probe_traces,
+)
+
+
+@pytest.fixture(scope="module")
+def city():
+    graph = grid_city(7, 7, seed=5)
+    assign_random_cv(graph, 0.2, seed=6)
+    return graph
+
+
+class TestSimulation:
+    def test_traces_follow_edges(self, city):
+        traces = simulate_probe_traces(city, 10, seed=1)
+        assert len(traces) == 10
+        for trace in traces:
+            for a, b in zip(trace.pings, trace.pings[1:]):
+                assert b.timestamp > a.timestamp
+                assert city.has_edge(a.vertex, b.vertex)  # no drops
+
+    def test_durations_positive(self, city):
+        traces = simulate_probe_traces(city, 5, seed=2)
+        assert all(t.duration > 0 for t in traces)
+
+    def test_drop_rate_creates_gaps(self, city):
+        gappy = simulate_probe_traces(city, 15, seed=3, drop_rate=0.6)
+        has_gap = any(
+            not city.has_edge(a.vertex, b.vertex)
+            for t in gappy
+            for a, b in zip(t.pings, t.pings[1:])
+        )
+        assert has_gap
+
+    def test_endpoints_always_pinged(self, city):
+        traces = simulate_probe_traces(city, 5, seed=4, drop_rate=0.9)
+        assert all(len(t.pings) >= 2 for t in traces)
+
+
+class TestMatching:
+    def test_direct_observation(self, city):
+        u = next(iter(city.vertices()))
+        v = next(iter(city.neighbors(u)))
+        trace = ProbeTrace(0, [ProbePing(0.0, u), ProbePing(42.0, v)])
+        matched = match_trace(city, trace)
+        assert matched == [(edge_key(u, v), 42.0)]
+
+    def test_gap_bridged_proportionally(self, city):
+        # Pings two hops apart: elapsed split by edge means.
+        u = 0
+        mid = next(iter(city.neighbors(u)))
+        far = next(w for w in city.neighbors(mid) if w != u)
+        trace = ProbeTrace(0, [ProbePing(0.0, u), ProbePing(100.0, far)])
+        matched = dict(match_trace(city, trace))
+        assert set(matched) >= {edge_key(u, mid), edge_key(mid, far)} or len(matched) == 2
+        assert sum(matched.values()) == pytest.approx(100.0)
+
+    def test_non_monotone_timestamps_skipped(self, city):
+        u = 0
+        v = next(iter(city.neighbors(u)))
+        trace = ProbeTrace(0, [ProbePing(10.0, u), ProbePing(5.0, v)])
+        assert match_trace(city, trace) == []
+
+
+class TestEstimation:
+    def test_recovers_hidden_means(self, city):
+        traces = simulate_probe_traces(city, 400, seed=7)
+        estimates = estimate_from_traces(city, traces, min_observations=10)
+        assert estimates, "no edge reached the observation threshold"
+        errors = []
+        for key, (mu, _) in estimates.items():
+            truth = city.edge(*key).mu
+            errors.append(abs(mu - truth) / truth)
+        assert sum(errors) / len(errors) < 0.12
+
+    def test_min_observations_respected(self, city):
+        traces = simulate_probe_traces(city, 3, seed=8)
+        few = estimate_from_traces(city, traces, min_observations=1000)
+        assert few == {}
+
+    def test_feeds_maintenance_pipeline(self, city):
+        """Traces -> estimates -> batch index update, end to end."""
+        from repro import IndexMaintainer, build_index
+
+        graph = city.copy()
+        index = build_index(graph)
+        traces = simulate_probe_traces(graph, 150, seed=9)
+        estimates = estimate_from_traces(graph, traces, min_observations=8)
+        changes = [
+            (u, v, mu, max(var, 1e-6)) for (u, v), (mu, var) in estimates.items()
+        ]
+        assert changes
+        IndexMaintainer(index).update_batch(changes)
+        fresh = build_index(graph, order=index.td.order)
+        s, t = 0, graph.num_vertices - 1
+        assert index.query(s, t, 0.9).value == pytest.approx(
+            fresh.query(s, t, 0.9).value
+        )

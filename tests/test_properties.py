@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The headline property — NRP answers exactly match brute-force enumeration
+on arbitrary random networks, queries, and confidence levels — plus
+structural invariants of the tree decomposition and the label sets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import build_index
+from repro.baselines.brute_force import exact_non_dominated, exact_rsp
+from repro.network.generators import (
+    assign_random_cv,
+    generate_correlations,
+    random_connected_graph,
+)
+from repro.stats.zscores import z_value
+from repro.treedec.decomposition import build_tree_decomposition
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+graph_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=5, max_value=12),  # n
+    st.integers(min_value=2, max_value=10),  # extra edges
+    st.floats(min_value=0.1, max_value=0.9),  # cv
+)
+
+
+def build_instance(seed, n, extra, cv):
+    graph = random_connected_graph(n, extra, seed=seed)
+    assign_random_cv(graph, cv, seed=seed + 1)
+    return graph
+
+
+class TestNRPMatchesGroundTruth:
+    @given(graph_params, st.floats(min_value=0.5, max_value=0.999), st.data())
+    @settings(**_SETTINGS)
+    def test_independent(self, params, alpha, data):
+        graph = build_instance(*params)
+        n = graph.num_vertices
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        if s == t:
+            return
+        expected, _ = exact_rsp(graph, s, t, alpha)
+        index = build_index(graph)
+        assert index.query(s, t, alpha).value == pytest.approx(expected)
+
+    @given(graph_params, st.floats(min_value=0.55, max_value=0.99), st.data())
+    @settings(**_SETTINGS)
+    def test_correlated_nonnegative(self, params, alpha, data):
+        seed, n, extra, cv = params
+        graph = build_instance(seed, n, extra, cv)
+        cov = generate_correlations(
+            graph, 2, seed=seed + 2, rho_range=(0.0, 0.9), density=0.5
+        )
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        if s == t:
+            return
+        expected, _ = exact_rsp(graph, s, t, alpha, cov)
+        index = build_index(graph, cov, window=n + extra)
+        assert index.query(s, t, alpha).value == pytest.approx(expected)
+
+
+class TestLabelInvariants:
+    @given(graph_params)
+    @settings(**_SETTINGS)
+    def test_label_sets_are_pareto_and_sorted(self, params):
+        graph = build_instance(*params)
+        index = build_index(graph)
+        for entry in index.labels.values():
+            for label_set in entry.values():
+                mus = list(label_set.mus)
+                sigmas = list(label_set.sigmas)
+                assert mus == sorted(mus)
+                assert all(
+                    sigmas[i] > sigmas[i + 1] for i in range(len(sigmas) - 1)
+                )
+
+    @given(graph_params)
+    @settings(**_SETTINGS)
+    def test_labels_subset_of_exact_front(self, params):
+        """Every stored (mu, var) label path is on the exact Pareto front
+        over simple paths, or is a walk no better than the front."""
+        graph = build_instance(*params)
+        index = build_index(graph, z_max=None)
+        checked = 0
+        for v, entry in index.labels.items():
+            for u, label_set in entry.items():
+                front = exact_non_dominated(graph, u, v)
+                for p in label_set.paths:
+                    # Strict-MV refined labels over simple candidate paths
+                    # must be Pareto-optimal (approximate membership: the
+                    # index accumulates moments in a different order than
+                    # the brute force, so last-ulp drift is expected).
+                    vertices = p.vertices()
+                    if len(set(vertices)) == len(vertices):
+                        assert any(
+                            math.isclose(p.mu, mu, rel_tol=1e-9)
+                            and math.isclose(p.var, var, rel_tol=1e-9, abs_tol=1e-12)
+                            for mu, var in front
+                        )
+                checked += 1
+                if checked >= 5:
+                    return
+
+
+class TestTreeDecompositionInvariants:
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=4, max_value=20))
+    @settings(**_SETTINGS)
+    def test_bag_neighbors_are_ancestors(self, seed, n):
+        graph = random_connected_graph(n, n // 2, seed=seed)
+        td = build_tree_decomposition(graph)
+        for v in td.order:
+            for u in td.bags[v][1:]:
+                assert td.is_ancestor(u, v)
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=4, max_value=20))
+    @settings(**_SETTINGS)
+    def test_lca_is_common_ancestor(self, seed, n):
+        graph = random_connected_graph(n, n // 2, seed=seed)
+        td = build_tree_decomposition(graph)
+        vertices = list(graph.vertices())
+        for u in vertices[:5]:
+            for v in vertices[-5:]:
+                lca = td.lca(u, v)
+                assert td.is_ancestor(lca, u)
+                assert td.is_ancestor(lca, v)
+
+
+class TestLowPlaneRefineSemantics:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=30),
+                st.floats(min_value=0.0, max_value=30),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(min_value=0.01, max_value=0.499),
+        st.floats(min_value=0.0, max_value=20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_low_refine_never_loses_the_winner(self, moments, alpha, ext_var):
+        """The symmetric P^{<0.5} refine preserves optimality under any
+        independent extension, mirroring the high-plane property."""
+        from repro.core.pathsummary import edge_path
+        from repro.core.refine import refine_independent_low
+
+        paths = [edge_path(0, 1, mu, var, False) for mu, var in moments]
+        kept = refine_independent_low(paths)
+        z = z_value(alpha)  # negative
+        best_all = min(p.mu + z * math.sqrt(p.var + ext_var) for p in paths)
+        best_kept = min(p.mu + z * math.sqrt(p.var + ext_var) for p in kept)
+        assert best_kept == pytest.approx(best_all)
+
+
+class TestRefineSemantics:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=30),
+                st.floats(min_value=0.0, max_value=30),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(min_value=0.5, max_value=0.999),
+        st.floats(min_value=0.0, max_value=20.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_refine_never_loses_the_winner(self, moments, alpha, ext_var):
+        """Definition 7 semantics: after concatenating any independent
+        extension, the refined set still contains an optimal path."""
+        from repro.core.pathsummary import edge_path
+        from repro.core.refine import refine_independent
+
+        paths = [edge_path(0, 1, mu, var, False) for mu, var in moments]
+        kept = refine_independent(paths)
+        z = z_value(alpha)
+        best_all = min(p.mu + z * math.sqrt(p.var + ext_var) for p in paths)
+        best_kept = min(p.mu + z * math.sqrt(p.var + ext_var) for p in kept)
+        assert best_kept == pytest.approx(best_all)

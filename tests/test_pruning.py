@@ -1,0 +1,145 @@
+"""Tests for query-time pruning (Algorithm 2, Propositions 2/3/5)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.pathsummary import edge_path
+from repro.core.pruning import LabelPathSet, prune_correlated, prune_pair
+from repro.core.refine import refine_independent
+from repro.stats.zscores import z_value
+
+
+def mk(mu, var):
+    return edge_path(0, 1, mu, var, window=False)
+
+
+def make_set(moments):
+    return LabelPathSet(refine_independent([mk(m, v) for m, v in moments]))
+
+
+class TestLabelPathSet:
+    def test_sigma_bounds(self):
+        s = make_set([(1, 16), (2, 9), (3, 4)])
+        assert s.sigma_min == 2.0
+        assert s.sigma_max == 4.0
+
+    def test_empty_set(self):
+        s = LabelPathSet([])
+        assert len(s) == 0
+        assert s.sigma_min == s.sigma_max == 0.0
+
+    def test_bound_refs_first_and_last(self):
+        s = make_set([(1, 16), (2, 9), (3, 4)])
+        assert s.ub_ratio[0] == -1  # smallest mean: nothing below it
+        assert s.lb_ratio[-1] == -1  # largest mean: nothing above it
+
+    def test_bound_monotone_in_x(self):
+        """The intersection confidence rises as the extension's sigma grows
+        (the paper's Figure 4 intuition)."""
+        s = make_set([(1, 16), (2, 9)])
+        values = [s.bound(1, 0, x) for x in (0.0, 1.0, 2.0, 5.0)]
+        assert values == sorted(values)
+
+    def test_iteration(self):
+        s = make_set([(1, 16), (2, 9)])
+        assert [p.mu for p in s] == [1, 2]
+
+
+class TestPrunePairSoundness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pruned_paths_never_needed(self, seed):
+        """Brute-force check of Algorithm 2: the best concatenated value over
+        the surviving cross product equals the best over the full product."""
+        rng = random.Random(seed)
+        side_a = make_set(
+            [(rng.uniform(1, 20), rng.uniform(0.1, 40)) for _ in range(12)]
+        )
+        side_b = make_set(
+            [(rng.uniform(1, 20), rng.uniform(0.1, 40)) for _ in range(12)]
+        )
+        for alpha in (0.51, 0.7, 0.9, 0.95, 0.99, 0.999):
+            z = z_value(alpha)
+
+            def best(ia, ib):
+                return min(
+                    side_a.mus[i]
+                    + side_b.mus[j]
+                    + z * math.sqrt(side_a.sigmas[i] ** 2 + side_b.sigmas[j] ** 2)
+                    for i in ia
+                    for j in ib
+                )
+
+            keep_a, keep_b = prune_pair(side_a, side_b, alpha)
+            assert keep_a and keep_b
+            full = best(range(len(side_a)), range(len(side_b)))
+            pruned = best(keep_a, keep_b)
+            assert pruned == pytest.approx(full)
+
+    def test_alpha_half_keeps_only_min_mean(self):
+        side_a = make_set([(1, 16), (2, 9), (3, 4)])
+        side_b = make_set([(5, 1)])
+        keep_a, _ = prune_pair(side_a, side_b, 0.5)
+        assert keep_a == [0]
+
+    def test_high_alpha_keeps_min_sigma(self):
+        side_a = make_set([(1, 100), (2, 9), (30, 0.01)])
+        side_b = make_set([(5, 1)])
+        keep_a, _ = prune_pair(side_a, side_b, 0.9999)
+        assert len(side_a) - 1 in keep_a
+
+    def test_singletons_always_survive(self):
+        side_a = make_set([(3, 2)])
+        side_b = make_set([(4, 7)])
+        assert prune_pair(side_a, side_b, 0.95) == ([0], [0])
+
+
+class TestPruneCorrelated:
+    def test_proposition5_prunes_unreachable_means(self):
+        # mu=1, sigma=1 with other sigma_max=1: threshold at alpha=0.95 is
+        # 1 + 1.645*2 = 4.29 -> mu=10 pruned, mu=4 kept.
+        side_a = LabelPathSet(
+            [mk(1, 1), mk(4, 0.5), mk(10, 0.25)], independent=False
+        )
+        side_b = LabelPathSet([mk(2, 1)], independent=False)
+        keep_a, keep_b = prune_correlated(side_a, side_b, 0.95)
+        assert keep_a == [0, 1]
+        assert keep_b == [0]
+
+    def test_soundness_under_arbitrary_correlation(self):
+        """Whatever the junction covariance c with |c| <= s1*s3, a pruned
+        path's concatenations stay worse than the threshold path's."""
+        rng = random.Random(1)
+        alpha = 0.9
+        z = z_value(alpha)
+        side_a = LabelPathSet(
+            [mk(rng.uniform(1, 30), rng.uniform(0.1, 9)) for _ in range(15)],
+            independent=False,
+        )
+        side_b = LabelPathSet([mk(5, 4)], independent=False)
+        keep_a, _ = prune_correlated(side_a, side_b, alpha)
+        pruned = set(range(len(side_a))) - set(keep_a)
+        for j in pruned:
+            for i in keep_a:
+                s1, s3 = side_a.sigmas[i], side_b.sigmas[0]
+                worst_i = side_a.mus[i] + side_b.mus[0] + z * math.sqrt(
+                    s1 * s1 + 2 * s1 * s3 + s3 * s3
+                )
+                s2 = side_a.sigmas[j]
+                best_j = side_a.mus[j] + side_b.mus[0] + z * math.sqrt(
+                    max(0.0, s2 * s2 - 2 * s2 * s3 + s3 * s3)
+                )
+                if worst_i < best_j:
+                    break
+            else:
+                pytest.fail(f"pruned path {j} not dominated by any kept path")
+
+    def test_empty_sides(self):
+        empty = LabelPathSet([], independent=False)
+        other = LabelPathSet([mk(1, 1)], independent=False)
+        keep_a, keep_b = prune_correlated(empty, other, 0.9)
+        assert keep_a == []
+        assert keep_b == [0]

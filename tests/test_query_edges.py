@@ -1,0 +1,116 @@
+"""Edge-of-domain query behaviour and runner extras."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_random_instance, random_query
+from repro import build_index
+from repro.baselines.brute_force import exact_rsp
+from repro.stats.normal import phi_cdf
+
+
+class TestZMaxGuard:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return build_index(make_random_instance(31, n=12, extra=8))
+
+    def test_alpha_beyond_practical_bound_rejected(self, index):
+        beyond = phi_cdf(3.1) + 1e-6
+        with pytest.raises(ValueError, match="z_max"):
+            index.query(0, 5, beyond)
+
+    def test_alpha_at_practical_bound_allowed(self, index):
+        almost = phi_cdf(3.1) - 1e-9
+        expected, _ = exact_rsp(index.graph, 0, 5, almost)
+        assert index.query(0, 5, almost).value == pytest.approx(expected)
+
+    def test_strict_index_accepts_extreme_alpha(self):
+        graph = make_random_instance(32, n=10, extra=6)
+        strict = build_index(graph, z_max=None)
+        alpha = 0.999999
+        expected, _ = exact_rsp(graph, 0, 5, alpha)
+        assert strict.query(0, 5, alpha).value == pytest.approx(expected)
+
+    def test_boundary_alphas_near_half(self, index):
+        """alpha just above 0.5 behaves continuously."""
+        v_half = index.query(0, 5, 0.5).value
+        v_close = index.query(0, 5, 0.5 + 1e-9).value
+        assert v_close == pytest.approx(v_half, abs=1e-4)
+
+
+class TestRunnersExtras:
+    def test_suite_with_correlated_network(self):
+        from conftest import make_correlated_instance
+        from repro.experiments.runners import AlgorithmSuite
+        from repro.experiments.workloads import random_queries
+
+        graph, cov = make_correlated_instance(33)
+        suite = AlgorithmSuite(graph, cov, window=2, algorithms=("NRP", "SDRSP-A*"))
+        queries = random_queries(graph, 4, seed=2)
+        nrp = suite.run("NRP", queries)
+        sdrsp = suite.run("SDRSP-A*", queries)
+        # Both are exact under the same K-window approximation.
+        for a, b in zip(nrp.values, sdrsp.values):
+            assert a == pytest.approx(b, rel=0.05)
+
+    def test_workload_result_ms_per_query(self):
+        from repro.experiments.runners import WorkloadResult
+
+        r = WorkloadResult("X", 0.5, [1.0, 2.0])
+        assert r.ms_per_query == pytest.approx(250.0)
+        empty = WorkloadResult("X", 0.5, [])
+        assert empty.ms_per_query == 500.0  # guards the division
+
+
+class TestCliBenchCorrelated:
+    def test_bench_with_correlations(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "bench",
+                    "--dataset",
+                    "NY",
+                    "--scale",
+                    "0.3",
+                    "--correlated",
+                    "--k",
+                    "2",
+                    "--queries",
+                    "3",
+                    "--algorithms",
+                    "NRP,SDRSP-A*",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "NRP" in out and "SDRSP-A*" in out
+
+
+class TestValidateFailureInjection:
+    def test_validate_detects_corruption(self):
+        graph = make_random_instance(34, n=18, extra=14, cv=0.9)
+        index = build_index(graph)
+        index.validate()  # healthy
+        # Corrupt one label set's ordering invariant.
+        victim = None
+        for v, entry in index.labels.items():
+            for u, label_set in entry.items():
+                if len(label_set.paths) >= 2:
+                    victim = (v, u, label_set)
+                    break
+            if victim:
+                break
+        if victim is None:
+            pytest.skip("no multi-path label on this instance")
+        v, u, label_set = victim
+        from repro.core.pruning import LabelPathSet
+
+        index.labels[v][u] = LabelPathSet(list(reversed(label_set.paths)))
+        with pytest.raises(AssertionError):
+            index.validate()

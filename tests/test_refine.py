@@ -1,0 +1,201 @@
+"""Tests for the RF operation: independent and correlated dominance."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pathsummary import edge_path
+from repro.core.refine import (
+    PRACTICAL_Z_MAX,
+    NeighborhoodCache,
+    Refiner,
+    refine_independent,
+)
+from repro.network.covariance import CovarianceStore
+from repro.network.graph import StochasticGraph
+
+
+def mk(mu, var, a=0, b=1):
+    return edge_path(a, b, mu, var, window=False)
+
+
+class TestRefineIndependent:
+    def test_empty_and_singleton(self):
+        assert refine_independent([]) == []
+        p = mk(1, 1)
+        assert refine_independent([p]) == [p]
+
+    def test_mv_dominated_removed(self):
+        kept = refine_independent([mk(1, 4), mk(2, 5)], z_max=None)
+        assert [(p.mu, p.var) for p in kept] == [(1, 4)]
+
+    def test_pareto_kept_under_strict_mv(self):
+        kept = refine_independent([mk(1, 9), mk(2, 4), mk(3, 1)], z_max=None)
+        assert len(kept) == 3
+        sigmas = [p.sigma for p in kept]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_duplicates_collapse(self):
+        kept = refine_independent([mk(1, 4), mk(1, 4), mk(1, 4)])
+        assert len(kept) == 1
+
+    def test_zmax_prunes_more_than_strict(self):
+        # (10, 100) vs (10.1, 99.9...): strict M-V keeps both, z=3.1 drops
+        # the second since 10.1 + 3.1*sqrt(99.8) > 10 + 3.1*10.
+        paths = [mk(10, 100), mk(10.1, 99.8)]
+        assert len(refine_independent(paths, z_max=None)) == 2
+        assert len(refine_independent(paths, z_max=3.1)) == 1
+
+    def test_output_sorted_and_strictly_pareto(self):
+        rng = random.Random(0)
+        paths = [mk(rng.uniform(1, 20), rng.uniform(0, 30)) for _ in range(100)]
+        kept = refine_independent(paths)
+        mus = [p.mu for p in kept]
+        sigmas = [p.sigma for p in kept]
+        values = [p.mu + 3.1 * p.sigma for p in kept]
+        assert mus == sorted(mus)
+        assert all(sigmas[i] > sigmas[i + 1] for i in range(len(sigmas) - 1))
+        assert all(values[i] > values[i + 1] for i in range(len(values) - 1))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=50),
+                st.floats(min_value=0.0, max_value=50),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0.5, max_value=0.999),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refined_set_preserves_best_value(self, moments, alpha):
+        """For any alpha <= 0.999, the refined set contains a path whose
+        F^{-1}(alpha) equals the best over the full set — with or without
+        an arbitrary independent extension (the dominance definition)."""
+        from repro.stats.zscores import z_value
+
+        z = z_value(alpha)
+        paths = [mk(mu, var) for mu, var in moments]
+        kept = refine_independent(paths, z_max=PRACTICAL_Z_MAX)
+        for ext_var in (0.0, 7.3):
+            full_best = min(p.mu + z * math.sqrt(p.var + ext_var) for p in paths)
+            kept_best = min(p.mu + z * math.sqrt(p.var + ext_var) for p in kept)
+            assert kept_best == pytest.approx(full_best)
+
+
+class TestNeighborhoodCache:
+    @pytest.fixture()
+    def path_graph(self):
+        g = StochasticGraph()
+        for i in range(5):
+            g.add_edge(i, i + 1, 1.0, 1.0)
+        return g
+
+    def test_only_correlated_windows_kept(self, path_graph):
+        cov = CovarianceStore()
+        cov.set((1, 2), (2, 3), 0.5)
+        cache = NeighborhoodCache(path_graph, cov, hops=2)
+        windows = cache.windows(2)
+        # Every kept window contains a correlated edge.
+        for window in windows:
+            assert any(cov.has_correlation(e) for e in window)
+        # Windows from vertex 2 within 2 hops include (1,2) and (2,3).
+        flat = {e for w in windows for e in w}
+        assert (1, 2) in flat and (2, 3) in flat
+
+    def test_no_correlations_no_windows(self, path_graph):
+        cache = NeighborhoodCache(path_graph, CovarianceStore(), hops=3)
+        assert cache.windows(2) == ()
+
+    def test_window_index_consistent(self, path_graph):
+        cov = CovarianceStore()
+        cov.set((1, 2), (2, 3), 0.5)
+        cov.set((0, 1), (1, 2), 0.2)
+        cache = NeighborhoodCache(path_graph, cov, hops=3)
+        windows = cache.windows(2)
+        index = cache.window_index(2)
+        for e, positions in index.items():
+            for i in positions:
+                assert e in windows[i]
+
+    def test_rowsums_match_direct_sum(self, path_graph):
+        cov = CovarianceStore()
+        cov.set((1, 2), (2, 3), 0.5)
+        cov.set((1, 2), (3, 4), -0.25)
+        cache = NeighborhoodCache(path_graph, cov, hops=3)
+        windows = cache.windows(2)
+        sums = cache.rowsums(2, (1, 2))
+        for i, window in enumerate(windows):
+            expected = sum(cov.get((1, 2), f) for f in window)
+            assert sums.get(i, 0.0) == pytest.approx(expected)
+
+
+class TestRefinerCorrelated:
+    def _setup(self):
+        g = StochasticGraph()
+        g.add_edge(0, 1, 1.0, 2.0)
+        g.add_edge(1, 2, 1.0, 2.0)
+        g.add_edge(0, 2, 2.5, 3.0)
+        g.add_edge(2, 3, 1.0, 1.0)
+        return g
+
+    def test_falls_back_to_independent_when_unflagged(self):
+        g = self._setup()
+        cov = CovarianceStore()
+        cov.set((2, 3), (1, 2), 0.1)  # correlation far from vertex 0... but
+        flags = {v: False for v in g.vertices()}
+        refiner = Refiner(3.1, cov, NeighborhoodCache(g, cov, 1), flags)
+        paths = [mk(1, 4), mk(2, 5)]
+        kept = refiner.refine(paths)
+        assert [(p.mu, p.var) for p in kept] == [(1, 4)]
+
+    def test_negative_correlation_blocks_domination(self):
+        """A higher-mean, higher-variance path can survive when a negative
+        covariance with a neighbourhood window lowers its adjusted variance
+        below the rival's (Proposition 4's condition fails)."""
+        g = self._setup()
+        cov = CovarianceStore()
+        # Path B = (0,2) direct edge negatively correlated with (2,3).
+        cov.set((0, 2), (2, 3), -1.2)
+        flags = cov.compute_vertex_flags(g, 1)
+        refiner = Refiner(None, cov, NeighborhoodCache(g, cov, 1), flags)
+        path_a = edge_path(0, 1, 1.0, 2.0, True)
+        path_ab = edge_path(1, 2, 1.0, 2.0, True)
+        from repro.core.pathsummary import concatenate
+
+        a = concatenate(path_a, path_ab, 1, cov, 1)  # (0,1,2): mu 2, var 4
+        b = edge_path(0, 2, 2.5, 3.0, True)  # mu 2.5, var 3
+        kept = refiner.refine([a, b])
+        # Empty-window check: var_a=4 > var_b=3 is fine for a dominating b?
+        # mu_a < mu_b and var_a > var_b: plain M-V does NOT dominate; with
+        # z_max=None a cannot dominate b, so both survive.
+        assert len(kept) == 2
+
+    def test_correlated_domination_with_window_checks(self):
+        g = self._setup()
+        cov = CovarianceStore()
+        cov.set((0, 1), (2, 3), 0.3)
+        flags = cov.compute_vertex_flags(g, 1)
+        refiner = Refiner(3.1, cov, NeighborhoodCache(g, cov, 1), flags)
+        from repro.core.pathsummary import concatenate
+
+        a = concatenate(
+            edge_path(0, 1, 1.0, 2.0, True), edge_path(1, 2, 1.0, 2.0, True), 1, cov, 1
+        )
+        b = edge_path(0, 2, 2.5, 5.0, True)
+        kept = refiner.refine([a, b])
+        # a has smaller mean; its adjusted variances never exceed b's
+        # (cov(a's windows, any q) is 0 at endpoint 2 and small at 0),
+        # so b is dominated.
+        assert [(p.mu, p.var) for p in kept] == [(2.0, 4.0)]
+
+    def test_requires_support_objects(self):
+        cov = CovarianceStore()
+        cov.set((0, 1), (1, 2), 0.5)
+        with pytest.raises(ValueError):
+            Refiner(3.1, cov)

@@ -1,0 +1,60 @@
+"""Reporting/formatting tests."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import (
+    format_bytes,
+    format_seconds,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(123e-6) == "123.0 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0456) == "45.60 ms"
+
+    def test_seconds(self):
+        assert format_seconds(3.21) == "3.21 s"
+
+
+class TestFormatBytes:
+    def test_scales(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(3 * 1024**2) == "3.0 MB"
+        assert format_bytes(5 * 1024**3) == "5.0 GB"
+
+    def test_huge_stays_gb(self):
+        assert format_bytes(5000 * 1024**3).endswith("GB")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="Table I")
+        assert table.splitlines()[0] == "Table I"
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        out = format_series(
+            "Q", [1, 2, 3], {"NRP": [0.1, 0.2, 0.3], "TBS": [1.0, 2.0, 3.0]}
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("Q")
+        assert any(line.startswith("NRP") for line in lines)
+        assert any(line.startswith("TBS") for line in lines)
+
+    def test_value_format(self):
+        out = format_series("x", [1], {"s": [0.123456]}, value_format="{:.2f}")
+        assert "0.12" in out

@@ -1,0 +1,104 @@
+"""Round-trip tests for index persistence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro import IndexMaintainer, build_index
+from repro.core.serialization import FORMAT_VERSION, load_index, save_index
+
+
+def label_snapshot(index):
+    return {
+        (plane.direction, v, u): tuple((p.mu, p.var) for p in ls.paths)
+        for plane in index.planes()
+        for v, entry in plane.labels.items()
+        for u, ls in entry.items()
+    }
+
+
+class TestRoundTrip:
+    def test_independent_index(self, tmp_path):
+        graph = make_random_instance(1, n=15, extra=12)
+        index = build_index(graph)
+        file = tmp_path / "index.json"
+        save_index(index, file)
+        loaded = load_index(file)
+        assert label_snapshot(loaded) == label_snapshot(index)
+        rng = random.Random(1)
+        for _ in range(8):
+            s, t, alpha = random_query(graph, rng)
+            assert loaded.query(s, t, alpha).value == pytest.approx(
+                index.query(s, t, alpha).value
+            )
+
+    def test_gzip_roundtrip(self, tmp_path):
+        graph = make_random_instance(2, n=10, extra=6)
+        index = build_index(graph)
+        file = tmp_path / "index.json.gz"
+        save_index(index, file)
+        loaded = load_index(file)
+        assert label_snapshot(loaded) == label_snapshot(index)
+
+    def test_correlated_index(self, tmp_path):
+        graph, cov = make_correlated_instance(3)
+        index = build_index(graph, cov, window=3)
+        file = tmp_path / "corr.json"
+        save_index(index, file)
+        loaded = load_index(file)
+        assert loaded.correlated
+        assert loaded.window == 3
+        rng = random.Random(3)
+        for _ in range(5):
+            s, t, alpha = random_query(graph, rng)
+            assert loaded.query(s, t, alpha).value == pytest.approx(
+                index.query(s, t, alpha).value
+            )
+
+    def test_both_planes(self, tmp_path):
+        graph = make_random_instance(4, n=10, extra=8, cv=0.25)
+        index = build_index(graph, support_low_alpha=True)
+        file = tmp_path / "planes.json"
+        save_index(index, file)
+        loaded = load_index(file)
+        assert loaded.low is not None
+        assert loaded.query(0, 5, 0.3).value == pytest.approx(
+            index.query(0, 5, 0.3).value
+        )
+
+    def test_paths_recoverable_after_load(self, tmp_path):
+        graph = make_random_instance(5)
+        index = build_index(graph)
+        file = tmp_path / "index.json"
+        save_index(index, file)
+        loaded = load_index(file)
+        result = loaded.query(0, 7, 0.9)
+        path = result.path
+        assert path[0] == 0 and path[-1] == 7
+        for u, v in zip(path, path[1:]):
+            assert loaded.graph.has_edge(u, v)
+
+    def test_loaded_index_maintainable(self, tmp_path):
+        """A loaded index supports Algorithm 4/5 updates (self-contained)."""
+        graph = make_random_instance(6, n=12, extra=8)
+        index = build_index(graph)
+        file = tmp_path / "index.json"
+        save_index(index, file)
+        loaded = load_index(file)
+        u, v = next(iter(loaded.graph.edge_keys()))
+        w = loaded.graph.edge(u, v)
+        IndexMaintainer(loaded).update_edge(u, v, w.mu * 2.0, w.variance)
+        fresh = build_index(loaded.graph, order=loaded.td.order)
+        assert label_snapshot(loaded) == label_snapshot(fresh)
+
+    def test_format_version_check(self, tmp_path):
+        file = tmp_path / "bad.json"
+        file.write_text('{"format": 999}')
+        with pytest.raises(ValueError, match="format"):
+            load_index(file)
+
+    def test_format_constant(self):
+        assert FORMAT_VERSION == 1

@@ -1,0 +1,134 @@
+"""Tests for degree-2 chain contraction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_random_instance, random_query
+from repro import build_index
+from repro.baselines.brute_force import exact_rsp
+from repro.network.covariance import CovarianceStore, edge_key
+from repro.network.graph import StochasticGraph
+from repro.network.simplify import contract_degree_two
+
+
+def chain_graph():
+    """Junctions 0, 4, 8 joined by chains through degree-2 vertices.
+
+    Spur vertices 9/10/11 raise the junctions' degrees above 2 (without
+    them the whole graph would be one cycle with no junction at all).
+    """
+    g = StochasticGraph()
+    # chain A: 0-1-2-3-4
+    for i in range(4):
+        g.add_edge(i, i + 1, 2.0, 1.0)
+    # chain B: 4-5-6-7-8
+    for i in range(4, 8):
+        g.add_edge(i, i + 1, 3.0, 0.5)
+    # direct edge 0-8 and spurs making 0, 4, 8 genuine junctions
+    g.add_edge(0, 8, 25.0, 2.0)
+    g.add_edge(0, 9, 1.0, 0.1)
+    g.add_edge(4, 10, 1.0, 0.1)
+    g.add_edge(8, 11, 1.0, 0.1)
+    return g
+
+
+class TestContraction:
+    def test_chains_become_edges(self):
+        simplified = contract_degree_two(chain_graph())
+        g = simplified.graph
+        assert sorted(g.vertices()) == [0, 4, 8, 9, 10, 11]
+        assert g.num_edges == 6
+        assert g.edge(0, 4).mu == 8.0
+        assert g.edge(0, 4).variance == 4.0
+        assert g.edge(4, 8).mu == 12.0
+        assert g.edge(0, 8).mu == 25.0
+        assert simplified.num_contracted == 6
+
+    def test_expansion_map(self):
+        simplified = contract_degree_two(chain_graph())
+        assert simplified.expansions[(0, 4)] in ((0, 1, 2, 3, 4), (4, 3, 2, 1, 0))
+        expanded = simplified.expand_path([0, 4, 8])
+        assert expanded == [0, 1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_expand_reversed_traversal(self):
+        simplified = contract_degree_two(chain_graph())
+        assert simplified.expand_path([8, 4, 0]) == [8, 7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_trivial_paths(self):
+        simplified = contract_degree_two(chain_graph())
+        assert simplified.expand_path([4]) == [4]
+        assert simplified.expand_path([]) == []
+
+    def test_parallel_chains_keep_best(self):
+        g = StochasticGraph()
+        g.add_edge(0, 1, 1.0, 0.1)
+        g.add_edge(1, 2, 1.0, 0.1)  # chain 0-1-2: mu 2
+        g.add_edge(0, 3, 5.0, 0.1)
+        g.add_edge(3, 2, 5.0, 0.1)  # chain 0-3-2: mu 10
+        g.add_edge(0, 4, 1.0, 0.1)
+        g.add_edge(2, 4, 1.0, 0.1)  # make 0 and 2 degree-3 junctions
+        simplified = contract_degree_two(g)
+        assert simplified.graph.edge(0, 2).mu == 2.0
+
+    def test_intra_chain_covariance_absorbed(self):
+        g = chain_graph()
+        cov = CovarianceStore()
+        cov.set(edge_key(0, 1), edge_key(1, 2), 0.25)
+        simplified = contract_degree_two(g, cov)
+        assert simplified.graph.edge(0, 4).variance == pytest.approx(4.0 + 0.5)
+
+    def test_cross_chain_covariance_rejected(self):
+        g = chain_graph()
+        cov = CovarianceStore()
+        cov.set(edge_key(0, 1), edge_key(0, 8), 0.25)
+        with pytest.raises(ValueError, match="outside"):
+            contract_degree_two(g, cov)
+        # non-strict mode drops it instead
+        simplified = contract_degree_two(g, cov, strict=False)
+        assert simplified.graph.edge(0, 4).variance == 4.0
+
+    def test_no_degree_two_is_identity(self):
+        graph = make_random_instance(1, n=10, extra=15)  # dense: no deg-2
+        if any(graph.degree(v) == 2 for v in graph.vertices()):
+            pytest.skip("instance has degree-2 vertices")
+        simplified = contract_degree_two(graph)
+        assert simplified.graph.num_edges == graph.num_edges
+        assert simplified.expansions == {}
+
+
+class TestEndToEnd:
+    def test_index_on_contracted_graph_answers_match(self):
+        """RSP values agree between the full and the contracted network for
+        junction-to-junction queries, and expanded paths are valid."""
+        graph = chain_graph()
+        simplified = contract_degree_two(graph)
+        full_index = build_index(graph)
+        small_index = build_index(simplified.graph)
+        for alpha in (0.6, 0.9, 0.99):
+            full = full_index.query(0, 8, alpha)
+            small = small_index.query(0, 8, alpha)
+            assert small.value == pytest.approx(full.value)
+            expanded = simplified.expand_path(small.path)
+            for u, v in zip(expanded, expanded[1:]):
+                assert graph.has_edge(u, v)
+            assert expanded[0] == 0 and expanded[-1] == 8
+
+    def test_grid_city_contraction_correct(self):
+        from repro.network.generators import assign_random_cv, grid_city
+
+        graph = grid_city(6, 6, seed=2, obstacle_fraction=0.2)
+        assign_random_cv(graph, 0.5, seed=3)
+        simplified = contract_degree_two(graph)
+        junctions = sorted(simplified.graph.vertices())
+        if len(junctions) < 2:
+            pytest.skip("degenerate instance")
+        rng = random.Random(4)
+        for _ in range(5):
+            s, t = rng.sample(junctions, 2)
+            alpha = rng.uniform(0.55, 0.95)
+            expected, _ = exact_rsp(graph, s, t, alpha)
+            got, _ = exact_rsp(simplified.graph, s, t, alpha)
+            assert got == pytest.approx(expected)

@@ -1,0 +1,84 @@
+"""Stateful property test: arbitrary maintenance histories vs shadow rebuild.
+
+A hypothesis ``RuleBasedStateMachine`` drives one live index through random
+interleavings of single updates, batch updates, reverts, and queries, while
+a shadow model rebuilds from scratch at every check — the strongest
+equivalence guarantee the suite provides for Algorithms 4-5.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro import IndexMaintainer, build_index
+from repro.network.generators import assign_random_cv, random_connected_graph
+
+
+def _label_snapshot(index):
+    return {
+        (v, u): tuple((p.mu, p.var) for p in ls.paths)
+        for v, entry in index.labels.items()
+        for u, ls in entry.items()
+    }
+
+
+class MaintenanceMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(min_value=0, max_value=50))
+    def setup(self, seed):
+        self.graph = random_connected_graph(10, 8, seed=seed)
+        assign_random_cv(self.graph, 0.6, seed=seed + 1)
+        self.index = build_index(self.graph)
+        self.maintainer = IndexMaintainer(self.index)
+        self.edges = sorted(self.graph.edge_keys())
+        self.original = {
+            key: (self.graph.edge(*key).mu, self.graph.edge(*key).variance)
+            for key in self.edges
+        }
+
+    @rule(
+        edge_idx=st.integers(min_value=0, max_value=10_000),
+        mu_factor=st.floats(min_value=0.3, max_value=3.0),
+        var_delta=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def single_update(self, edge_idx, mu_factor, var_delta):
+        u, v = self.edges[edge_idx % len(self.edges)]
+        w = self.graph.edge(u, v)
+        self.maintainer.update_edge(u, v, w.mu * mu_factor, w.variance + var_delta)
+
+    @rule(
+        seed=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=2, max_value=5),
+        mu_factor=st.floats(min_value=0.5, max_value=2.0),
+    )
+    def batch_update(self, seed, count, mu_factor):
+        rng = random.Random(seed)
+        chosen = rng.sample(self.edges, min(count, len(self.edges)))
+        changes = []
+        for u, v in chosen:
+            w = self.graph.edge(u, v)
+            changes.append((u, v, w.mu * mu_factor, w.variance + 0.1))
+        self.maintainer.update_batch(changes)
+
+    @rule(edge_idx=st.integers(min_value=0, max_value=10_000))
+    def revert_edge(self, edge_idx):
+        key = self.edges[edge_idx % len(self.edges)]
+        mu, var = self.original[key]
+        self.maintainer.update_edge(key[0], key[1], mu, var)
+
+    @invariant()
+    def matches_fresh_rebuild(self):
+        if not hasattr(self, "index"):
+            return
+        fresh = build_index(self.graph, order=self.index.td.order)
+        assert _label_snapshot(self.index) == _label_snapshot(fresh)
+
+
+MaintenanceMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=6, deadline=None
+)
+TestMaintenanceStateful = MaintenanceMachine.TestCase

@@ -1,0 +1,139 @@
+"""Unit + property tests for the normal-distribution toolkit."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as scipy_stats
+from scipy.special import ndtri
+
+from repro.stats.normal import Normal, phi_cdf, phi_inv, phi_pdf, reliability_value
+from repro.stats.zscores import Z_TABLE_ALPHAS, z_table, z_value
+
+
+class TestPhiCdf:
+    def test_symmetry_at_zero(self):
+        assert phi_cdf(0.0) == pytest.approx(0.5)
+
+    def test_known_values(self):
+        assert phi_cdf(1.0) == pytest.approx(0.8413447, abs=1e-6)
+        assert phi_cdf(-1.96) == pytest.approx(0.0249979, abs=1e-6)
+
+    @given(st.floats(min_value=-8, max_value=8))
+    def test_matches_scipy(self, x):
+        assert phi_cdf(x) == pytest.approx(scipy_stats.norm.cdf(x), abs=1e-12)
+
+    @given(st.floats(min_value=-8, max_value=8))
+    def test_monotone(self, x):
+        assert phi_cdf(x) <= phi_cdf(x + 0.1)
+
+
+class TestPhiPdf:
+    def test_peak(self):
+        assert phi_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    @given(st.floats(min_value=-8, max_value=8))
+    def test_matches_scipy(self, x):
+        assert phi_pdf(x) == pytest.approx(scipy_stats.norm.pdf(x), abs=1e-12)
+
+
+class TestPhiInv:
+    def test_median(self):
+        assert phi_inv(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_classic_z_values(self):
+        assert phi_inv(0.95) == pytest.approx(1.6448536, abs=1e-6)
+        assert phi_inv(0.975) == pytest.approx(1.9599640, abs=1e-6)
+        assert phi_inv(0.999) == pytest.approx(3.0902323, abs=1e-6)
+
+    @given(st.floats(min_value=1e-9, max_value=1 - 1e-9))
+    def test_matches_scipy_ndtri(self, p):
+        # abs=1e-8: the Halley refinement loses a little absolute precision
+        # in the extreme tails (|Z| ~ 6), where phi_cdf(x) - p underflows
+        # relative accuracy; 1e-8 is far below any routing-relevant scale.
+        assert phi_inv(p) == pytest.approx(float(ndtri(p)), abs=1e-8)
+
+    @given(st.floats(min_value=1e-6, max_value=1 - 1e-6))
+    def test_roundtrip(self, p):
+        assert phi_cdf(phi_inv(p)) == pytest.approx(p, abs=1e-12)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
+    def test_domain_errors(self, bad):
+        with pytest.raises(ValueError):
+            phi_inv(bad)
+
+    def test_tails(self):
+        assert phi_inv(1e-12) < -6.0
+        assert phi_inv(1 - 1e-12) > 6.0
+
+
+class TestReliabilityValue:
+    def test_alpha_half_is_mean(self):
+        assert reliability_value(10.0, 25.0, 0.5) == pytest.approx(10.0)
+
+    def test_zero_variance(self):
+        assert reliability_value(10.0, 0.0, 0.99) == 10.0
+
+    def test_negative_variance_clamped(self):
+        assert reliability_value(10.0, -1.0, 0.99) == 10.0
+
+    @given(
+        st.floats(min_value=0.1, max_value=100),
+        st.floats(min_value=0.0, max_value=100),
+        st.floats(min_value=0.501, max_value=0.999),
+    )
+    def test_increasing_in_alpha_above_half(self, mu, var, alpha):
+        assert reliability_value(mu, var, alpha) >= reliability_value(mu, var, 0.5)
+
+
+class TestNormalClass:
+    def test_sigma(self):
+        assert Normal(3.0, 9.0).sigma == 3.0
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            Normal(1.0, -0.5)
+
+    def test_cdf_quantile_inverse(self):
+        n = Normal(5.0, 4.0)
+        for alpha in (0.6, 0.8, 0.95):
+            assert n.cdf(n.quantile(alpha)) == pytest.approx(alpha)
+
+    def test_degenerate_cdf(self):
+        n = Normal(5.0, 0.0)
+        assert n.cdf(4.9) == 0.0
+        assert n.cdf(5.0) == 1.0
+
+    def test_addition(self):
+        s = Normal(2.0, 3.0) + Normal(4.0, 5.0)
+        assert (s.mu, s.variance) == (6.0, 8.0)
+
+    def test_sampling_moments(self):
+        import random
+
+        rng = random.Random(42)
+        n = Normal(10.0, 4.0)
+        samples = [n.sample(rng) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((x - mean) ** 2 for x in samples) / len(samples)
+        assert mean == pytest.approx(10.0, abs=0.15)
+        assert var == pytest.approx(4.0, rel=0.15)
+
+
+class TestZTable:
+    def test_alpha_half_exact_zero(self):
+        assert z_value(0.5) == 0.0
+
+    def test_cache_consistency(self):
+        assert z_value(0.95) == z_value(0.95) == phi_inv(0.95)
+
+    def test_table_covers_default_alphas(self):
+        table = z_table()
+        assert set(table) == set(Z_TABLE_ALPHAS)
+        assert table[0.975] == pytest.approx(1.96, abs=0.001)
+
+    def test_table_monotone(self):
+        values = [z_table()[a] for a in sorted(Z_TABLE_ALPHAS)]
+        assert values == sorted(values)

@@ -1,0 +1,221 @@
+"""Tree decomposition validity, LCA, and separator tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.generators import (
+    PAPER_FIGURE1_ORDER,
+    grid_city,
+    paper_figure1,
+    random_connected_graph,
+)
+from repro.treedec.decomposition import build_tree_decomposition
+from repro.treedec.ordering import contract_in_order, min_degree_order
+
+
+@pytest.fixture(scope="module")
+def fig1_td():
+    graph, _ = paper_figure1()
+    return graph, build_tree_decomposition(graph, PAPER_FIGURE1_ORDER)
+
+
+def _check_definition4(graph, td):
+    """The three conditions of Definition 4."""
+    # 1) bags cover V.
+    covered = set()
+    for bag in td.bags.values():
+        covered.update(bag)
+    assert covered == set(graph.vertices())
+    # 2) every edge is inside some bag.
+    for u, v, _ in graph.edges():
+        assert any(u in bag and v in bag for bag in td.bags.values())
+    # 3) for each vertex, the tree nodes containing it form a subtree
+    #    (equivalently: connected in the tree).  Check via parents.
+    containing: dict[int, list[int]] = {}
+    for owner, bag in td.bags.items():
+        for v in bag:
+            containing.setdefault(v, []).append(owner)
+    for v, owners in containing.items():
+        owners_set = set(owners)
+        # Walk each owner up; it must reach another owner without leaving.
+        for owner in owners:
+            if owner == v:
+                continue
+            current = owner
+            while current not in owners_set - {owner}:
+                current = td.parent[current]
+                assert current is not None, f"bag nodes of {v} are disconnected"
+                if current in owners_set:
+                    break
+
+
+class TestValidity:
+    def test_fig1_definition4(self, fig1_td):
+        _check_definition4(*fig1_td)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_definition4(self, seed):
+        graph = random_connected_graph(18, 12, seed=seed)
+        td = build_tree_decomposition(graph)
+        _check_definition4(graph, td)
+
+    def test_bag_members_are_ancestors(self, fig1_td):
+        _, td = fig1_td
+        for v in td.order:
+            for u in td.bags[v][1:]:
+                assert td.is_ancestor(u, v) and u != v
+
+    def test_fig1_bags_match_figure2(self, fig1_td):
+        _, td = fig1_td
+        assert set(td.bags[7]) == {7, 8, 9}
+        assert set(td.bags[6]) == {6, 7, 8, 9}
+        assert set(td.bags[5]) == {5, 7, 9}
+        assert set(td.bags[8]) == {8, 9}
+        assert td.root == 9
+
+    def test_disconnected_graph_rejected(self):
+        from repro.network.graph import StochasticGraph
+
+        g = StochasticGraph(4)
+        g.add_edge(0, 1, 1.0, 0.0)
+        g.add_edge(2, 3, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            build_tree_decomposition(g)
+
+
+class TestOrdering:
+    def test_min_degree_covers_all(self):
+        graph = random_connected_graph(20, 10, seed=1)
+        order = min_degree_order(graph)
+        assert sorted(order) == sorted(graph.vertices())
+
+    def test_path_graph_width_one(self):
+        from repro.network.graph import StochasticGraph
+
+        g = StochasticGraph()
+        for i in range(9):
+            g.add_edge(i, i + 1, 1.0, 0.0)
+        td = build_tree_decomposition(g)
+        assert td.treewidth == 1
+
+    def test_cycle_width_two(self):
+        from repro.network.graph import StochasticGraph
+
+        g = StochasticGraph()
+        for i in range(8):
+            g.add_edge(i, (i + 1) % 8, 1.0, 0.0)
+        td = build_tree_decomposition(g)
+        assert td.treewidth == 2
+
+    def test_grid_width_reasonable(self):
+        g = grid_city(6, 6, seed=0)
+        td = build_tree_decomposition(g)
+        assert 6 <= td.max_bag_size <= 14  # min-degree on a 6x6 grid
+
+    def test_duplicate_order_rejected(self):
+        graph = random_connected_graph(5, 2, seed=1)
+        with pytest.raises(ValueError):
+            contract_in_order(graph, [0, 0, 1, 2, 3])
+
+    def test_incomplete_order_rejected(self):
+        graph = random_connected_graph(5, 2, seed=1)
+        with pytest.raises(ValueError):
+            contract_in_order(graph, [0, 1, 2])
+
+
+class TestLca:
+    def _naive_lca(self, td, u, v):
+        ancestors_u = {u, *td.ancestors(u)}
+        current = v
+        while current not in ancestors_u:
+            current = td.parent[current]
+        return current
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_naive(self, seed):
+        graph = random_connected_graph(30, 20, seed=seed)
+        td = build_tree_decomposition(graph)
+        rng = random.Random(seed)
+        vertices = list(graph.vertices())
+        for _ in range(60):
+            u, v = rng.choice(vertices), rng.choice(vertices)
+            assert td.lca(u, v) == self._naive_lca(td, u, v)
+
+    def test_fig1_lca(self, fig1_td):
+        _, td = fig1_td
+        assert td.lca(6, 5) == 7  # Example 7
+        assert td.lca(1, 2) == 2  # ancestor-descendant
+        assert td.lca(9, 3) == 9
+
+    def test_kth_ancestor(self, fig1_td):
+        _, td = fig1_td
+        assert td.kth_ancestor(1, 1) == 2
+        assert td.kth_ancestor(1, 2) == 6
+        assert td.kth_ancestor(1, td.depth[1]) == 9
+
+    def test_child_towards(self, fig1_td):
+        _, td = fig1_td
+        assert td.child_towards(7, 6) == 6
+        assert td.child_towards(9, 1) == 8
+        with pytest.raises(ValueError):
+            td.child_towards(6, 6)
+
+
+class TestSeparators:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_separators_disconnect(self, seed):
+        graph = random_connected_graph(25, 15, seed=seed)
+        td = build_tree_decomposition(graph)
+        rng = random.Random(seed + 7)
+        vertices = list(graph.vertices())
+        checked = 0
+        while checked < 10:
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            if s == t or td.is_ancestor(s, t) or td.is_ancestor(t, s):
+                continue
+            checked += 1
+            for separator in td.separators(s, t):
+                assert s not in separator and t not in separator
+                assert not _connected_avoiding(graph, s, t, separator)
+
+    def test_ancestor_descendant_raises(self, fig1_td):
+        _, td = fig1_td
+        with pytest.raises(ValueError):
+            td.separators(9, 1)
+
+
+def _connected_avoiding(graph, s, t, banned) -> bool:
+    seen = {s}
+    frontier = [s]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in graph.neighbors(u):
+                if w in banned or w in seen:
+                    continue
+                if w == t:
+                    return True
+                seen.add(w)
+                nxt.append(w)
+        frontier = nxt
+    return False
+
+
+class TestTreeStats:
+    def test_fig1_stats(self, fig1_td):
+        _, td = fig1_td
+        assert td.max_bag_size == 4
+        assert td.treewidth == 3
+        assert td.treeheight == 6
+
+    def test_subtree_parent_first(self, fig1_td):
+        _, td = fig1_td
+        seen = set()
+        for v in td.top_down():
+            parent = td.parent[v]
+            assert parent is None or parent in seen
+            seen.add(v)
+        assert seen == set(td.order)

@@ -1,0 +1,123 @@
+"""Tests for the Monte-Carlo validation subsystem."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro import build_index
+from repro.validation.montecarlo import (
+    cholesky,
+    estimate_reliability,
+    sample_path_times,
+    validate_query_result,
+)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(5, 5))
+        matrix = (a @ a.T + 0.1 * np.eye(5)).tolist()
+        ours = np.array(cholesky(matrix))
+        theirs = np.linalg.cholesky(np.array(matrix))
+        assert np.allclose(ours, theirs)
+
+    def test_semidefinite_zero_pivot(self):
+        # Rank-deficient PSD matrix: [[1,1],[1,1]].
+        lower = cholesky([[1.0, 1.0], [1.0, 1.0]])
+        reconstructed = np.array(lower) @ np.array(lower).T
+        assert np.allclose(reconstructed, [[1, 1], [1, 1]])
+
+    def test_zero_matrix(self):
+        assert cholesky([[0.0, 0.0], [0.0, 0.0]]) == [[0.0, 0.0], [0.0, 0.0]]
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(ValueError):
+            cholesky([[1.0, 2.0], [2.0, 1.0]])
+
+
+class TestSampling:
+    def test_independent_moments(self):
+        graph = make_random_instance(1, n=10, extra=6, cv=0.4)
+        path = [0, *graph.neighbors(0)][:2]
+        assert len(path) == 2
+        samples = sample_path_times(graph, path, trials=6000, seed=1)
+        weight = graph.edge(path[0], path[1])
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(weight.mu, rel=0.05)
+
+    def test_correlated_variance_inflation(self):
+        """Positive correlation must inflate the sampled total's variance
+        relative to independent sampling on the same path."""
+        graph, cov = make_correlated_instance(2, n=10, extra=8)
+        # find a 3-vertex path with a correlated edge pair
+        from repro.network.covariance import edge_key
+
+        path = None
+        for e, f, value in cov.items():
+            shared = set(e) & set(f)
+            if shared and value > 0.1:
+                v = shared.pop()
+                a = (set(e) - {v}).pop()
+                b = (set(f) - {v}).pop()
+                path = [a, v, b]
+                break
+        if path is None:
+            pytest.skip("instance has no strongly correlated adjacent pair")
+        ind = sample_path_times(graph, path, None, trials=6000, seed=3)
+        corr = sample_path_times(graph, path, cov, trials=6000, seed=3)
+        var = lambda xs: sum((x - sum(xs) / len(xs)) ** 2 for x in xs) / len(xs)
+        assert var(corr) > var(ind)
+
+    def test_trivial_path(self):
+        graph = make_random_instance(3)
+        assert sample_path_times(graph, [4], trials=10) == [0.0] * 10
+
+
+class TestReliabilityEstimates:
+    @pytest.mark.parametrize("alpha", [0.6, 0.8, 0.95])
+    def test_query_budget_achieves_alpha(self, alpha):
+        graph = make_random_instance(4, n=15, extra=12, cv=0.3)
+        index = build_index(graph)
+        rng = random.Random(4)
+        s, t, _ = random_query(graph, rng)
+        result = index.query(s, t, alpha)
+        reliability = validate_query_result(graph, result, trials=8000, seed=5)
+        lo, hi = reliability.confidence_interval(0.999)
+        # Clamping negative samples only pushes reliability up.
+        assert hi >= alpha - 0.02
+        assert reliability.estimate == pytest.approx(alpha, abs=0.05)
+
+    def test_correlated_budget_achieves_alpha(self):
+        graph, cov = make_correlated_instance(5, n=10, extra=8, cv=0.3)
+        index = build_index(graph, cov, window=10)
+        result = index.query(0, 7, 0.9)
+        reliability = validate_query_result(graph, result, cov, trials=8000, seed=6)
+        assert reliability.estimate == pytest.approx(0.9, abs=0.05)
+
+    def test_interval_contains_estimate(self):
+        graph = make_random_instance(6)
+        est = estimate_reliability(graph, [0, *graph.neighbors(0)][:2], 1e9, trials=100)
+        assert est.estimate == 1.0
+        lo, hi = est.confidence_interval()
+        assert lo <= est.estimate <= hi
+
+    def test_budget_monotonicity(self):
+        graph = make_random_instance(7)
+        path = None
+        rng = random.Random(7)
+        s, t, _ = random_query(graph, rng)
+        from repro.baselines.dijkstra import shortest_mean_path
+
+        _, path = shortest_mean_path(graph, s, t)
+        mu, var = graph.path_mean_variance(path)
+        low = estimate_reliability(graph, path, mu - math.sqrt(var), trials=4000)
+        mid = estimate_reliability(graph, path, mu, trials=4000)
+        high = estimate_reliability(graph, path, mu + 2 * math.sqrt(var), trials=4000)
+        assert low.estimate <= mid.estimate <= high.estimate

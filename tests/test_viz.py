@@ -1,0 +1,84 @@
+"""Tests for the SVG map renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generators import assign_random_cv, grid_city
+from repro.viz.svg import SvgMap, render_network
+
+
+@pytest.fixture(scope="module")
+def city():
+    graph = grid_city(5, 5, seed=1)
+    assign_random_cv(graph, 0.8, seed=2)
+    return graph
+
+
+class TestSvgMap:
+    def test_document_structure(self, city):
+        svg = SvgMap(city).render("demo map")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "demo map" in svg
+        assert svg.count("<line") == city.num_edges
+
+    def test_route_and_marker(self, city):
+        svg = SvgMap(city)
+        svg.add_route([0, 1, 2], label="fastest")
+        svg.add_marker(0, "home")
+        doc = svg.render()
+        assert "<polyline" in doc
+        assert "fastest" in doc
+        assert "home" in doc
+        assert "<circle" in doc
+
+    def test_route_colors_cycle(self, city):
+        svg = SvgMap(city)
+        svg.add_route([0, 1], label="a")
+        svg.add_route([1, 2], label="b")
+        doc = svg.render()
+        assert doc.count("<polyline") == 2
+
+    def test_labels_escaped(self, city):
+        svg = SvgMap(city)
+        svg.add_marker(0, "<script>")
+        assert "<script>" not in svg.render()
+        assert "&lt;script&gt;" in svg.render()
+
+    def test_uncertainty_shading_changes_output(self, city):
+        shaded = SvgMap(city, shade_uncertainty=True).render()
+        plain = SvgMap(city, shade_uncertainty=False).render()
+        assert shaded != plain
+
+    def test_requires_coordinates(self):
+        from repro.network.generators import random_connected_graph
+
+        bare = random_connected_graph(5, 3, seed=1)
+        with pytest.raises(ValueError):
+            SvgMap(bare)
+
+    def test_save(self, city, tmp_path):
+        file = tmp_path / "map.svg"
+        SvgMap(city).save(file, "saved")
+        assert file.read_text().startswith("<svg")
+
+
+class TestRenderNetwork:
+    def test_one_call(self, city):
+        doc = render_network(
+            city,
+            routes=[([0, 1, 2, 3], "route A"), ([0, 5, 10], "route B")],
+            markers=[(0, "S"), (3, "T")],
+            title="case study",
+        )
+        assert "route A" in doc and "route B" in doc
+        assert "case study" in doc
+
+    def test_integration_with_query(self, city):
+        from repro import build_index
+
+        index = build_index(city)
+        result = index.query(0, city.num_vertices - 1, 0.9)
+        doc = render_network(city, routes=[(result.path, "RSP")])
+        assert "<polyline" in doc

@@ -1,0 +1,81 @@
+"""Workload generation tests (Section VI-A query sets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dijkstra import approximate_diameter, dijkstra
+from repro.experiments.workloads import (
+    Query,
+    alpha_query_sets,
+    distance_query_sets,
+    random_queries,
+)
+from repro.network.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def network():
+    graph, _ = make_dataset("NY", scale=0.5, seed=3)
+    return graph
+
+
+class TestDistanceQuerySets:
+    def test_five_sets_generated(self, network):
+        sets = distance_query_sets(network, 10, seed=1)
+        assert set(sets) == {1, 2, 3, 4, 5}
+        for queries in sets.values():
+            assert 0 < len(queries) <= 10
+
+    def test_distances_respect_bands(self, network):
+        sets = distance_query_sets(network, 10, seed=2)
+        d_max = approximate_diameter(network, seeds=[0, 1, 2])
+        for i, queries in sets.items():
+            lo = d_max / 2 ** (6 - i)
+            hi = d_max / 2 ** (5 - i)
+            for q in queries[:4]:
+                dist, _ = dijkstra(network, q.source, target=q.target)
+                # the band uses its own diameter estimate; allow slack
+                assert 0.5 * lo <= dist[q.target] <= 2.0 * hi
+
+    def test_alpha_range(self, network):
+        sets = distance_query_sets(network, 8, seed=3, alpha_range=(0.7, 0.8))
+        for queries in sets.values():
+            for q in queries:
+                assert 0.7 <= q.alpha <= 0.8
+
+    def test_deterministic_by_seed(self, network):
+        a = distance_query_sets(network, 5, seed=9)
+        b = distance_query_sets(network, 5, seed=9)
+        assert a == b
+
+
+class TestAlphaQuerySets:
+    def test_reuses_pairs(self, network):
+        q3 = distance_query_sets(network, 8, seed=4)[3]
+        sets = alpha_query_sets(q3, seed=5)
+        for queries in sets.values():
+            assert [(q.source, q.target) for q in queries] == [
+                (q.source, q.target) for q in q3
+            ]
+
+    def test_alpha_bands(self, network):
+        q3 = distance_query_sets(network, 8, seed=4)[3]
+        sets = alpha_query_sets(q3, seed=6)
+        for i, queries in sets.items():
+            hi = min(0.5 + 0.1 * i, 1.0)
+            for q in queries:
+                assert 0.5 < q.alpha <= hi
+                assert q.alpha >= 0.4 + 0.1 * i or i == 1
+
+
+class TestRandomQueries:
+    def test_count_and_distinct_endpoints(self, network):
+        queries = random_queries(network, 25, seed=1)
+        assert len(queries) == 25
+        assert all(q.source != q.target for q in queries)
+
+    def test_query_is_frozen(self):
+        q = Query(1, 2, 0.9)
+        with pytest.raises(AttributeError):
+            q.alpha = 0.5
