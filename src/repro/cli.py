@@ -102,7 +102,8 @@ def cmd_build(args: argparse.Namespace) -> int:
                 ["treeheight (eta)", index.treeheight],
                 ["label entries", info.label_entries],
                 ["stored paths", info.label_paths],
-                ["estimated size", format_bytes(info.estimated_bytes)],
+                ["index size (exact)", format_bytes(info.exact_bytes)],
+                ["index size (old heuristic)", format_bytes(info.heuristic_bytes)],
                 ["written to", str(args.output)],
             ],
             title="NRP index built",
@@ -127,8 +128,11 @@ def cmd_query(args: argparse.Namespace) -> int:
             print("error: provide --source and --target, or --random N", file=sys.stderr)
             return 2
         queries = [(args.source, args.target, args.alpha)]
+    from repro.core.query import QueryStats
+
+    stats = QueryStats() if args.stats else None
     start = time.perf_counter()
-    results = index.query_batch(queries)
+    results = index.query_batch(queries, stats=stats)
     elapsed = time.perf_counter() - start
     rows = [
         [
@@ -150,6 +154,20 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"({format_seconds(elapsed / len(results))}/query)",
         )
     )
+    if stats is not None:
+        print(
+            format_table(
+                ["counter", "total"],
+                [
+                    ["hoplinks scanned", stats.hoplinks],
+                    ["label lookups", stats.label_lookups],
+                    ["candidate paths", stats.candidate_paths],
+                    ["surviving paths", stats.surviving_paths],
+                    ["concatenations", stats.concatenations],
+                ],
+                title="Workload statistics (Algorithm 1/2 counters)",
+            )
+        )
     return 0
 
 
@@ -222,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--random", type=int, help="run N random queries instead")
     p_query.add_argument("--seed", type=int, default=7)
     p_query.add_argument("--show-paths", action="store_true")
+    p_query.add_argument(
+        "--stats", action="store_true", help="print aggregate Algorithm 1/2 counters"
+    )
     p_query.set_defaults(fn=cmd_query)
 
     p_update = sub.add_parser("update", help="change one edge's distribution")

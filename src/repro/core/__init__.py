@@ -1,21 +1,46 @@
 """The NRP index: the paper's primary contribution.
 
+The package is layered (see ``docs/architecture.md``):
+
+**Storage** — where path summaries live:
+
 - :mod:`pathsummary` — path atoms ``(mu, sigma^2)`` with provenance for
   vertex recovery and head/tail edge windows for correlated concatenation.
+- :mod:`labelstore` — the columnar stores: contiguous ``array`` columns
+  for moments, windows and pruning statistics, with exact byte accounting
+  and compaction.
+- :mod:`pruning` — :class:`LabelPathSet` views over store slices plus
+  query-time pruning: intersection / reverse-intersection dominance with
+  precomputed bound maximizers/minimizers (Props. 2-3, Algorithm 2) and
+  the correlated bound dominance (Prop. 5).
+
+**Engine** — how queries run:
+
+- :mod:`engine` — :class:`QueryEngine`: Algorithm 1 split into planning
+  (plane choice, LCA shortcut, Lemma-1 separators, prune indices) and
+  execution (the concatenation scan), with separator and batch plan
+  memoisation.
+- :mod:`query` — the thin ``answer_query`` API and statistics counters.
+- :mod:`explain` / :mod:`multiquery` — query plans and convenience modes,
+  both expressed on the engine.
+
+**Service** — construction and lifecycle:
+
 - :mod:`refine` — the ``RF`` operation (M-V dominance, the practical
   ``z_max = 3.1`` refine, and the correlated M-V dominance of Prop. 4).
-- :mod:`pruning` — query-time pruning: intersection / reverse-intersection
-  dominance with precomputed bound maximizers/minimizers (Props. 2-3,
-  Algorithm 2) and the correlated bound dominance (Prop. 5).
-- :mod:`labels` — the per-vertex label ``L(v)`` with precomputed statistics.
 - :mod:`construction` — Algorithm 3 (edge-driven sets + top-down labels).
-- :mod:`query` — Algorithm 1 and query statistics counters.
-- :mod:`index` — the public :class:`NRPIndex` facade.
-- :mod:`maintenance` — Algorithms 4-5 plus batch updates.
+- :mod:`index` — the public :class:`NRPIndex` facade wiring graph, planes
+  and engine together.
+- :mod:`maintenance` — Algorithms 4-5 plus batch updates, mutating labels
+  only through the store API.
+- :mod:`serialization` — the versioned on-disk format (v2 columnar,
+  reads v1).
 - :mod:`change_detection` — the 2-sigma distribution-change detector.
 """
 
 from repro.core.index import NRPIndex, build_index
+from repro.core.engine import QueryEngine
+from repro.core.labelstore import LabelStore
 from repro.core.maintenance import IndexMaintainer
 from repro.core.change_detection import ChangeDetector
 from repro.core.pathsummary import PathSummary
@@ -24,6 +49,8 @@ from repro.core.query import QueryResult, QueryStats
 __all__ = [
     "NRPIndex",
     "build_index",
+    "QueryEngine",
+    "LabelStore",
     "IndexMaintainer",
     "ChangeDetector",
     "PathSummary",

@@ -1,0 +1,398 @@
+"""The query engine — Algorithm 1 split into planning and execution.
+
+``answer_query`` used to be one monolithic function; the engine separates
+the two concerns so they can be cached and optimised independently:
+
+- **Planning** (:meth:`QueryEngine.plan`): plane choice, the
+  ancestor-descendant shortcut via the LCA, Lemma-1 separator selection,
+  and the Algorithm-2 / Proposition-5 prune-index computation.  Plans are
+  pure functions of ``(s, t, alpha, pruning)`` and the current label
+  structure, so the batch path memoises them (and every path memoises the
+  underlying separator lookups) — a batch with repeated ``(s, t, alpha)``
+  triples plans once.
+- **Execution** (:meth:`QueryEngine.execute`): the concatenation scan over
+  the surviving label slices, reading moments from the columnar views.
+
+Index maintenance must call :meth:`invalidate_plans` after mutating labels
+(the separator cache survives: it depends only on the immutable tree
+decomposition).  Statistics are accumulated at execution time, so a cached
+plan contributes exactly the same counters as a freshly built one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.pathsummary import PathSummary, concatenate, trivial_path
+from repro.core.pruning import LabelPathSet, prune_correlated, prune_pair
+from repro.stats.zscores import z_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import IndexPlane, NRPIndex
+    from repro.core.query import QueryResult, QueryStats
+
+__all__ = ["QueryEngine", "QueryPlan", "HoplinkTask"]
+
+#: Bound on the memoisation dictionaries; reaching it clears them (simple
+#: and allocation-free compared to an LRU, and workloads rarely get close).
+_CACHE_LIMIT = 65536
+
+
+class HoplinkTask:
+    """One hoplink's share of a separator-case plan."""
+
+    __slots__ = ("hoplink", "set_sh", "set_ht", "idx_sh", "idx_ht")
+
+    def __init__(
+        self,
+        hoplink: int,
+        set_sh: LabelPathSet,
+        set_ht: LabelPathSet,
+        idx_sh: Sequence[int],
+        idx_ht: Sequence[int],
+    ) -> None:
+        self.hoplink = hoplink
+        self.set_sh = set_sh
+        self.set_ht = set_ht
+        self.idx_sh = idx_sh
+        self.idx_ht = idx_ht
+
+
+class QueryPlan:
+    """The decisions of Algorithm 1 for one ``(s, t, alpha)`` query."""
+
+    __slots__ = (
+        "s",
+        "t",
+        "alpha",
+        "z",
+        "case",
+        "plane",
+        "pruning",
+        "deeper",
+        "other",
+        "lca",
+        "separator_s",
+        "separator_t",
+        "hoplinks",
+        "tasks",
+    )
+
+    def __init__(self, s: int, t: int, alpha: float, z: float, case: str) -> None:
+        self.s = s
+        self.t = t
+        self.alpha = alpha
+        self.z = z
+        self.case = case  # "trivial" | "ancestor" | "separator"
+        self.plane: "IndexPlane | None" = None
+        self.pruning = False
+        self.deeper = -1
+        self.other = -1
+        self.lca: int | None = None
+        self.separator_s: frozenset[int] = frozenset()
+        self.separator_t: frozenset[int] = frozenset()
+        self.hoplinks: tuple[int, ...] = ()
+        self.tasks: list[HoplinkTask] = []
+
+
+class QueryEngine:
+    """Plans and executes RSP queries against one :class:`NRPIndex`."""
+
+    def __init__(self, index: "NRPIndex") -> None:
+        self.index = index
+        self._z_cache: dict[float, float] = {}
+        self._separator_cache: dict[tuple[int, int], tuple[set[int], set[int]]] = {}
+        self._plan_cache: dict[tuple[int, int, float, bool], QueryPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def invalidate_plans(self) -> None:
+        """Drop memoised plans (call after any label mutation)."""
+        self._plan_cache.clear()
+
+    def z_of(self, alpha: float) -> float:
+        z = self._z_cache.get(alpha)
+        if z is None:
+            z = z_value(alpha)
+            if len(self._z_cache) >= _CACHE_LIMIT:
+                self._z_cache.clear()
+            self._z_cache[alpha] = z
+        return z
+
+    def separators(self, s: int, t: int) -> tuple[set[int], set[int]]:
+        """Memoised ``td.separators``; safe across maintenance (td is fixed)."""
+        key = (s, t)
+        cached = self._separator_cache.get(key)
+        if cached is None:
+            cached = self.index.td.separators(s, t)
+            if len(self._separator_cache) >= _CACHE_LIMIT:
+                self._separator_cache.clear()
+            self._separator_cache[key] = cached
+        return cached
+
+    def hoplinks(self, s: int, t: int) -> set[int]:
+        """The smaller of the two Lemma-1 candidate separators."""
+        separator_s, separator_t = self.separators(s, t)
+        return separator_s if len(separator_s) <= len(separator_t) else separator_t
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _validate(self, alpha: float) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+        index = self.index
+        if index.z_max is not None:
+            z = self.z_of(alpha)
+            if abs(z) > index.z_max:
+                raise ValueError(
+                    f"alpha={alpha} needs |Z|={abs(z):.3f} > the index's practical "
+                    f"refine bound z_max={index.z_max} (labels would be "
+                    f"incomplete); build with a larger z_max or z_max=None"
+                )
+
+    def plan(
+        self,
+        s: int,
+        t: int,
+        alpha: float,
+        use_pruning: bool = True,
+        *,
+        sort_hoplinks: bool = False,
+        use_cache: bool = False,
+    ) -> QueryPlan:
+        """Build the plan for one query.
+
+        ``use_cache=True`` memoises the plan per ``(s, t, alpha, pruning)``
+        — the batch path's repeated-triple optimisation (single queries
+        plan fresh, like the pre-engine code).  ``sort_hoplinks`` yields
+        deterministic hoplink order for explanations; those plans always
+        bypass the cache.
+        """
+        self._validate(alpha)
+        z = self.z_of(alpha)
+        if s == t:
+            return QueryPlan(s, t, alpha, z, "trivial")
+        index = self.index
+        plane = index.plane_for(alpha)
+        pruning = use_pruning and plane.direction != "low"
+        use_cache = use_cache and not sort_hoplinks
+        key = (s, t, alpha, pruning)
+        if use_cache:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                return cached
+        plan = self._build_plan(s, t, alpha, z, plane, pruning, sort_hoplinks)
+        if use_cache:
+            if len(self._plan_cache) >= _CACHE_LIMIT:
+                self._plan_cache.clear()
+            self._plan_cache[key] = plan
+        return plan
+
+    def _build_plan(
+        self,
+        s: int,
+        t: int,
+        alpha: float,
+        z: float,
+        plane: "IndexPlane",
+        pruning: bool,
+        sort_hoplinks: bool,
+    ) -> QueryPlan:
+        td = self.index.td
+        labels = plane.labels
+        ancestor = td.lca(s, t)
+        if ancestor == s or ancestor == t:
+            plan = QueryPlan(s, t, alpha, z, "ancestor")
+            plan.plane = plane
+            plan.pruning = pruning
+            plan.lca = ancestor
+            plan.deeper = t if ancestor == s else s
+            plan.other = s if ancestor == s else t
+            return plan
+
+        separator_s, separator_t = self.separators(s, t)
+        hoplinks = separator_s if len(separator_s) <= len(separator_t) else separator_t
+        plan = QueryPlan(s, t, alpha, z, "separator")
+        plan.plane = plane
+        plan.pruning = pruning
+        plan.lca = ancestor
+        plan.separator_s = frozenset(separator_s)
+        plan.separator_t = frozenset(separator_t)
+        ordered = sorted(hoplinks) if sort_hoplinks else tuple(hoplinks)
+        plan.hoplinks = tuple(ordered)
+        correlated = self.index.correlated
+        for h in plan.hoplinks:
+            set_sh = labels[s][h]
+            set_ht = labels[t][h]
+            if pruning:
+                if correlated:
+                    idx_sh, idx_ht = prune_correlated(set_sh, set_ht, alpha)
+                else:
+                    idx_sh, idx_ht = prune_pair(set_sh, set_ht, alpha)
+            else:
+                idx_sh = range(len(set_sh))
+                idx_ht = range(len(set_ht))
+            plan.tasks.append(HoplinkTask(h, set_sh, set_ht, idx_sh, idx_ht))
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def scan_hoplink(self, task: HoplinkTask, z: float) -> tuple[float, int, int]:
+        """Best concatenation over one hoplink's surviving index pairs.
+
+        Returns ``(value, i, j)`` (``math.inf, -1, -1`` when no pair
+        exists).  The independent case reads moments from the columnar
+        views; the correlated case needs the path objects for their
+        junction windows.
+        """
+        index = self.index
+        best_value = math.inf
+        best_i = best_j = -1
+        set_sh, set_ht = task.set_sh, task.set_ht
+        idx_sh, idx_ht = task.idx_sh, task.idx_ht
+        if not index.correlated:
+            mus_sh, vars_sh = set_sh.mus, set_sh.vars
+            mus_ht, vars_ht = set_ht.mus, set_ht.vars
+            for i in idx_sh:
+                mu1 = mus_sh[i]
+                var1 = vars_sh[i]
+                for j in idx_ht:
+                    var = var1 + vars_ht[j]
+                    value = mu1 + mus_ht[j] + (z * math.sqrt(var) if var > 0.0 else 0.0)
+                    if value < best_value:
+                        best_value = value
+                        best_i, best_j = i, j
+        else:
+            cov = index.cov
+            h = task.hoplink
+            paths_sh = set_sh.paths
+            paths_ht = set_ht.paths
+            for i in idx_sh:
+                p1 = paths_sh[i]
+                w1 = p1.window_at(h)
+                for j in idx_ht:
+                    p2 = paths_ht[j]
+                    var = p1.var + p2.var + 2.0 * cov.cross_covariance(
+                        w1, p2.window_at(h)
+                    )
+                    if var < 0.0:
+                        var = 0.0
+                    value = p1.mu + p2.mu + z * math.sqrt(var)
+                    if value < best_value:
+                        best_value = value
+                        best_i, best_j = i, j
+        return best_value, best_i, best_j
+
+    def best_in_label(self, label_set: LabelPathSet, z: float) -> tuple[float, int]:
+        """Best stored path of one label entry at ``Z_alpha = z``."""
+        mus = label_set.mus
+        sigmas = label_set.sigmas
+        best_value = math.inf
+        best_i = -1
+        for i in range(len(mus)):
+            value = mus[i] + z * sigmas[i]
+            if value < best_value:
+                best_value = value
+                best_i = i
+            elif z >= 0.0 and mus[i] > best_value:
+                break  # means are increasing; no later path can win for alpha >= 0.5
+        if best_i < 0:
+            raise ValueError("empty label entry")
+        return best_value, best_i
+
+    def execute(self, plan: QueryPlan, stats: "QueryStats") -> "QueryResult":
+        """Run the concatenation scan of one plan, accumulating ``stats``."""
+        from repro.core.query import QueryResult
+
+        s, t, alpha = plan.s, plan.t, plan.alpha
+        if plan.case == "trivial":
+            return QueryResult(s, t, alpha, 0.0, 0.0, 0.0, trivial_path(s), stats)
+
+        if plan.case == "ancestor":
+            label_set = plan.plane.labels[plan.deeper][plan.other]
+            stats.label_lookups += 1
+            stats.candidate_paths += len(label_set)
+            stats.surviving_paths += len(label_set)
+            value, i = self.best_in_label(label_set, plan.z)
+            best = label_set.paths[i]
+            return QueryResult(s, t, alpha, value, best.mu, best.var, best, stats)
+
+        stats.hoplinks += len(plan.hoplinks)
+        best_value = math.inf
+        best_task: HoplinkTask | None = None
+        best_i = best_j = -1
+        for task in plan.tasks:
+            stats.label_lookups += 2
+            stats.candidate_paths += len(task.set_sh) + len(task.set_ht)
+            stats.surviving_paths += len(task.idx_sh) + len(task.idx_ht)
+            stats.concatenations += len(task.idx_sh) * len(task.idx_ht)
+            value, i, j = self.scan_hoplink(task, plan.z)
+            if value < best_value:
+                best_value = value
+                best_task, best_i, best_j = task, i, j
+        if best_task is None or best_i < 0:
+            raise ValueError(f"no path between {s} and {t}: graph not connected?")
+        p1 = best_task.set_sh.paths[best_i]
+        p2 = best_task.set_ht.paths[best_j]
+        index = self.index
+        cov = index.cov if index.correlated else None
+        joined = concatenate(
+            p1, p2, best_task.hoplink, cov, index.window if cov is not None else 0
+        )
+        return QueryResult(s, t, alpha, best_value, joined.mu, joined.var, joined, stats)
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        s: int,
+        t: int,
+        alpha: float,
+        use_pruning: bool = True,
+        stats: "QueryStats | None" = None,
+        *,
+        use_cache: bool = False,
+    ) -> "QueryResult":
+        """Algorithm 1: plan (or, on the batch path, reuse) and execute."""
+        from repro.core.query import QueryStats
+
+        if stats is None:
+            stats = QueryStats()
+        plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
+        return self.execute(plan, stats)
+
+    def answer_batch(
+        self,
+        queries: Sequence[tuple[int, int, float]],
+        *,
+        use_pruning: bool = True,
+        stats: "QueryStats | None" = None,
+        per_query_stats: bool = False,
+    ) -> "list[QueryResult]":
+        """Answer a workload, sharing plans across repeated triples.
+
+        By default every result carries the shared ``stats`` accumulator
+        (or a private one when ``stats`` is None) — the pre-engine
+        behaviour.  ``per_query_stats=True`` attaches a fresh
+        :class:`QueryStats` to each result and, when ``stats`` is given,
+        merges each into it, so aggregate numbers are unchanged while
+        per-query breakdowns (Figure 8) become possible.
+        """
+        from repro.core.query import QueryStats
+
+        results = []
+        for s, t, alpha in queries:
+            if per_query_stats:
+                own = QueryStats()
+                result = self.answer(s, t, alpha, use_pruning, own, use_cache=True)
+                if stats is not None:
+                    stats.merge(own)
+            else:
+                result = self.answer(s, t, alpha, use_pruning, stats, use_cache=True)
+            results.append(result)
+        return results

@@ -1,11 +1,12 @@
 """Query plans: a structured explanation of how Algorithm 1 answered.
 
-``NRPIndex.explain(s, t, alpha)`` runs the query while recording the
-decisions the paper's Figure 3 sketches — which case applied
-(ancestor-descendant vs separator), the LCA, both candidate separators and
-the chosen hoplink set, and per hoplink the label sizes before/after
-Algorithm-2 pruning and the best concatenation found.  Useful for teaching,
-debugging, and the test suite's white-box checks.
+``NRPIndex.explain(s, t, alpha)`` asks the engine for a plan (with
+hoplinks in deterministic sorted order) and executes each hoplink scan
+separately, recording the decisions the paper's Figure 3 sketches — which
+case applied (ancestor-descendant vs separator), the LCA, both candidate
+separators and the chosen hoplink set, and per hoplink the label sizes
+before/after Algorithm-2 pruning and the best concatenation found.  Useful
+for teaching, debugging, and the test suite's white-box checks.
 """
 
 from __future__ import annotations
@@ -13,9 +14,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
-
-from repro.core.pruning import prune_correlated, prune_pair
-from repro.stats.zscores import z_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.index import NRPIndex
@@ -82,69 +80,41 @@ class QueryExplanation:
 def explain_query(
     index: "NRPIndex", s: int, t: int, alpha: float, use_pruning: bool = True
 ) -> QueryExplanation:
-    """Run Algorithm 1 and record its plan.  Mirrors ``answer_query``."""
-    if not 0.0 < alpha < 1.0:
-        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    """Run Algorithm 1's plan through the engine and record its decisions."""
+    engine = index.engine
     if s == t:
+        engine.plan(s, t, alpha, use_pruning)  # validates alpha / z_max
         return QueryExplanation(s, t, alpha, "trivial", value=0.0)
-    td = index.td
-    plane = index.plane_for(alpha)
-    labels = plane.labels
-    if plane.direction == "low":
-        use_pruning = False
-    ancestor = td.lca(s, t)
-    if ancestor in (s, t):
-        deeper = t if ancestor == s else s
-        other = s if ancestor == s else t
-        label_set = labels[deeper][other]
-        z = z_value(alpha)
-        best = min(p.mu + z * p.sigma for p in label_set.paths)
-        return QueryExplanation(s, t, alpha, "ancestor", lca=ancestor, value=best)
+    plan = engine.plan(s, t, alpha, use_pruning, sort_hoplinks=True)
 
-    separator_s, separator_t = td.separators(s, t)
-    hoplinks = separator_s if len(separator_s) <= len(separator_t) else separator_t
+    if plan.case == "ancestor":
+        label_set = plan.plane.labels[plan.deeper][plan.other]
+        best, _ = engine.best_in_label(label_set, plan.z)
+        return QueryExplanation(s, t, alpha, "ancestor", lca=plan.lca, value=best)
+
     explanation = QueryExplanation(
         s,
         t,
         alpha,
         "separator",
-        lca=ancestor,
-        separator_s=frozenset(separator_s),
-        separator_t=frozenset(separator_t),
-        hoplinks=tuple(sorted(hoplinks)),
+        lca=plan.lca,
+        separator_s=plan.separator_s,
+        separator_t=plan.separator_t,
+        hoplinks=plan.hoplinks,
     )
-    z = z_value(alpha)
-    cov = index.cov if index.correlated else None
-    for h in explanation.hoplinks:
-        set_sh = labels[s][h]
-        set_ht = labels[t][h]
-        if use_pruning:
-            if index.correlated:
-                idx_sh, idx_ht = prune_correlated(set_sh, set_ht, alpha)
-            else:
-                idx_sh, idx_ht = prune_pair(set_sh, set_ht, alpha)
-        else:
-            idx_sh = list(range(len(set_sh)))
-            idx_ht = list(range(len(set_ht)))
-        best_here = math.inf
-        for i in idx_sh:
-            p1 = set_sh.paths[i]
-            for j in idx_ht:
-                p2 = set_ht.paths[j]
-                var = p1.var + p2.var
-                if cov is not None:
-                    var += 2.0 * cov.cross_covariance(
-                        p1.window_at(h), p2.window_at(h)
-                    )
-                    if var < 0.0:
-                        var = 0.0
-                value = p1.mu + p2.mu + (z * math.sqrt(var) if var > 0.0 else 0.0)
-                if value < best_here:
-                    best_here = value
+    for task in plan.tasks:
+        best_here, _, _ = engine.scan_hoplink(task, plan.z)
         explanation.steps.append(
-            HoplinkStep(h, len(set_sh), len(set_ht), len(idx_sh), len(idx_ht), best_here)
+            HoplinkStep(
+                task.hoplink,
+                len(task.set_sh),
+                len(task.set_ht),
+                len(task.idx_sh),
+                len(task.idx_ht),
+                best_here,
+            )
         )
         if best_here < explanation.value:
             explanation.value = best_here
-            explanation.winning_hoplink = h
+            explanation.winning_hoplink = task.hoplink
     return explanation

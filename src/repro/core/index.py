@@ -1,10 +1,15 @@
 """The public NRP index facade.
 
-``NRPIndex`` ties together the tree decomposition, the edge-driven path
-sets, the labels with their precomputed pruning statistics, and query
-answering.  Build one with :func:`build_index` (or the constructor), then
-call :meth:`NRPIndex.query`.  Index maintenance lives in
-:class:`repro.core.maintenance.IndexMaintainer`.
+``NRPIndex`` is a thin service layer wiring the three core layers
+together: the *storage* layer (per-plane columnar
+:class:`repro.core.labelstore.LabelStore` plus the edge-driven
+:class:`repro.core.construction.EdgeSetStore`), the *engine* layer
+(:class:`repro.core.engine.QueryEngine`, which plans and executes
+Algorithm 1), and the tree decomposition.  Build one with
+:func:`build_index` (or the constructor), then call
+:meth:`NRPIndex.query`.  Index maintenance lives in
+:class:`repro.core.maintenance.IndexMaintainer` and mutates labels only
+through the store API.
 
 The index always stores the ``P^{>0.5}`` plane (the paper's focus — users
 "usually set the confidence level alpha to be greater than 0.5").  Passing
@@ -20,8 +25,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.construction import EdgeSetStore, build_edge_sets, build_labels
+from repro.core.engine import QueryEngine
+from repro.core.labelstore import LabelStore
 from repro.core.pruning import LabelPathSet
-from repro.core.query import QueryResult, QueryStats, answer_query
+from repro.core.query import QueryResult, QueryStats
 from repro.core.refine import PRACTICAL_Z_MAX, NeighborhoodCache, Refiner
 from repro.network.covariance import CovarianceStore
 from repro.network.graph import StochasticGraph
@@ -29,11 +36,12 @@ from repro.treedec.decomposition import TreeDecomposition, build_tree_decomposit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.explain import QueryExplanation
+    from repro.core.pathsummary import PathSummary
 
 __all__ = ["NRPIndex", "IndexPlane", "IndexSizeInfo", "build_index"]
 
-# Rough per-object cost of one stored path summary (two floats, two ints,
-# provenance pointer) used for the size estimates of Table II / Figure 11.
+# The pre-columnar per-object size guesses, kept only so benchmarks can
+# report the old heuristic next to the exact figures (Table II / Fig. 11).
 _BYTES_PER_PATH = 88
 _BYTES_PER_WINDOW_EDGE = 16
 _BYTES_PER_CENTER_ENTRY = 12
@@ -41,7 +49,13 @@ _BYTES_PER_CENTER_ENTRY = 12
 
 @dataclass(frozen=True)
 class IndexSizeInfo:
-    """Size accounting for Table II, Table III, and Figure 11."""
+    """Size accounting for Table II, Table III, and Figure 11.
+
+    Byte figures are *exact*: they are the live sizes of the columnar
+    storage arrays (label store and edge-set mirror), not per-object
+    estimates.  ``heuristic_bytes`` preserves the old ``_BYTES_PER_*``
+    guess for comparison.
+    """
 
     label_entries: int
     label_paths: int
@@ -49,9 +63,23 @@ class IndexSizeInfo:
     edge_set_paths: int
     window_edges: int
     center_entries: int
+    label_bytes: int = 0
+    edge_set_bytes: int = 0
+    center_bytes: int = 0
+
+    @property
+    def exact_bytes(self) -> int:
+        """Exact index size: live label columns + edge-set columns."""
+        return self.label_bytes + self.edge_set_bytes
 
     @property
     def estimated_bytes(self) -> int:
+        """Backwards-compatible alias — now backed by the exact figure."""
+        return self.exact_bytes
+
+    @property
+    def heuristic_bytes(self) -> int:
+        """The old per-object estimate, kept for before/after comparisons."""
         return (
             (self.label_paths + self.edge_set_paths) * _BYTES_PER_PATH
             + self.window_edges * _BYTES_PER_WINDOW_EDGE
@@ -60,11 +88,20 @@ class IndexSizeInfo:
     @property
     def extra_storage_bytes(self) -> int:
         """The maintenance-only C(e) storage (Table III's last column)."""
+        return self.center_bytes
+
+    @property
+    def heuristic_extra_storage_bytes(self) -> int:
         return self.center_entries * _BYTES_PER_CENTER_ENTRY
 
 
 class IndexPlane:
-    """One direction's label structure: ``P^{>0.5}`` or ``P^{<0.5}``."""
+    """One direction's label structure: ``P^{>0.5}`` or ``P^{<0.5}``.
+
+    Owns the plane's storage: the edge-driven sets and the columnar
+    :class:`LabelStore` whose :class:`LabelPathSet` views populate
+    ``labels``.  All label mutation goes through :meth:`set_label_entry`.
+    """
 
     def __init__(
         self,
@@ -82,9 +119,34 @@ class IndexPlane:
         self.edge_store: EdgeSetStore = build_edge_sets(
             graph, td, self.refiner, cov, window
         )
+        self.label_store = LabelStore(independent=self.independent_stats)
         self.labels: dict[int, dict[int, LabelPathSet]] = build_labels(
-            graph, td, self.edge_store, self.refiner, cov, window
+            graph, td, self.edge_store, self.refiner, cov, window, self.label_store
         )
+
+    @property
+    def independent_stats(self) -> bool:
+        """Whether Definition-10/11 pruning statistics apply to this plane."""
+        return not self.refiner.correlated and self.direction == "high"
+
+    def set_label_entry(
+        self, v: int, u: int, paths: "Sequence[PathSummary]"
+    ) -> LabelPathSet:
+        """Install ``P_{uv}`` through the store and refresh the view."""
+        view = self.label_store.replace_entry((v, u), paths)
+        self.labels.setdefault(v, {})[u] = view
+        return view
+
+    @classmethod
+    def _empty(cls, direction: str, refiner: Refiner) -> "IndexPlane":
+        """An uninitialised plane shell (deserialisation fills it in)."""
+        plane = cls.__new__(cls)
+        plane.direction = direction
+        plane.refiner = refiner
+        plane.edge_store = EdgeSetStore()
+        plane.label_store = LabelStore(independent=plane.independent_stats)
+        plane.labels = {}
+        return plane
 
 
 class NRPIndex:
@@ -145,6 +207,7 @@ class NRPIndex:
             self.low = IndexPlane(
                 "low", graph, self.td, plane_cov, self.window, z_max, neighborhoods, flags
             )
+        self.engine = QueryEngine(self)
         self.construction_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------
@@ -194,7 +257,7 @@ class NRPIndex:
         "NRP-w/o pruning" ablation of Figure 9.  Pass a :class:`QueryStats`
         to accumulate hoplink/concatenation counters across a workload.
         """
-        return answer_query(self, s, t, alpha, use_pruning, stats)
+        return self.engine.answer(s, t, alpha, use_pruning, stats)
 
     def explain(
         self, s: int, t: int, alpha: float, *, use_pruning: bool = True
@@ -210,12 +273,22 @@ class NRPIndex:
         *,
         use_pruning: bool = True,
         stats: QueryStats | None = None,
+        per_query_stats: bool = False,
     ) -> list[QueryResult]:
-        """Answer a workload of ``(s, t, alpha)`` triples."""
-        return [
-            answer_query(self, s, t, alpha, use_pruning, stats)
-            for s, t, alpha in queries
-        ]
+        """Answer a workload of ``(s, t, alpha)`` triples on the batch path.
+
+        The engine memoises separators and whole plans, so repeated
+        ``(s, t, alpha)`` triples plan once.  ``per_query_stats=True``
+        attaches a private :class:`QueryStats` to each result (still
+        merging totals into ``stats`` when given) instead of sharing one
+        accumulator across the workload.
+        """
+        return self.engine.answer_batch(
+            queries,
+            use_pruning=use_pruning,
+            stats=stats,
+            per_query_stats=per_query_stats,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -237,16 +310,19 @@ class NRPIndex:
         edge_sets = 0
         edge_set_paths = 0
         center_entries = 0
+        label_bytes = 0
+        edge_set_bytes = 0
+        center_bytes = 0
         for plane in self.planes():
-            for entry in plane.labels.values():
-                label_entries += len(entry)
-                for label_set in entry.values():
-                    label_paths += len(label_set.paths)
-                    for p in label_set.paths:
-                        window_edges += len(p.win_a) + len(p.win_b)
+            label_entries += len(plane.label_store)
+            label_paths += plane.label_store.num_paths()
+            window_edges += plane.label_store.window_edges()
+            label_bytes += plane.label_store.live_bytes()
             edge_sets += len(plane.edge_store.sets)
             edge_set_paths += plane.edge_store.num_paths()
             center_entries += plane.edge_store.centers_storage_entries()
+            edge_set_bytes += plane.edge_store.exact_bytes()
+            center_bytes += plane.edge_store.centers_bytes()
         return IndexSizeInfo(
             label_entries=label_entries,
             label_paths=label_paths,
@@ -254,14 +330,18 @@ class NRPIndex:
             edge_set_paths=edge_set_paths,
             window_edges=window_edges,
             center_entries=center_entries,
+            label_bytes=label_bytes,
+            edge_set_bytes=edge_set_bytes,
+            center_bytes=center_bytes,
         )
 
     def validate(self) -> None:
         """Check structural invariants; raises ``AssertionError`` on damage.
 
         Intended for tests and debugging after maintenance operations:
-        label sets non-empty, means sorted, and (high plane, independent
-        case) sigmas strictly decreasing.
+        label sets non-empty, means sorted, (high plane, independent case)
+        sigmas strictly decreasing, and store columns consistent with the
+        label views.
         """
         for plane in self.planes():
             for v, entry in plane.labels.items():
@@ -269,6 +349,9 @@ class NRPIndex:
                     assert len(label_set) > 0, f"empty label P[{u}][{v}]"
                     mus = list(label_set.mus)
                     assert mus == sorted(mus), f"unsorted label P[{u}][{v}]"
+                    assert mus == [p.mu for p in label_set.paths], (
+                        f"store columns out of sync with paths P[{u}][{v}]"
+                    )
                     if not self.correlated:
                         sigmas = list(label_set.sigmas)
                         ordered = sorted(sigmas, reverse=plane.direction == "high")

@@ -8,6 +8,11 @@ last-contracted affected vertex ``r`` are rebuilt top-down (labels outside
 that subtree cannot depend on any affected set — see DESIGN.md Section 7 and
 ``tests/test_maintenance.py`` for the equivalence check against a full
 rebuild).
+
+All mutation goes through the storage layer (``EdgeSetStore.set_paths`` and
+``IndexPlane.set_label_entry``), the engine's memoised plans are
+invalidated afterwards, and stores left with enough orphaned columns are
+compacted.
 """
 
 from __future__ import annotations
@@ -16,13 +21,16 @@ import heapq
 import time
 from dataclasses import dataclass
 
-from repro.core.construction import build_label_entry
+from repro.core.construction import build_label_paths
 from repro.core.pathsummary import PathSummary, concatenate, edge_path
 from repro.core.index import NRPIndex
 
 __all__ = ["IndexMaintainer", "MaintenanceReport"]
 
 EdgeKey = tuple[int, int]
+
+#: Compact a plane's stores once replacements orphan this fraction of slots.
+_COMPACT_GARBAGE_FRACTION = 0.5
 
 
 @dataclass
@@ -35,7 +43,7 @@ class MaintenanceReport:
     seconds: float = 0.0
 
 
-def _signature(paths: list[PathSummary]) -> tuple:
+def _signature(paths) -> tuple:
     """Moments + windows: if unchanged, downstream sets cannot change."""
     return tuple((p.mu, p.var, p.win_a, p.win_b) for p in paths)
 
@@ -72,8 +80,16 @@ class IndexMaintainer:
             roots = self._propagate_edge_sets(plane, list(seeds), report)
             if roots:
                 self._rebuild_labels(plane, roots, report)
+            self._maybe_compact(plane)
+        index.engine.invalidate_plans()
         report.seconds = time.perf_counter() - start
         return report
+
+    def _maybe_compact(self, plane) -> None:
+        if plane.label_store.garbage_fraction() > _COMPACT_GARBAGE_FRACTION:
+            plane.label_store.compact()
+        if plane.edge_store.columns.garbage_fraction() > _COMPACT_GARBAGE_FRACTION:
+            plane.edge_store.compact()
 
     # ------------------------------------------------------------------
     # Algorithm 4: bottom-up edge-set updates
@@ -123,12 +139,12 @@ class IndexMaintainer:
         while heap:
             _, _, key = heapq.heappop(heap)
             queued.discard(key)
-            old = _signature(plane.edge_store.sets.get(key, []))
+            old = _signature(plane.edge_store.sets.get(key, ()))
             new_set = self._recompute_edge_set(plane, key)
             report.edge_sets_recomputed += 1
             if _signature(new_set) == old:
                 continue
-            plane.edge_store.sets[key] = new_set
+            plane.edge_store.set_paths(key, new_set)
             report.edge_sets_changed += 1
             low = lower(key)
             changed_lowers.add(low)
@@ -162,7 +178,6 @@ class IndexMaintainer:
         index = self.index
         td = index.td
         cov = index.cov if index.correlated else None
-        independent = not index.correlated and plane.direction == "high"
         rebuilding: set[int] = set()
         for v in td.top_down():
             parent = td.parent[v]
@@ -170,20 +185,20 @@ class IndexMaintainer:
                 continue
             rebuilding.add(v)
             bag_neighbors = td.bags[v][1:]
-            entry = {
-                u: build_label_entry(
+            for u in td.ancestors(v):
+                plane.set_label_entry(
                     v,
                     u,
-                    bag_neighbors,
-                    plane.edge_store,
-                    plane.labels,
-                    td,
-                    plane.refiner,
-                    cov,
-                    index.window,
-                    independent,
+                    build_label_paths(
+                        v,
+                        u,
+                        bag_neighbors,
+                        plane.edge_store,
+                        plane.labels,
+                        td,
+                        plane.refiner,
+                        cov,
+                        index.window,
+                    ),
                 )
-                for u in td.ancestors(v)
-            }
-            plane.labels[v] = entry
             report.labels_rebuilt += 1

@@ -19,7 +19,6 @@ from typing import TYPE_CHECKING
 
 from repro.core.pathsummary import PathSummary, concatenate
 from repro.core.query import QueryResult, QueryStats, answer_query
-from repro.stats.zscores import z_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.index import NRPIndex
@@ -30,11 +29,15 @@ __all__ = ["one_to_all", "reliability_isochrone", "query_topk"]
 def one_to_all(
     index: "NRPIndex", source: int, alpha: float
 ) -> dict[int, float]:
-    """``F^{-1}(alpha)`` from ``source`` to every vertex."""
-    return {
-        t: answer_query(index, source, t, alpha).value
-        for t in index.graph.vertices()
-    }
+    """``F^{-1}(alpha)`` from ``source`` to every vertex.
+
+    Runs on the engine's batch path, so the ``Z_alpha`` lookup and the
+    per-pair separator selection are shared across the whole sweep.
+    """
+    results = index.engine.answer_batch(
+        [(source, t, alpha) for t in index.graph.vertices()]
+    )
+    return {result.target: result.value for result in results}
 
 
 def reliability_isochrone(
@@ -58,7 +61,8 @@ def query_topk(
 
     Exact for ``k = 1`` (Theorem 1); for larger k, see the module note.
     Fewer than k results are returned when the index holds fewer distinct
-    candidates.
+    candidates.  Separator selection goes through the engine, sharing its
+    memoised Lemma-1 lookups with the regular query path.
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -67,7 +71,7 @@ def query_topk(
     td = index.td
     plane = index.plane_for(alpha)
     labels = plane.labels
-    z = z_value(alpha)
+    z = index.engine.z_of(alpha)
     cov = index.cov if index.correlated else None
     candidates: list[tuple[float, PathSummary]] = []
 
@@ -78,8 +82,7 @@ def query_topk(
         for p in labels[deeper][other].paths:
             candidates.append((p.mu + z * p.sigma, p))
     else:
-        separator_s, separator_t = td.separators(s, t)
-        hoplinks = separator_s if len(separator_s) <= len(separator_t) else separator_t
+        hoplinks = index.engine.hoplinks(s, t)
         for h in hoplinks:
             for p1 in labels[s][h].paths:
                 for p2 in labels[t][h].paths:

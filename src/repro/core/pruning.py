@@ -1,7 +1,9 @@
 """Query-time pruning (Section III-B): Algorithm 2 and Proposition 5.
 
-A :class:`LabelPathSet` wraps one refined set ``P^{>0.5}_{uv}`` together
-with the statistics the paper precomputes at indexing time:
+A :class:`LabelPathSet` is a lightweight *view* over one entry of a
+columnar :class:`repro.core.labelstore.LabelStore`, exposing one refined
+set ``P^{>0.5}_{uv}`` together with the statistics the paper precomputes
+at indexing time:
 
 - ``sigma_min`` / ``sigma_max`` over the set,
 - each path's *upper bound maximizer* ``p_max`` (Definition 10) and *lower
@@ -20,65 +22,131 @@ dominance of Proposition 5 instead.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.pathsummary import PathSummary
 from repro.stats.normal import phi_cdf
 from repro.stats.zscores import z_value
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.labelstore import LabelStore, _Slice
+
 __all__ = ["LabelPathSet", "prune_pair", "prune_correlated"]
 
 
 class LabelPathSet:
-    """One refined path set with precomputed pruning statistics.
+    """A view over one :class:`LabelStore` entry slice.
 
     ``paths`` must come out of the independent refine: strictly increasing
-    means, strictly decreasing sigmas.  The correlated case sets
-    ``independent=False`` and only ``sigma_min``/``sigma_max`` are used.
+    means, strictly decreasing sigmas.  The correlated case uses a store
+    with ``independent=False`` and only ``sigma_min``/``sigma_max`` apply.
+
+    The numeric columns (``mus``, ``sigmas``, ``vars``, ``ub_ratio``,
+    ``lb_ratio``) live in the store's contiguous arrays; the view
+    materialises them into tuples lazily, on first access, and caches the
+    result (entries are immutable between maintenance rebuilds, which
+    install fresh views).  Constructing ``LabelPathSet(paths)`` directly —
+    handy in tests and for ad-hoc sets — backs the view with a private
+    single-entry store.
     """
 
-    __slots__ = ("paths", "mus", "sigmas", "sigma_min", "sigma_max", "ub_ratio", "lb_ratio")
+    __slots__ = (
+        "paths",
+        "sigma_min",
+        "sigma_max",
+        "_store",
+        "_start",
+        "_count",
+        "_mus",
+        "_sigmas",
+        "_vars",
+        "_ub",
+        "_lb",
+        "__weakref__",
+    )
 
     def __init__(self, paths: Sequence[PathSummary], independent: bool = True) -> None:
-        self.paths: tuple[PathSummary, ...] = tuple(paths)
-        self.mus: tuple[float, ...] = tuple(p.mu for p in self.paths)
-        self.sigmas: tuple[float, ...] = tuple(p.sigma for p in self.paths)
-        if self.paths:
-            self.sigma_min = min(self.sigmas)
-            self.sigma_max = max(self.sigmas)
+        from repro.core.labelstore import LabelStore
+
+        store = LabelStore(independent=independent)
+        view = store.add_entry(None, paths)
+        self.paths = view.paths
+        self.sigma_min = view.sigma_min
+        self.sigma_max = view.sigma_max
+        self._store = store
+        self._start = view._start
+        self._count = view._count
+        self._mus = self._sigmas = self._vars = self._ub = self._lb = None
+
+    @classmethod
+    def _over_store(
+        cls, store: "LabelStore", info: "_Slice", paths: tuple[PathSummary, ...]
+    ) -> "LabelPathSet":
+        self = object.__new__(cls)
+        self.paths = paths
+        self._store = store
+        self._start = info.start
+        self._count = info.count
+        if info.count:
+            sigmas = store.sigmas[info.start : info.start + info.count]
+            self.sigma_min = min(sigmas)
+            self.sigma_max = max(sigmas)
         else:
             self.sigma_min = self.sigma_max = 0.0
-        if independent:
-            self.ub_ratio, self.lb_ratio = self._bound_refs()
-        else:
-            self.ub_ratio = self.lb_ratio = None
+        self._mus = self._sigmas = self._vars = self._ub = self._lb = None
+        return self
 
-    def _bound_refs(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        """Indices of each path's upper bound maximizer / lower bound minimizer.
+    # ------------------------------------------------------------------
+    # Lazy column materialisation
+    # ------------------------------------------------------------------
+    def _materialize(self) -> None:
+        start, count = self._start, self._count
+        if start < 0:  # poisoned by LabelStore.compact(): entry was replaced
+            raise RuntimeError("stale LabelPathSet view: its entry was dropped")
+        store = self._store
+        stop = start + count
+        self._mus = tuple(store.mus[start:stop])
+        self._sigmas = tuple(store.sigmas[start:stop])
+        self._vars = tuple(store.vars[start:stop])
+        if store.independent:
+            self._ub = tuple(store.ub[start:stop])
+            self._lb = tuple(store.lb[start:stop])
 
-        Definition 10: ``p_max = argmax_{mu' < mu} Phi((mu-mu')/(sigma'-sigma))``;
-        Definition 11: ``p_min = argmin_{mu' > mu} Phi((mu'-mu)/(sigma-sigma'))``.
-        ``-1`` marks "no such path" (first/last elements).  Sets are sorted by
-        increasing mean and decreasing sigma, so candidates with smaller mean
-        are exactly the earlier indices.
-        """
-        k = len(self.paths)
-        ub = [-1] * k
-        lb = [-1] * k
-        for i in range(k):
-            best_ratio = -math.inf
-            for j in range(i):
-                ratio = (self.mus[i] - self.mus[j]) / (self.sigmas[j] - self.sigmas[i])
-                if ratio > best_ratio:
-                    best_ratio = ratio
-                    ub[i] = j
-            best_ratio = math.inf
-            for j in range(i + 1, k):
-                ratio = (self.mus[j] - self.mus[i]) / (self.sigmas[i] - self.sigmas[j])
-                if ratio < best_ratio:
-                    best_ratio = ratio
-                    lb[i] = j
-        return tuple(ub), tuple(lb)
+    @property
+    def mus(self) -> tuple[float, ...]:
+        if self._mus is None:
+            self._materialize()
+        return self._mus
+
+    @property
+    def sigmas(self) -> tuple[float, ...]:
+        if self._sigmas is None:
+            self._materialize()
+        return self._sigmas
+
+    @property
+    def vars(self) -> tuple[float, ...]:
+        if self._vars is None:
+            self._materialize()
+        return self._vars
+
+    @property
+    def ub_ratio(self) -> tuple[int, ...] | None:
+        """Definition-10 upper bound maximizer indices (independent only)."""
+        if not self._store.independent:
+            return None
+        if self._ub is None:
+            self._materialize()
+        return self._ub
+
+    @property
+    def lb_ratio(self) -> tuple[int, ...] | None:
+        """Definition-11 lower bound minimizer indices (independent only)."""
+        if not self._store.independent:
+            return None
+        if self._lb is None:
+            self._materialize()
+        return self._lb
 
     def bound(self, i: int, j: int, x: float) -> float:
         """``B_{p_i}(p_j, x)`` — the intersection confidence level.
@@ -86,13 +154,14 @@ class LabelPathSet:
         The y-value where the quantile curves of ``p_i (+) q`` and
         ``p_j (+) q`` cross, for an extension of standard deviation ``x``.
         """
-        denom = math.sqrt(self.sigmas[i] ** 2 + x * x) - math.sqrt(
-            self.sigmas[j] ** 2 + x * x
+        sigmas = self.sigmas
+        denom = math.sqrt(sigmas[i] ** 2 + x * x) - math.sqrt(
+            sigmas[j] ** 2 + x * x
         )
         return phi_cdf((self.mus[j] - self.mus[i]) / denom)
 
     def __len__(self) -> int:
-        return len(self.paths)
+        return self._count
 
     def __iter__(self):
         return iter(self.paths)
@@ -119,7 +188,7 @@ def _survivors(
     keep: list[int] = []
     ub_ratio = label_set.ub_ratio
     lb_ratio = label_set.lb_ratio
-    for i in range(len(label_set.paths)):
+    for i in range(len(label_set)):
         j = ub_ratio[i]
         if j >= 0 and alpha < label_set.bound(i, j, other_sigma_min):
             continue  # intersection dominance: a smaller-mean path wins at alpha
@@ -150,7 +219,7 @@ def prune_correlated(
 def _correlated_survivors(
     label_set: LabelPathSet, other_sigma_max: float, z: float
 ) -> list[int]:
-    if not label_set.paths:
+    if not len(label_set):
         return []
     threshold = min(
         mu + z * (sigma + other_sigma_max)

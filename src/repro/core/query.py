@@ -1,22 +1,19 @@
-"""Query processing — Algorithm 1.
+"""Query results, statistics, and the Algorithm-1 entry point.
 
-Given ``(s, t, alpha)``: if ``X(s)``/``X(t)`` are in ancestor-descendant
-relation the answer is the best path of one stored label entry; otherwise
-the smaller of the two Lemma-1 separators supplies the hoplinks, each
-hoplink's two label entries are pruned with Algorithm 2 (independent) or
-Proposition 5 (correlated), the surviving paths are concatenated pairwise,
-and the global minimum ``F_p^{-1}(alpha)`` wins.
+The actual query machinery lives in :mod:`repro.core.engine`, which splits
+Algorithm 1 into a planning stage (plane choice, LCA/ancestor shortcut,
+separator selection, prune-index computation) and an execution stage (the
+concatenation scan over columnar label views).  This module keeps the
+result/statistics dataclasses and the long-standing :func:`answer_query`
+convenience wrapper.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.pathsummary import PathSummary, concatenate, trivial_path
-from repro.core.pruning import LabelPathSet, prune_correlated, prune_pair
-from repro.stats.zscores import z_value
+from repro.core.pathsummary import PathSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.index import NRPIndex
@@ -64,22 +61,6 @@ class QueryResult:
         return vertices
 
 
-def _best_in_label(label_set: LabelPathSet, alpha: float) -> tuple[float, PathSummary]:
-    z = z_value(alpha)
-    best_value = math.inf
-    best_path: PathSummary | None = None
-    for p in label_set.paths:
-        value = p.mu + z * p.sigma
-        if value < best_value:
-            best_value = value
-            best_path = p
-        elif z >= 0.0 and p.mu > best_value:
-            break  # means are increasing; no later path can win for alpha >= 0.5
-    if best_path is None:
-        raise ValueError("empty label entry")
-    return best_value, best_path
-
-
 def answer_query(
     index: "NRPIndex",
     s: int,
@@ -88,97 +69,12 @@ def answer_query(
     use_pruning: bool = True,
     stats: QueryStats | None = None,
 ) -> QueryResult:
-    """Algorithm 1.  ``use_pruning=False`` is the Figure-9 ablation variant.
+    """Algorithm 1 via the index's engine.
 
-    Queries with ``alpha >= 0.5`` use the ``P^{>0.5}`` plane with the full
-    Algorithm-2 / Proposition-5 pruning; ``alpha < 0.5`` uses the symmetric
-    low plane (if built) without intersection pruning, whose statistics are
-    only defined for the high side.
+    ``use_pruning=False`` is the Figure-9 ablation variant.  Queries with
+    ``alpha >= 0.5`` use the ``P^{>0.5}`` plane with the full Algorithm-2 /
+    Proposition-5 pruning; ``alpha < 0.5`` uses the symmetric low plane (if
+    built) without intersection pruning, whose statistics are only defined
+    for the high side.
     """
-    if not 0.0 < alpha < 1.0:
-        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
-    if index.z_max is not None:
-        z = z_value(alpha) if alpha != 0.5 else 0.0
-        if abs(z) > index.z_max:
-            raise ValueError(
-                f"alpha={alpha} needs |Z|={abs(z):.3f} > the index's practical "
-                f"refine bound z_max={index.z_max} (labels would be "
-                f"incomplete); build with a larger z_max or z_max=None"
-            )
-    if stats is None:
-        stats = QueryStats()
-    if s == t:
-        return QueryResult(s, t, alpha, 0.0, 0.0, 0.0, trivial_path(s), stats)
-
-    td = index.td
-    plane = index.plane_for(alpha)
-    labels = plane.labels
-    if plane.direction == "low":
-        use_pruning = False
-    ancestor = td.lca(s, t)
-    if ancestor == s or ancestor == t:
-        deeper = t if ancestor == s else s
-        other = s if ancestor == s else t
-        label_set = labels[deeper][other]
-        stats.label_lookups += 1
-        stats.candidate_paths += len(label_set)
-        stats.surviving_paths += len(label_set)
-        value, best = _best_in_label(label_set, alpha)
-        return QueryResult(s, t, alpha, value, best.mu, best.var, best, stats)
-
-    separator_s, separator_t = td.separators(s, t)
-    hoplinks = separator_s if len(separator_s) <= len(separator_t) else separator_t
-    stats.hoplinks += len(hoplinks)
-
-    z = z_value(alpha)
-    cov = index.cov if index.correlated else None
-    best_value = math.inf
-    best_triplet: tuple[PathSummary, PathSummary, int] | None = None
-    for h in hoplinks:
-        set_sh = labels[s][h]
-        set_ht = labels[t][h]
-        stats.label_lookups += 2
-        stats.candidate_paths += len(set_sh) + len(set_ht)
-        if use_pruning:
-            if index.correlated:
-                idx_sh, idx_ht = prune_correlated(set_sh, set_ht, alpha)
-            else:
-                idx_sh, idx_ht = prune_pair(set_sh, set_ht, alpha)
-        else:
-            idx_sh = range(len(set_sh))
-            idx_ht = range(len(set_ht))
-        stats.surviving_paths += len(idx_sh) + len(idx_ht)
-        stats.concatenations += len(idx_sh) * len(idx_ht)
-        paths_sh = set_sh.paths
-        paths_ht = set_ht.paths
-        if cov is None:
-            for i in idx_sh:
-                p1 = paths_sh[i]
-                for j in idx_ht:
-                    p2 = paths_ht[j]
-                    var = p1.var + p2.var
-                    value = p1.mu + p2.mu + (z * math.sqrt(var) if var > 0.0 else 0.0)
-                    if value < best_value:
-                        best_value = value
-                        best_triplet = (p1, p2, h)
-        else:
-            window = index.window
-            for i in idx_sh:
-                p1 = paths_sh[i]
-                w1 = p1.window_at(h)
-                for j in idx_ht:
-                    p2 = paths_ht[j]
-                    var = p1.var + p2.var + 2.0 * cov.cross_covariance(
-                        w1, p2.window_at(h)
-                    )
-                    if var < 0.0:
-                        var = 0.0
-                    value = p1.mu + p2.mu + z * math.sqrt(var)
-                    if value < best_value:
-                        best_value = value
-                        best_triplet = (p1, p2, h)
-    if best_triplet is None:
-        raise ValueError(f"no path between {s} and {t}: graph not connected?")
-    p1, p2, h = best_triplet
-    joined = concatenate(p1, p2, h, cov, index.window if cov is not None else 0)
-    return QueryResult(s, t, alpha, best_value, joined.mu, joined.var, joined, stats)
+    return index.engine.answer(s, t, alpha, use_pruning, stats)

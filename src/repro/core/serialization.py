@@ -7,6 +7,14 @@ are dumped once each, topologically, and provenance is stored as indices
 into that table.  Loading restores the full structure, including vertex
 recovery and correlated head/tail windows, bit-for-bit for query purposes.
 
+Version 2 (the current writer) mirrors the in-memory columnar storage
+layer: the summary table is stored as struct-of-arrays columns (``mu`` /
+``var`` / endpoint / flattened window arrays), and each plane's label
+section persists the precomputed Definition-10/11 pruning-statistic
+columns, so loading rebuilds every :class:`LabelStore` without the O(k^2)
+bound-reference recomputation.  Version-1 files (row-per-summary, no
+stats) remain readable.
+
 The graph and covariance store are embedded so a loaded index is
 self-contained (maintenance keeps working).
 """
@@ -18,11 +26,10 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.core.engine import QueryEngine
 from repro.core.index import IndexPlane, NRPIndex
 from repro.core.pathsummary import PathSummary
-from repro.core.pruning import LabelPathSet
 from repro.core.refine import NeighborhoodCache, Refiner
-from repro.core.construction import EdgeSetStore
 from repro.network.covariance import CovarianceStore
 from repro.network.graph import StochasticGraph
 from repro.treedec.decomposition import TreeDecomposition
@@ -30,7 +37,8 @@ from repro.treedec.ordering import contract_in_order
 
 __all__ = ["save_index", "load_index", "FORMAT_VERSION"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_READABLE_FORMATS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -78,8 +86,43 @@ class _SummaryTable:
             )
         return self.index[id(summary)]
 
+    def columns(self) -> dict[str, Any]:
+        """Struct-of-arrays encoding of the table (format 2)."""
+        mu: list[float] = []
+        var: list[float] = []
+        a: list[int] = []
+        b: list[int] = []
+        num_edges: list[int] = []
+        win_flat: list[int] = []
+        win_lens: list[int] = []
+        prov: list[Any] = []
+        for row in self.rows:
+            mu.append(row[0])
+            var.append(row[1])
+            a.append(row[2])
+            b.append(row[3])
+            win_lens.append(len(row[4]))
+            win_lens.append(len(row[5]))
+            for edge in row[4]:
+                win_flat.extend(edge)
+            for edge in row[5]:
+                win_flat.extend(edge)
+            num_edges.append(row[6])
+            prov.append(row[7])
+        return {
+            "mu": mu,
+            "var": var,
+            "a": a,
+            "b": b,
+            "num_edges": num_edges,
+            "win_flat": win_flat,
+            "win_lens": win_lens,
+            "prov": prov,
+        }
 
-def _restore_summaries(rows: list[list[Any]]) -> list[PathSummary]:
+
+def _restore_rows(rows: list[list[Any]]) -> list[PathSummary]:
+    """Format-1 summary table: one row per summary."""
     restored: list[PathSummary] = []
     for mu, var, a, b, win_a, win_b, num_edges, prov in rows:
         if isinstance(prov, list):
@@ -102,10 +145,55 @@ def _restore_summaries(rows: list[list[Any]]) -> list[PathSummary]:
     return restored
 
 
+def _restore_columns(cols: dict[str, Any]) -> list[PathSummary]:
+    """Format-2 summary table: struct-of-arrays."""
+    restored: list[PathSummary] = []
+    win_flat = cols["win_flat"]
+    win_lens = cols["win_lens"]
+    cursor = 0
+    for i, (mu, var, a, b, num_edges, prov) in enumerate(
+        zip(cols["mu"], cols["var"], cols["a"], cols["b"], cols["num_edges"], cols["prov"])
+    ):
+        len_a = win_lens[2 * i]
+        len_b = win_lens[2 * i + 1]
+        win_a = tuple(
+            (win_flat[cursor + 2 * k], win_flat[cursor + 2 * k + 1])
+            for k in range(len_a)
+        )
+        cursor += 2 * len_a
+        win_b = tuple(
+            (win_flat[cursor + 2 * k], win_flat[cursor + 2 * k + 1])
+            for k in range(len_b)
+        )
+        cursor += 2 * len_b
+        if isinstance(prov, list):
+            left, right, via = prov
+            provenance: Any = (restored[left], restored[right], via)
+        else:
+            provenance = prov
+        restored.append(
+            PathSummary(mu, var, a, b, win_a, win_b, num_edges, provenance)
+        )
+    return restored
+
+
 # ----------------------------------------------------------------------
 # Plane / store encoding
 # ----------------------------------------------------------------------
 def _encode_plane(plane: IndexPlane, table: _SummaryTable) -> dict[str, Any]:
+    store = plane.label_store
+    label_keys: list[list[int]] = []
+    label_slots: list[list[int]] = []
+    label_ub: list[list[int]] = []
+    label_lb: list[list[int]] = []
+    for v, entry in plane.labels.items():
+        for u, label_set in entry.items():
+            label_keys.append([v, u])
+            label_slots.append([table.add(p) for p in label_set.paths])
+            if store.independent:
+                ub, lb = store.bound_refs(store.entry_slice((v, u)))
+                label_ub.append(list(ub))
+                label_lb.append(list(lb))
     return {
         "direction": plane.direction,
         "edge_sets": [
@@ -113,13 +201,15 @@ def _encode_plane(plane: IndexPlane, table: _SummaryTable) -> dict[str, Any]:
             for key, paths in plane.edge_store.sets.items()
         ],
         "centers": [
-            [list(key), centers] for key, centers in plane.edge_store.centers.items()
+            [list(key), list(centers)]
+            for key, centers in plane.edge_store.centers.items()
         ],
-        "labels": [
-            [v, u, [table.add(p) for p in label_set.paths]]
-            for v, entry in plane.labels.items()
-            for u, label_set in entry.items()
-        ],
+        "labels": {
+            "keys": label_keys,
+            "slots": label_slots,
+            "ub": label_ub if store.independent else None,
+            "lb": label_lb if store.independent else None,
+        },
         "label_owners": sorted(plane.labels),
     }
 
@@ -128,25 +218,30 @@ def _decode_plane(
     data: dict[str, Any],
     summaries: list[PathSummary],
     refiner: Refiner,
-    independent_stats: bool,
+    fmt: int,
 ) -> IndexPlane:
-    plane = IndexPlane.__new__(IndexPlane)
-    plane.direction = data["direction"]
-    plane.refiner = refiner
-    store = EdgeSetStore()
+    plane = IndexPlane._empty(data["direction"], refiner)
     for key, slots in data["edge_sets"]:
-        store.sets[tuple(key)] = [summaries[i] for i in slots]
+        plane.edge_store.set_paths(tuple(key), [summaries[i] for i in slots])
     for key, centers in data["centers"]:
-        store.centers[tuple(key)] = list(centers)
-    plane.edge_store = store
-    labels: dict[int, dict[int, LabelPathSet]] = {
-        v: {} for v in data["label_owners"]
-    }
-    for v, u, slots in data["labels"]:
-        labels.setdefault(v, {})[u] = LabelPathSet(
-            [summaries[i] for i in slots], independent=independent_stats
-        )
-    plane.labels = labels
+        for center in centers:
+            plane.edge_store.add_center(tuple(key), center)
+    plane.labels = {v: {} for v in data["label_owners"]}
+    store = plane.label_store
+    if fmt >= 2:
+        section = data["labels"]
+        ub = section["ub"]
+        lb = section["lb"]
+        for i, ((v, u), slots) in enumerate(zip(section["keys"], section["slots"])):
+            precomputed = (ub[i], lb[i]) if store.independent and ub else None
+            view = store.add_entry(
+                (v, u), [summaries[k] for k in slots], precomputed=precomputed
+            )
+            plane.labels.setdefault(v, {})[u] = view
+    else:
+        for v, u, slots in data["labels"]:
+            view = store.add_entry((v, u), [summaries[i] for i in slots])
+            plane.labels.setdefault(v, {})[u] = view
     return plane
 
 
@@ -156,7 +251,8 @@ def _decode_plane(
 def save_index(index: NRPIndex, path: str | Path) -> None:
     """Serialise the index (graph + covariances + all planes) to ``path``.
 
-    A ``.gz`` suffix selects gzip compression.
+    A ``.gz`` suffix selects gzip compression.  Writes the current
+    (columnar, version-2) format.
     """
     table = _SummaryTable()
     planes = [_encode_plane(plane, table) for plane in index.planes()]
@@ -178,7 +274,7 @@ def save_index(index: NRPIndex, path: str | Path) -> None:
         "z_max": index.z_max,
         "order": list(index.td.order),
         "planes": planes,
-        "summaries": table.rows,
+        "summaries": table.columns(),
     }
     raw = json.dumps(document, separators=(",", ":")).encode("utf-8")
     path = Path(path)
@@ -190,7 +286,7 @@ def save_index(index: NRPIndex, path: str | Path) -> None:
 
 
 def load_index(path: str | Path) -> NRPIndex:
-    """Load an index written by :func:`save_index`."""
+    """Load an index written by :func:`save_index` (format 1 or 2)."""
     path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "rb") as handle:
@@ -198,10 +294,11 @@ def load_index(path: str | Path) -> NRPIndex:
     else:
         raw = path.read_bytes()
     document = json.loads(raw)
-    if document.get("format") != FORMAT_VERSION:
+    fmt = document.get("format")
+    if fmt not in _READABLE_FORMATS:
         raise ValueError(
-            f"unsupported index format {document.get('format')!r}; "
-            f"this build reads version {FORMAT_VERSION}"
+            f"unsupported index format {fmt!r}; "
+            f"this build reads versions {_READABLE_FORMATS}"
         )
 
     graph = StochasticGraph()
@@ -231,7 +328,10 @@ def load_index(path: str | Path) -> NRPIndex:
         neighborhoods = None
         flags = None
         plane_cov = None
-    summaries = _restore_summaries(document["summaries"])
+    if fmt >= 2:
+        summaries = _restore_columns(document["summaries"])
+    else:
+        summaries = _restore_rows(document["summaries"])
     index.high = None  # type: ignore[assignment]
     index.low = None
     for plane_data in document["planes"]:
@@ -239,13 +339,13 @@ def load_index(path: str | Path) -> NRPIndex:
         refiner = Refiner(
             index.z_max, plane_cov, neighborhoods, flags, direction=direction
         )
-        independent_stats = not index.correlated and direction == "high"
-        plane = _decode_plane(plane_data, summaries, refiner, independent_stats)
+        plane = _decode_plane(plane_data, summaries, refiner, fmt)
         if direction == "high":
             index.high = plane
         else:
             index.low = plane
     if index.high is None:
         raise ValueError("index file contains no high plane")
+    index.engine = QueryEngine(index)
     index.construction_seconds = 0.0
     return index

@@ -46,13 +46,15 @@ def table2_index_costs(
         start = time.perf_counter()
         tbs = TBSIndex(graph)
         tbs_time = time.perf_counter() - start
+        info = nrp.size_info()
         rows.append(
             {
                 "dataset": name,
                 "omega": nrp.treewidth,
                 "eta": nrp.treeheight,
                 "nrp_time_s": nrp_time,
-                "nrp_size_bytes": nrp.size_info().estimated_bytes,
+                "nrp_size_bytes": info.exact_bytes,
+                "nrp_heuristic_bytes": info.heuristic_bytes,
                 "tbs_time_s": tbs_time,
                 "tbs_size_bytes": tbs.estimated_bytes,
             }

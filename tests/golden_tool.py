@@ -1,0 +1,130 @@
+"""Golden-value generator shared by the engine equivalence suite.
+
+``python tests/golden_tool.py`` (with ``PYTHONPATH=src``) regenerates
+``tests/golden_engine.json`` from the current code.  The checked-in file
+was produced by the pre-engine-refactor implementation, so the test
+asserting bit-for-bit equality against it proves the storage/engine split
+did not change a single query result, plan, or statistics counter.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "golden_engine.json"
+
+_ALPHAS = (0.55, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+def _build_independent():
+    from conftest import make_random_instance
+    from repro import build_index
+
+    return build_index(make_random_instance(11, n=16, extra=14, cv=0.6))
+
+
+def _build_correlated():
+    from conftest import make_correlated_instance
+    from repro import build_index
+
+    graph, cov = make_correlated_instance(12, n=12, extra=10)
+    return build_index(graph, cov, window=2)
+
+
+def _build_low_alpha():
+    from conftest import make_random_instance
+    from repro import build_index
+
+    return build_index(
+        make_random_instance(13, n=12, extra=9, cv=0.4), support_low_alpha=True
+    )
+
+
+#: name -> zero-argument builder; the equivalence suite parametrizes over this.
+INSTANCES = {
+    "independent": _build_independent,
+    "correlated": _build_correlated,
+    "low_alpha": _build_low_alpha,
+}
+
+
+def _queries(index, name: str):
+    rng = random.Random(sum(ord(c) for c in name) * 7919)
+    vertices = sorted(index.graph.vertices())
+    out = []
+    while len(out) < 25:
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        alpha = rng.choice(_ALPHAS)
+        if name == "low_alpha" and rng.random() < 0.4:
+            alpha = round(1.0 - alpha, 6)
+        out.append((s, t, alpha))
+    return out
+
+
+def snapshot_instance(name: str, index) -> list[dict]:
+    """Run the fixed workload for one instance; record every observable."""
+    from repro.core.query import QueryStats
+
+    entries = []
+    for s, t, alpha in _queries(index, name):
+        for use_pruning in (True, False):
+            if alpha < 0.5 and not use_pruning:
+                continue
+            stats = QueryStats()
+            result = index.query(s, t, alpha, use_pruning=use_pruning, stats=stats)
+            entry = {
+                "q": [s, t, alpha, use_pruning],
+                "value": result.value,
+                "mu": result.mu,
+                "variance": result.variance,
+                "path": result.path,
+                "stats": [
+                    stats.hoplinks,
+                    stats.concatenations,
+                    stats.label_lookups,
+                    stats.candidate_paths,
+                    stats.surviving_paths,
+                ],
+            }
+            if alpha >= 0.5:
+                ex = index.explain(s, t, alpha, use_pruning=use_pruning)
+                entry["explain"] = {
+                    "case": ex.case,
+                    "value": ex.value,
+                    "winning_hoplink": ex.winning_hoplink,
+                    "hoplinks": list(ex.hoplinks),
+                    "steps": [
+                        [
+                            st.hoplink,
+                            st.sh_size,
+                            st.ht_size,
+                            st.sh_kept,
+                            st.ht_kept,
+                            st.best_value,
+                        ]
+                        for st in ex.steps
+                    ],
+                }
+            entries.append(entry)
+    return entries
+
+
+def snapshot() -> dict:
+    """Run the fixed workload on all instances."""
+    return {
+        name: snapshot_instance(name, build()) for name, build in INSTANCES.items()
+    }
+
+
+def main() -> None:
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    GOLDEN_PATH.write_text(json.dumps(snapshot(), indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

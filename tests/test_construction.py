@@ -38,10 +38,10 @@ class TestEdgeSets:
 
     def test_centers_recorded(self, fig1_parts):
         _, _, store, _ = fig1_parts
-        assert store.centers[(6, 8)] == [3]
-        assert store.centers[(6, 9)] == [2]
+        assert list(store.centers[(6, 8)]) == [3]
+        assert list(store.centers[(6, 9)]) == [2]
         # (8, 9) is touched by the contractions of v6 and v7 in order.
-        assert store.centers[(8, 9)] == [6, 7]
+        assert list(store.centers[(8, 9)]) == [6, 7]
 
     def test_sets_sorted_pareto(self, fig1_parts):
         _, _, store, _ = fig1_parts

@@ -1,0 +1,238 @@
+"""Equivalence suite for the storage/engine/service refactor.
+
+Three layers of evidence that the split into ``LabelStore`` /
+``QueryEngine`` / facade changed nothing observable:
+
+1. **Golden regression** — ``golden_engine.json`` was generated from the
+   pre-refactor code (``tests/golden_tool.py`` regenerates it); every
+   value, path, stats counter and explanation must match bit-for-bit.
+2. **Randomized brute-force equivalence** — ~200 random ``(s, t, alpha)``
+   triples on fresh independent and K-hop-correlated instances, engine
+   answers vs. exhaustive simple-path enumeration.
+3. **Serialization round-trips** — the v2 columnar format reproduces
+   ``size_info()`` and query results exactly, and genuine v1 files
+   (``tests/data/``, written by the pre-refactor serializer) still load
+   and answer identically to a fresh build.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import math
+import random
+from pathlib import Path
+
+import pytest
+
+import golden_tool
+from conftest import make_correlated_instance, make_random_instance, random_query
+from repro import build_index
+from repro.baselines.brute_force import exact_rsp
+from repro.core.query import QueryStats, answer_query
+from repro.core.serialization import FORMAT_VERSION, load_index, save_index
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+# ----------------------------------------------------------------------
+# 1. Golden regression (bit-for-bit vs. pre-refactor engine)
+# ----------------------------------------------------------------------
+class TestGoldenRegression:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(golden_tool.GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("name", sorted(golden_tool.INSTANCES))
+    def test_instance_matches_golden(self, golden, name):
+        index = golden_tool.INSTANCES[name]()
+        current = golden_tool.snapshot_instance(name, index)
+        assert current == golden[name]
+
+
+# ----------------------------------------------------------------------
+# 2. Randomized equivalence vs. brute force
+# ----------------------------------------------------------------------
+class TestBruteForceEquivalence:
+    def _check(self, graph, index, cov, rng, trials, alpha_lo, alpha_hi):
+        for _ in range(trials):
+            s, t, alpha = random_query(graph, rng, alpha_lo, alpha_hi)
+            expected, _ = exact_rsp(graph, s, t, alpha, cov)
+            got = index.query(s, t, alpha)
+            assert math.isclose(got.value, expected, rel_tol=1e-9, abs_tol=1e-9), (
+                s,
+                t,
+                alpha,
+            )
+            # The engine path and the module-level helper must agree exactly,
+            # with and without Algorithm-2 pruning.
+            assert answer_query(index, s, t, alpha).value == got.value
+            assert index.query(s, t, alpha, use_pruning=False).value == got.value
+
+    def test_independent(self):
+        graph = make_random_instance(301, n=12, extra=10, cv=0.6)
+        index = build_index(graph, support_low_alpha=True)
+        rng = random.Random(302)
+        self._check(graph, index, None, rng, 70, 0.55, 0.99)
+        # The low plane answers alpha < 0.5 through the symmetric labels.
+        self._check(graph, index, None, rng, 30, 0.05, 0.45)
+
+    def test_correlated(self):
+        graph, cov = make_correlated_instance(303, n=10, extra=8)
+        index = build_index(graph, cov, window=2)
+        rng = random.Random(304)
+        self._check(graph, index, cov, rng, 100, 0.55, 0.99)
+
+
+# ----------------------------------------------------------------------
+# Batch path: per-query stats and plan reuse
+# ----------------------------------------------------------------------
+class TestBatchStats:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = make_random_instance(601, n=12, extra=10, cv=0.6)
+        index = build_index(graph)
+        triples = _triples(graph, 602, 30)
+        return index, triples
+
+    def test_default_batch_matches_per_query(self, setup):
+        index, triples = setup
+        batch = index.query_batch(triples)
+        singles = [index.query(s, t, alpha) for s, t, alpha in triples]
+        assert [(r.value, r.path) for r in batch] == [
+            (r.value, r.path) for r in singles
+        ]
+        # Default behavior: no shared accumulator, per-result stats attached.
+        assert all(r.stats is not None for r in batch)
+
+    def test_shared_accumulator_unchanged(self, setup):
+        index, triples = setup
+        shared = QueryStats()
+        index.query_batch(triples, stats=shared)
+        expected = QueryStats()
+        for s, t, alpha in triples:
+            index.query(s, t, alpha, stats=expected)
+        assert shared == expected
+
+    def test_per_query_stats_sum_to_aggregate(self, setup):
+        index, triples = setup
+        shared = QueryStats()
+        results = index.query_batch(triples, stats=shared, per_query_stats=True)
+        total = QueryStats()
+        for result in results:
+            assert result.stats is not shared
+            total.merge(result.stats)
+        assert total == shared
+
+    def test_repeated_triples_hit_plan_cache(self, setup):
+        index, triples = setup
+        workload = triples * 3
+        values = [r.value for r in index.query_batch(workload)]
+        assert values == [r.value for r in index.query_batch(triples)] * 3
+
+
+# ----------------------------------------------------------------------
+# 3. Serialization: v2 round-trip + v1 compatibility
+# ----------------------------------------------------------------------
+def _query_fingerprint(index, triples):
+    rows = []
+    for s, t, alpha in triples:
+        stats = QueryStats()
+        result = index.query(s, t, alpha, stats=stats)
+        rows.append(
+            (
+                result.value,
+                result.mu,
+                result.variance,
+                result.path,
+                stats.hoplinks,
+                stats.concatenations,
+                stats.label_lookups,
+                stats.candidate_paths,
+                stats.surviving_paths,
+            )
+        )
+    return rows
+
+
+def _triples(graph, seed, count, alpha_lo=0.55, alpha_hi=0.99):
+    rng = random.Random(seed)
+    return [random_query(graph, rng, alpha_lo, alpha_hi) for _ in range(count)]
+
+
+class TestV2RoundTrip:
+    def test_independent_roundtrip(self, tmp_path):
+        graph = make_random_instance(401, n=12, extra=10, cv=0.6)
+        index = build_index(graph, support_low_alpha=True)
+        file = tmp_path / "index.json.gz"
+        save_index(index, file)
+        document = json.loads(gzip.decompress(file.read_bytes()))
+        assert document["format"] == FORMAT_VERSION == 2
+        loaded = load_index(file)
+        assert loaded.size_info() == index.size_info()
+        triples = _triples(graph, 402, 25) + _triples(graph, 403, 10, 0.05, 0.45)
+        assert _query_fingerprint(loaded, triples) == _query_fingerprint(
+            index, triples
+        )
+        loaded.validate()
+
+    def test_correlated_roundtrip(self, tmp_path):
+        graph, cov = make_correlated_instance(404, n=10, extra=8)
+        index = build_index(graph, cov, window=2)
+        file = tmp_path / "index.json"
+        save_index(index, file)
+        loaded = load_index(file)
+        assert loaded.size_info() == index.size_info()
+        triples = _triples(graph, 405, 25)
+        assert _query_fingerprint(loaded, triples) == _query_fingerprint(
+            index, triples
+        )
+        loaded.validate()
+
+    def test_explain_survives_roundtrip(self, tmp_path):
+        graph = make_random_instance(406, n=12, extra=10, cv=0.6)
+        index = build_index(graph)
+        file = tmp_path / "index.json"
+        save_index(index, file)
+        loaded = load_index(file)
+        for s, t, alpha in _triples(graph, 407, 10):
+            assert loaded.explain(s, t, alpha).render() == index.explain(
+                s, t, alpha
+            ).render()
+
+
+class TestV1Compatibility:
+    """Fixtures in tests/data/ were written by the pre-refactor (v1) code."""
+
+    def test_v1_independent_loads_and_matches_fresh_build(self):
+        loaded = load_index(DATA_DIR / "index_v1_independent.json.gz")
+        graph = make_random_instance(11, n=16, extra=14, cv=0.6)
+        fresh = build_index(graph, support_low_alpha=True)
+        triples = _triples(graph, 501, 25) + _triples(graph, 502, 10, 0.05, 0.45)
+        assert _query_fingerprint(loaded, triples) == _query_fingerprint(
+            fresh, triples
+        )
+        assert loaded.size_info() == fresh.size_info()
+        loaded.validate()
+
+    def test_v1_correlated_loads_and_matches_fresh_build(self):
+        loaded = load_index(DATA_DIR / "index_v1_correlated.json.gz")
+        graph, cov = make_correlated_instance(12, n=12, extra=10)
+        fresh = build_index(graph, cov, window=2)
+        triples = _triples(graph, 503, 25)
+        assert _query_fingerprint(loaded, triples) == _query_fingerprint(
+            fresh, triples
+        )
+        loaded.validate()
+
+    def test_v1_resaves_as_v2(self, tmp_path):
+        loaded = load_index(DATA_DIR / "index_v1_independent.json.gz")
+        file = tmp_path / "upgraded.json"
+        save_index(loaded, file)
+        document = json.loads(file.read_bytes())
+        assert document["format"] == 2
+        upgraded = load_index(file)
+        triples = _triples(loaded.graph, 504, 20)
+        assert _query_fingerprint(upgraded, triples) == _query_fingerprint(
+            loaded, triples
+        )

@@ -182,7 +182,7 @@ class TestExample16Maintenance:
     def test_update_v6_v8(self):
         graph, _ = paper_figure1()
         index = build_index(graph, order=PAPER_FIGURE1_ORDER)
-        assert index.edge_store.centers[(6, 8)] == [3]
+        assert list(index.edge_store.centers[(6, 8)]) == [3]
         maintainer = IndexMaintainer(index)
         report = maintainer.update_edge(6, 8, 2.0, 2.0)
         # P_(6,8) = {(2,2), (3,1)} afterwards.

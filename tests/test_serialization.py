@@ -101,4 +101,4 @@ class TestRoundTrip:
             load_index(file)
 
     def test_format_constant(self):
-        assert FORMAT_VERSION == 1
+        assert FORMAT_VERSION == 2
