@@ -24,6 +24,7 @@ import random
 import time
 
 from conftest import QUERIES, SCALE, save_report
+from repro import obs
 from repro.core.index import NRPIndex
 from repro.experiments.reporting import format_table
 from repro.network.datasets import make_dataset
@@ -66,11 +67,19 @@ def _time_per_query(index, workload) -> float:
     return time.perf_counter() - start
 
 
-def _time_batch(index, workload) -> float:
+def _time_batch(index, workload) -> tuple[float, int, int]:
+    """Time ``query_batch`` and return the plan-cache hit/miss deltas the
+    run produced, read from the observability registry (the registry is
+    enabled session-wide by conftest)."""
     _cold(index)
+    registry = obs.registry()
+    hit = registry.counter("engine.plan_cache.hit")
+    miss = registry.counter("engine.plan_cache.miss")
+    hit0, miss0 = hit.value, miss.value
     start = time.perf_counter()
     index.query_batch(workload)
-    return time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    return elapsed, hit.value - hit0, miss.value - miss0
 
 
 def test_engine_batch_throughput():
@@ -82,11 +91,14 @@ def test_engine_batch_throughput():
         # so the two timed runs differ only in the engine path taken.
         index.query_batch(workload)
         per_query = _time_per_query(index, workload)
-        batch = _time_batch(index, workload)
-        # Sanity: identical answers on both paths.
+        batch, hits, misses = _time_batch(index, workload)
+        # Sanity: identical answers on both paths, and the registry must
+        # agree with the workload's shape — every triple either hit or
+        # missed the plan cache exactly once during the timed batch run.
         assert [r.value for r in index.query_batch(workload)] == [
             index.query(s, t, alpha).value for s, t, alpha in workload
         ]
+        assert hits + misses == len(workload)
         rows.append(
             [
                 name,
@@ -94,16 +106,22 @@ def test_engine_batch_throughput():
                 f"{per_query * 1000:.1f} ms",
                 f"{batch * 1000:.1f} ms",
                 f"{per_query / batch:.2f}x",
+                hits,
+                misses,
             ]
         )
         if name == "repeated":
             # The plan cache must pay off on hot triples.
             assert batch < per_query * 1.10
+            assert hits > misses
         else:
-            # All-miss workloads pay only bounded cache-insert overhead.
+            # Mostly-miss workload (random triples can still collide at
+            # small scales) paying only bounded cache-insert overhead.
             assert batch < per_query * 1.6
+            assert misses > hits
     report = format_table(
-        ["workload", "queries", "per-query loop", "query_batch", "speedup"],
+        ["workload", "queries", "per-query loop", "query_batch", "speedup",
+         "plan hits", "plan misses"],
         rows,
         title=f"Engine batch path (NY, scale={SCALE})",
     )

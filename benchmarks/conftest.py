@@ -8,25 +8,54 @@ from smoke-test size to the largest a pure-Python single-core box can take:
 
 Every benchmark prints its paper-style table and also writes it to
 ``benchmarks/results/<name>.txt`` so the artefacts survive pytest's output
-capturing.
+capturing, plus a machine-readable ``<name>.metrics.json`` sidecar holding
+a snapshot of the observability registry at save time (the registry is
+enabled for the whole benchmark session and reset after each report so
+sidecars do not bleed into each other).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
+
+from repro import obs
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
 QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "20"))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _bench_metrics():
+    """Collect registry metrics for every benchmark in the session."""
+    obs.reset()
+    obs.enable(metrics=True, tracing=False)
+    yield
+    obs.disable()
+    obs.reset()
+
+
 def save_report(name: str, text: str) -> None:
-    """Print a report table and persist it under benchmarks/results/."""
+    """Print a report table and persist it under benchmarks/results/.
+
+    Also writes ``<name>.metrics.json`` with the current registry snapshot,
+    then resets the registry so the next benchmark starts from zero.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    registry = obs.registry()
+    if registry.enabled:
+        document = registry.to_json()
+        document["benchmark"] = name
+        document["config"] = {"scale": SCALE, "queries": QUERIES}
+        (RESULTS_DIR / f"{name}.metrics.json").write_text(
+            json.dumps(document, indent=1) + "\n", encoding="utf-8"
+        )
+        registry.reset()
     print(f"\n{text}")
 
 

@@ -4,18 +4,27 @@ Commands
 --------
 - ``info``   — describe a synthetic dataset or a DIMACS file (Table-I view).
 - ``build``  — build an NRP index and save it to disk.
-- ``query``  — answer RSP queries against a saved index.
+- ``query``  — answer RSP queries against a saved index; ``--trace`` /
+  ``--metrics`` / ``--profile`` / ``--slow-ms`` surface the observability
+  layer (see docs/observability.md).
 - ``update`` — apply a travel-time distribution change to a saved index.
 - ``bench``  — quick per-query latency comparison of NRP vs the baselines.
+- ``obs``    — observability tooling; ``obs dump`` exercises build /
+  query / maintenance with full observation on and dumps the metrics
+  registry as JSON or Prometheus text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import random
 import sys
 import time
 from pathlib import Path
+
+from repro import obs
 
 from repro.baselines.dijkstra import approximate_diameter
 from repro.core.index import NRPIndex
@@ -112,17 +121,50 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _random_queries(index, count: int, alpha: float, seed: int):
+    rng = random.Random(seed)
+    vertices = list(index.graph.vertices())
+    queries: list[tuple[int, int, float]] = []
+    while len(queries) < count:
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        if s != t:
+            queries.append((s, t, alpha))
+    return queries
+
+
+def _print_metrics_table(registry) -> None:
+    dump = registry.to_json()
+    rows = [
+        [name, data["value"]]
+        for name, data in dump["counters"].items()
+        if data["value"]
+    ]
+    rows += [
+        [f"{name} (s)", f"{data['total_seconds']:.4f} / {data['count']}"]
+        for name, data in dump["timers"].items()
+        if data["count"]
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows or [["(no observations)", "-"]],
+            title=f"Metrics registry ({dump['schema']})",
+        )
+    )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
+    observing = bool(args.trace or args.metrics or args.profile)
+    if observing:
+        obs.enable(metrics=True, tracing=bool(args.trace))
+    if args.slow_ms is not None:
+        obs.slow_query_log().configure(args.slow_ms / 1000.0)
+        logging.basicConfig(stream=sys.stderr, format="%(name)s: %(message)s")
+        logging.getLogger(obs.SLOW_QUERY_LOGGER).setLevel(logging.WARNING)
     index = load_index(args.index)
     queries: list[tuple[int, int, float]]
     if args.random:
-        rng = random.Random(args.seed)
-        vertices = list(index.graph.vertices())
-        queries = []
-        while len(queries) < args.random:
-            s, t = rng.choice(vertices), rng.choice(vertices)
-            if s != t:
-                queries.append((s, t, args.alpha))
+        queries = _random_queries(index, args.random, args.alpha, args.seed)
     else:
         if args.source is None or args.target is None:
             print("error: provide --source and --target, or --random N", file=sys.stderr)
@@ -131,8 +173,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.core.query import QueryStats
 
     stats = QueryStats() if args.stats else None
+    profiler = obs.SamplingProfiler() if args.profile else None
     start = time.perf_counter()
-    results = index.query_batch(queries, stats=stats)
+    if profiler is not None:
+        with profiler:
+            results = index.query_batch(queries, stats=stats)
+    else:
+        results = index.query_batch(queries, stats=stats)
     elapsed = time.perf_counter() - start
     rows = [
         [
@@ -168,6 +215,55 @@ def cmd_query(args: argparse.Namespace) -> int:
                 title="Workload statistics (Algorithm 1/2 counters)",
             )
         )
+    if args.trace:
+        obs.tracer().write(args.trace, format=args.trace_format)
+        print(
+            f"wrote {len(obs.tracer())} spans to {args.trace} "
+            f"({args.trace_format} format)",
+            file=sys.stderr,
+        )
+    if args.profile:
+        Path(args.profile).write_text(
+            json.dumps(profiler.to_json(), indent=1) + "\n", encoding="utf-8"
+        )
+        print(
+            f"wrote {profiler.total_samples} profile samples to {args.profile}",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        _print_metrics_table(obs.registry())
+    return 0
+
+
+def cmd_obs_dump(args: argparse.Namespace) -> int:
+    """Exercise every instrumented phase with observation on, then dump.
+
+    Builds (or loads) an index, answers a random workload, and — unless
+    ``--no-update`` — applies one maintenance update, so the dump carries
+    live construction, engine, and maintenance observations alongside the
+    full pre-registered metric name space.
+    """
+    obs.enable()
+    if args.index:
+        index = load_index(args.index)
+    else:
+        graph, cov = _load_network(args)
+        index = NRPIndex(graph, cov if not cov.is_empty() else None, window=args.k)
+    queries = _random_queries(index, args.queries, args.alpha, args.seed)
+    index.query_batch(queries)
+    if not args.no_update:
+        u, v, weight = next(iter(index.graph.edges()))
+        IndexMaintainer(index).update_edge(u, v, weight.mu * 1.1, weight.variance)
+    registry = obs.registry()
+    if args.format == "prom":
+        text = registry.to_prometheus()
+    else:
+        text = json.dumps(registry.to_json(), indent=1) + "\n"
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote metrics dump to {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
     return 0
 
 
@@ -196,6 +292,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.runners import AlgorithmSuite
     from repro.experiments.workloads import random_queries
 
+    if args.metrics or args.metrics_output:
+        obs.enable(metrics=True, tracing=False)
     graph, cov = _load_network(args)
     algorithms = tuple(args.algorithms.split(","))
     suite = AlgorithmSuite(graph, cov if not cov.is_empty() else None, algorithms=algorithms)
@@ -211,6 +309,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title=f"{len(queries)} random queries on {args.dataset} (scale {args.scale})",
         )
     )
+    if args.metrics:
+        _print_metrics_table(obs.registry())
+    if args.metrics_output:
+        Path(args.metrics_output).write_text(
+            json.dumps(obs.registry().to_json(), indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote metrics sidecar to {args.metrics_output}", file=sys.stderr)
     return 0
 
 
@@ -243,6 +348,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--stats", action="store_true", help="print aggregate Algorithm 1/2 counters"
     )
+    p_query.add_argument(
+        "--trace",
+        type=Path,
+        help="write a span trace of the workload to this file",
+    )
+    p_query.add_argument(
+        "--trace-format",
+        choices=("chrome", "json"),
+        default="chrome",
+        help="trace file format: chrome://tracing events or schema'd JSON",
+    )
+    p_query.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the observability metrics registry after the workload",
+    )
+    p_query.add_argument(
+        "--profile",
+        type=Path,
+        help="sample the workload with the wall-clock profiler; write JSON here",
+    )
+    p_query.add_argument(
+        "--slow-ms",
+        type=float,
+        help="log any query slower than this many milliseconds (stderr)",
+    )
     p_query.set_defaults(fn=cmd_query)
 
     p_update = sub.add_parser("update", help="change one edge's distribution")
@@ -260,7 +391,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--algorithms", default="NRP,TBS,ERSP-A*,SDRSP-A*,SMOGA", help="comma-separated"
     )
+    p_bench.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the metrics registry and print it after the run",
+    )
+    p_bench.add_argument(
+        "--metrics-output",
+        type=Path,
+        help="write the full metrics registry dump (JSON) to this file",
+    )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_obs = sub.add_parser("obs", help="observability tooling")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_dump = obs_sub.add_parser(
+        "dump",
+        help="run an instrumented build/query/update cycle and dump all metrics",
+    )
+    _add_network_options(p_dump)
+    p_dump.add_argument("--correlated", action="store_true")
+    p_dump.add_argument(
+        "--index", type=Path, help="load this saved index instead of building one"
+    )
+    p_dump.add_argument("--queries", type=int, default=10)
+    p_dump.add_argument("--alpha", type=float, default=0.95)
+    p_dump.add_argument(
+        "--no-update", action="store_true", help="skip the maintenance update step"
+    )
+    p_dump.add_argument(
+        "--format", choices=("json", "prom"), default="json", help="dump format"
+    )
+    p_dump.add_argument("--output", type=Path, help="write here instead of stdout")
+    p_dump.set_defaults(fn=cmd_obs_dump)
     return parser
 
 

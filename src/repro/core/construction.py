@@ -23,12 +23,14 @@ for exact size accounting, and labels land in a
 from __future__ import annotations
 
 from array import array
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.core.labelstore import ColumnarPathStore, LabelStore
 from repro.core.pathsummary import PathSummary, concatenate, edge_path
 from repro.core.pruning import LabelPathSet
 from repro.core.refine import Refiner
+from repro.obs import get_registry, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.covariance import CovarianceStore
@@ -100,25 +102,35 @@ def build_edge_sets(
     window: int = 0,
 ) -> EdgeSetStore:
     """Phase 1 of Algorithm 3 (Lines 1-5)."""
+    started = perf_counter()
     store = EdgeSetStore()
-    with_windows = window > 0
-    for u, v, weight in graph.edges():
-        store.set_paths(
-            _edge_key(u, v), [edge_path(u, v, weight.mu, weight.variance, with_windows)]
-        )
-    for v in td.order:
-        neighbors = td.bags[v][1:]
-        for i, u in enumerate(neighbors):
-            set_uv = store.sets[_edge_key(u, v)]
-            for w in neighbors[i + 1 :]:
-                set_vw = store.sets[_edge_key(v, w)]
-                key = _edge_key(u, w)
-                candidates = list(store.sets.get(key, ()))
-                for p1 in set_uv:
-                    for p2 in set_vw:
-                        candidates.append(concatenate(p1, p2, v, cov, window))
-                store.set_paths(key, refiner.refine(candidates))
-                store.add_center(key, v)
+    with get_tracer().span(
+        "construction.edge_sets", direction=refiner.direction
+    ) as span:
+        with_windows = window > 0
+        for u, v, weight in graph.edges():
+            store.set_paths(
+                _edge_key(u, v),
+                [edge_path(u, v, weight.mu, weight.variance, with_windows)],
+            )
+        for v in td.order:
+            neighbors = td.bags[v][1:]
+            for i, u in enumerate(neighbors):
+                set_uv = store.sets[_edge_key(u, v)]
+                for w in neighbors[i + 1 :]:
+                    set_vw = store.sets[_edge_key(v, w)]
+                    key = _edge_key(u, w)
+                    candidates = list(store.sets.get(key, ()))
+                    for p1 in set_uv:
+                        for p2 in set_vw:
+                            candidates.append(concatenate(p1, p2, v, cov, window))
+                    store.set_paths(key, refiner.refine(candidates))
+                    store.add_center(key, v)
+        span.set(edge_sets=len(store.sets), paths=store.num_paths())
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("construction.edge_set_paths").inc(store.num_paths())
+        registry.timer("construction.edge_sets").observe(perf_counter() - started)
     return store
 
 
@@ -173,14 +185,24 @@ def build_labels(
         label_store = LabelStore(
             independent=not refiner.correlated and refiner.direction == "high"
         )
+    started = perf_counter()
     labels: dict[int, dict[int, LabelPathSet]] = {}
-    for v in td.top_down():
-        bag_neighbors = td.bags[v][1:]
-        entry: dict[int, LabelPathSet] = {}
-        for u in td.ancestors(v):
-            paths = build_label_paths(
-                v, u, bag_neighbors, store, labels, td, refiner, cov, window
-            )
-            entry[u] = label_store.add_entry((v, u), paths)
-        labels[v] = entry
+    with get_tracer().span(
+        "construction.labels", direction=refiner.direction
+    ) as span:
+        for v in td.top_down():
+            bag_neighbors = td.bags[v][1:]
+            entry: dict[int, LabelPathSet] = {}
+            for u in td.ancestors(v):
+                paths = build_label_paths(
+                    v, u, bag_neighbors, store, labels, td, refiner, cov, window
+                )
+                entry[u] = label_store.add_entry((v, u), paths)
+            labels[v] = entry
+        span.set(entries=len(label_store), paths=label_store.num_paths())
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("construction.label_entries").inc(len(label_store))
+        registry.counter("construction.label_paths").inc(label_store.num_paths())
+        registry.timer("construction.labels").observe(perf_counter() - started)
     return labels

@@ -22,10 +22,12 @@ plan contributes exactly the same counters as a freshly built one.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.pathsummary import PathSummary, concatenate, trivial_path
 from repro.core.pruning import LabelPathSet, prune_correlated, prune_pair
+from repro.obs import get_registry, get_slow_query_log, get_tracer
 from repro.stats.zscores import z_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -77,6 +79,9 @@ class QueryPlan:
         "separator_t",
         "hoplinks",
         "tasks",
+        "pruned_prop2",
+        "pruned_prop3",
+        "pruned_prop5",
     )
 
     def __init__(self, s: int, t: int, alpha: float, z: float, case: str) -> None:
@@ -94,6 +99,13 @@ class QueryPlan:
         self.separator_t: frozenset[int] = frozenset()
         self.hoplinks: tuple[int, ...] = ()
         self.tasks: list[HoplinkTask] = []
+        # Per-proposition prune attribution (how many stored paths each
+        # dominance rule removed while building this plan); a memoised
+        # plan keeps its counts, so per-query attribution survives the
+        # batch path's plan cache.
+        self.pruned_prop2 = 0
+        self.pruned_prop3 = 0
+        self.pruned_prop5 = 0
 
 
 class QueryEngine:
@@ -104,6 +116,31 @@ class QueryEngine:
         self._z_cache: dict[float, float] = {}
         self._separator_cache: dict[tuple[int, int], tuple[set[int], set[int]]] = {}
         self._plan_cache: dict[tuple[int, int, float, bool], QueryPlan] = {}
+        # Observability handles (process-wide singletons).  Metric handles
+        # are resolved once here; the hot path only pays ``enabled`` checks
+        # while observation is off (see docs/observability.md).
+        reg = get_registry()
+        self._registry = reg
+        self._tracer = get_tracer()
+        self._slow_log = get_slow_query_log()
+        self._c_queries = reg.counter("engine.queries")
+        self._c_hoplinks = reg.counter("engine.hoplinks")
+        self._c_concatenations = reg.counter("engine.concatenations")
+        self._c_label_lookups = reg.counter("engine.label_lookups")
+        self._c_candidate_paths = reg.counter("engine.candidate_paths")
+        self._c_surviving_paths = reg.counter("engine.surviving_paths")
+        self._c_prop2 = reg.counter("engine.prune.prop2")
+        self._c_prop3 = reg.counter("engine.prune.prop3")
+        self._c_prop5 = reg.counter("engine.prune.prop5")
+        self._c_plan_hit = reg.counter("engine.plan_cache.hit")
+        self._c_plan_miss = reg.counter("engine.plan_cache.miss")
+        self._c_sep_hit = reg.counter("engine.separator_cache.hit")
+        self._c_sep_miss = reg.counter("engine.separator_cache.miss")
+        self._c_slow = reg.counter("engine.slow_queries")
+        self._t_answer = reg.timer("engine.answer")
+        self._t_plan = reg.timer("engine.plan")
+        self._t_execute = reg.timer("engine.execute")
+        self._h_query = reg.histogram("engine.query_seconds")
 
     # ------------------------------------------------------------------
     # Caches
@@ -126,10 +163,14 @@ class QueryEngine:
         key = (s, t)
         cached = self._separator_cache.get(key)
         if cached is None:
+            if self._registry.enabled:
+                self._c_sep_miss.inc()
             cached = self.index.td.separators(s, t)
             if len(self._separator_cache) >= _CACHE_LIMIT:
                 self._separator_cache.clear()
             self._separator_cache[key] = cached
+        elif self._registry.enabled:
+            self._c_sep_hit.inc()
         return cached
 
     def hoplinks(self, s: int, t: int) -> set[int]:
@@ -183,7 +224,11 @@ class QueryEngine:
         if use_cache:
             cached = self._plan_cache.get(key)
             if cached is not None:
+                if self._registry.enabled:
+                    self._c_plan_hit.inc()
                 return cached
+            if self._registry.enabled:
+                self._c_plan_miss.inc()
         plan = self._build_plan(s, t, alpha, z, plane, pruning, sort_hoplinks)
         if use_cache:
             if len(self._plan_cache) >= _CACHE_LIMIT:
@@ -224,18 +269,25 @@ class QueryEngine:
         ordered = sorted(hoplinks) if sort_hoplinks else tuple(hoplinks)
         plan.hoplinks = tuple(ordered)
         correlated = self.index.correlated
+        prune_counts = [0, 0]
         for h in plan.hoplinks:
             set_sh = labels[s][h]
             set_ht = labels[t][h]
             if pruning:
                 if correlated:
-                    idx_sh, idx_ht = prune_correlated(set_sh, set_ht, alpha)
+                    idx_sh, idx_ht = prune_correlated(
+                        set_sh, set_ht, alpha, prune_counts
+                    )
                 else:
-                    idx_sh, idx_ht = prune_pair(set_sh, set_ht, alpha)
+                    idx_sh, idx_ht = prune_pair(set_sh, set_ht, alpha, prune_counts)
             else:
                 idx_sh = range(len(set_sh))
                 idx_ht = range(len(set_ht))
             plan.tasks.append(HoplinkTask(h, set_sh, set_ht, idx_sh, idx_ht))
+        if correlated:
+            plan.pruned_prop5 = prune_counts[0]
+        else:
+            plan.pruned_prop2, plan.pruned_prop3 = prune_counts
         return plan
 
     # ------------------------------------------------------------------
@@ -316,6 +368,9 @@ class QueryEngine:
             label_set = plan.plane.labels[plan.deeper][plan.other]
             stats.label_lookups += 1
             stats.candidate_paths += len(label_set)
+            # surviving == candidate is intentional here: the ancestor case
+            # reads one label entry and Algorithm 2's pair pruning has no
+            # opposite set to prune against (see QueryStats docstring).
             stats.surviving_paths += len(label_set)
             value, i = self.best_in_label(label_set, plan.z)
             best = label_set.paths[i]
@@ -358,13 +413,93 @@ class QueryEngine:
         *,
         use_cache: bool = False,
     ) -> "QueryResult":
-        """Algorithm 1: plan (or, on the batch path, reuse) and execute."""
+        """Algorithm 1: plan (or, on the batch path, reuse) and execute.
+
+        With the observability layer off (the default) this is exactly the
+        plan+execute pair; with metrics, tracing, or the slow-query hook
+        enabled it additionally records spans, per-phase timers, the
+        Algorithm 1/2 counters, and over-threshold query log lines —
+        without changing any returned value (see the golden suite, which
+        runs bit-identical with tracing on).
+        """
         from repro.core.query import QueryStats
 
         if stats is None:
             stats = QueryStats()
-        plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
-        return self.execute(plan, stats)
+        if not (
+            self._registry.enabled
+            or self._tracer.enabled
+            or self._slow_log.enabled
+        ):
+            plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
+            return self.execute(plan, stats)
+        return self._answer_observed(s, t, alpha, use_pruning, stats, use_cache)
+
+    def _answer_observed(
+        self,
+        s: int,
+        t: int,
+        alpha: float,
+        use_pruning: bool,
+        stats: "QueryStats",
+        use_cache: bool,
+    ) -> "QueryResult":
+        """The instrumented twin of :meth:`answer` (same observable results)."""
+        tracer = self._tracer
+        before = (
+            stats.hoplinks,
+            stats.concatenations,
+            stats.label_lookups,
+            stats.candidate_paths,
+            stats.surviving_paths,
+        )
+        t_start = perf_counter()
+        with tracer.span("engine.answer", s=s, t=t, alpha=alpha) as outer:
+            with tracer.span("engine.plan"):
+                plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
+            t_planned = perf_counter()
+            with tracer.span("engine.execute", case=plan.case):
+                result = self.execute(plan, stats)
+            t_done = perf_counter()
+            outer.set(case=plan.case, value=result.value)
+        elapsed = t_done - t_start
+        registry = self._registry
+        if registry.enabled:
+            self._c_queries.inc()
+            self._c_hoplinks.inc(stats.hoplinks - before[0])
+            self._c_concatenations.inc(stats.concatenations - before[1])
+            self._c_label_lookups.inc(stats.label_lookups - before[2])
+            self._c_candidate_paths.inc(stats.candidate_paths - before[3])
+            self._c_surviving_paths.inc(stats.surviving_paths - before[4])
+            # Memoised plans keep their prune attribution, so these count
+            # pruning power applied per answered query, cached or not.
+            self._c_prop2.inc(plan.pruned_prop2)
+            self._c_prop3.inc(plan.pruned_prop3)
+            self._c_prop5.inc(plan.pruned_prop5)
+            self._t_answer.observe(elapsed)
+            self._t_plan.observe(t_planned - t_start)
+            self._t_execute.observe(t_done - t_planned)
+            self._h_query.observe(elapsed)
+        slow = self._slow_log
+        if slow.enabled and slow.threshold_s is not None and elapsed >= slow.threshold_s:
+            from repro.core.query import QueryStats
+
+            lca_depth = (
+                self.index.td.depth[plan.lca] if plan.lca is not None else -1
+            )
+            # Per-query deltas, so a shared workload accumulator doesn't
+            # leak other queries' counts into the log line.
+            own = QueryStats(
+                hoplinks=stats.hoplinks - before[0],
+                concatenations=stats.concatenations - before[1],
+                label_lookups=stats.label_lookups - before[2],
+                candidate_paths=stats.candidate_paths - before[3],
+                surviving_paths=stats.surviving_paths - before[4],
+            )
+            slow.log(elapsed, plan, own, lca_depth)
+            if registry.enabled:
+                self._c_slow.inc()
+        return result
 
     def answer_batch(
         self,

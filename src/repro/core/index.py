@@ -31,6 +31,7 @@ from repro.core.pruning import LabelPathSet
 from repro.core.query import QueryResult, QueryStats
 from repro.core.refine import PRACTICAL_Z_MAX, NeighborhoodCache, Refiner
 from repro.network.covariance import CovarianceStore
+from repro.obs import get_registry, get_tracer
 from repro.network.graph import StochasticGraph
 from repro.treedec.decomposition import TreeDecomposition, build_tree_decomposition
 
@@ -185,30 +186,64 @@ class NRPIndex:
         support_low_alpha: bool = False,
     ) -> None:
         start = time.perf_counter()
-        self.graph = graph
-        self.cov = cov if cov is not None else CovarianceStore()
-        self.correlated = not self.cov.is_empty()
-        self.window = window if self.correlated else 0
-        self.z_max = z_max
-        self.td: TreeDecomposition = build_tree_decomposition(graph, order)
-        if self.correlated:
-            neighborhoods = NeighborhoodCache(graph, self.cov, self.window)
-            flags = self.cov.compute_vertex_flags(graph, self.window)
-            plane_cov: CovarianceStore | None = self.cov
-        else:
-            neighborhoods = None
-            flags = None
-            plane_cov = None
-        self.high = IndexPlane(
-            "high", graph, self.td, plane_cov, self.window, z_max, neighborhoods, flags
-        )
-        self.low: IndexPlane | None = None
-        if support_low_alpha:
-            self.low = IndexPlane(
-                "low", graph, self.td, plane_cov, self.window, z_max, neighborhoods, flags
-            )
-        self.engine = QueryEngine(self)
+        tracer = get_tracer()
+        with tracer.span(
+            "construction.build",
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+        ):
+            self.graph = graph
+            self.cov = cov if cov is not None else CovarianceStore()
+            self.correlated = not self.cov.is_empty()
+            self.window = window if self.correlated else 0
+            self.z_max = z_max
+            td_start = time.perf_counter()
+            with tracer.span("construction.tree_decomposition") as td_span:
+                self.td: TreeDecomposition = build_tree_decomposition(graph, order)
+                td_span.set(
+                    treewidth=self.td.max_bag_size, treeheight=self.td.treeheight
+                )
+            registry = get_registry()
+            if registry.enabled:
+                registry.timer("construction.tree_decomposition").observe(
+                    time.perf_counter() - td_start
+                )
+            if self.correlated:
+                neighborhoods = NeighborhoodCache(graph, self.cov, self.window)
+                flags = self.cov.compute_vertex_flags(graph, self.window)
+                plane_cov: CovarianceStore | None = self.cov
+            else:
+                neighborhoods = None
+                flags = None
+                plane_cov = None
+            with tracer.span("construction.plane", direction="high"):
+                self.high = IndexPlane(
+                    "high",
+                    graph,
+                    self.td,
+                    plane_cov,
+                    self.window,
+                    z_max,
+                    neighborhoods,
+                    flags,
+                )
+            self.low: IndexPlane | None = None
+            if support_low_alpha:
+                with tracer.span("construction.plane", direction="low"):
+                    self.low = IndexPlane(
+                        "low",
+                        graph,
+                        self.td,
+                        plane_cov,
+                        self.window,
+                        z_max,
+                        neighborhoods,
+                        flags,
+                    )
+            self.engine = QueryEngine(self)
         self.construction_seconds = time.perf_counter() - start
+        if registry.enabled:
+            registry.timer("construction.build").observe(self.construction_seconds)
 
     # ------------------------------------------------------------------
     # Back-compatible accessors for the default (high) plane

@@ -29,7 +29,10 @@ from __future__ import annotations
 
 import weakref
 from array import array
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
+
+from repro.obs import get_registry, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pathsummary import PathSummary
@@ -195,16 +198,32 @@ class ColumnarPathStore:
     # ------------------------------------------------------------------
     def compact(self) -> None:
         """Rewrite the columns keeping only live entries."""
-        old = (self.mus, self.vars, self.sigmas, self.win_flat, self.win_lens)
-        self.mus = array("d")
-        self.vars = array("d")
-        self.sigmas = array("d")
-        self.win_flat = array("q")
-        self.win_lens = array("I")
-        remap: dict[int, _Slice] = {}
-        for key, info in self._entries.items():
-            remap[info.start] = self._entries[key] = self._move_slice(old, info)
-        self._after_compact(remap)
+        started = perf_counter()
+        garbage = self.garbage_fraction()
+        with get_tracer().span(
+            "labelstore.compact",
+            kind=type(self).__name__,
+            entries=len(self._entries),
+            garbage_fraction=round(garbage, 4),
+        ):
+            old = (self.mus, self.vars, self.sigmas, self.win_flat, self.win_lens)
+            self.mus = array("d")
+            self.vars = array("d")
+            self.sigmas = array("d")
+            self.win_flat = array("q")
+            self.win_lens = array("I")
+            remap: dict[int, _Slice] = {}
+            for key, info in self._entries.items():
+                remap[info.start] = self._entries[key] = self._move_slice(old, info)
+            self._after_compact(remap)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("labelstore.compactions").inc()
+            registry.timer("labelstore.compact").observe(perf_counter() - started)
+            registry.gauge(
+                "labelstore.last_compacted_garbage_fraction",
+                "garbage fraction reclaimed by the most recent compaction",
+            ).set(garbage)
 
     def _move_slice(self, old, info: _Slice) -> _Slice:
         old_mus, old_vars, old_sigmas, old_flat, old_lens = old

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.core.construction import build_label_paths
 from repro.core.pathsummary import PathSummary, concatenate, edge_path
 from repro.core.index import NRPIndex
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["IndexMaintainer", "MaintenanceReport"]
 
@@ -72,17 +73,43 @@ class IndexMaintainer:
         start = time.perf_counter()
         index = self.index
         report = MaintenanceReport()
-        seeds: list[EdgeKey] = []
-        for u, v, mu, variance in changes:
-            index.graph.set_edge_weight(u, v, mu, variance)
-            seeds.append((u, v) if u <= v else (v, u))
-        for plane in index.planes():
-            roots = self._propagate_edge_sets(plane, list(seeds), report)
-            if roots:
-                self._rebuild_labels(plane, roots, report)
-            self._maybe_compact(plane)
-        index.engine.invalidate_plans()
+        tracer = get_tracer()
+        with tracer.span("maintenance.update_batch", changes=len(changes)) as span:
+            seeds: list[EdgeKey] = []
+            for u, v, mu, variance in changes:
+                index.graph.set_edge_weight(u, v, mu, variance)
+                seeds.append((u, v) if u <= v else (v, u))
+            for plane in index.planes():
+                with tracer.span(
+                    "maintenance.propagate_edge_sets", direction=plane.direction
+                ):
+                    roots = self._propagate_edge_sets(plane, list(seeds), report)
+                if roots:
+                    with tracer.span(
+                        "maintenance.rebuild_labels",
+                        direction=plane.direction,
+                        roots=len(roots),
+                    ):
+                        self._rebuild_labels(plane, roots, report)
+                self._maybe_compact(plane)
+            index.engine.invalidate_plans()
+            span.set(
+                edge_sets_recomputed=report.edge_sets_recomputed,
+                edge_sets_changed=report.edge_sets_changed,
+                labels_rebuilt=report.labels_rebuilt,
+            )
         report.seconds = time.perf_counter() - start
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("maintenance.updates").inc()
+            registry.counter("maintenance.edge_sets_recomputed").inc(
+                report.edge_sets_recomputed
+            )
+            registry.counter("maintenance.edge_sets_changed").inc(
+                report.edge_sets_changed
+            )
+            registry.counter("maintenance.labels_rebuilt").inc(report.labels_rebuilt)
+            registry.timer("maintenance.update").observe(report.seconds)
         return report
 
     def _maybe_compact(self, plane) -> None:

@@ -168,22 +168,35 @@ class LabelPathSet:
 
 
 def prune_pair(
-    set_sh: LabelPathSet, set_ht: LabelPathSet, alpha: float
+    set_sh: LabelPathSet,
+    set_ht: LabelPathSet,
+    alpha: float,
+    counts: list[int] | None = None,
 ) -> tuple[list[int], list[int]]:
     """Algorithm 2: prune both sides of a hoplink against each other.
 
     Returns the surviving indices of each side.  Pruning one side uses only
     the *precomputed* ``sigma_min``/``sigma_max`` of the other side's full
     stored set, exactly as in the paper (Lines 1-4 of Algorithm 2).
+
+    ``counts``, when given, is a two-slot accumulator incremented per
+    pruned path by proposition: ``counts[0]`` intersection dominance
+    (Prop. 2), ``counts[1]`` reverse intersection dominance (Prop. 3) —
+    the per-proposition attribution behind the observability layer's
+    ``engine.prune.prop2/prop3`` counters.
     """
     return (
-        _survivors(set_sh, set_ht.sigma_min, set_ht.sigma_max, alpha),
-        _survivors(set_ht, set_sh.sigma_min, set_sh.sigma_max, alpha),
+        _survivors(set_sh, set_ht.sigma_min, set_ht.sigma_max, alpha, counts),
+        _survivors(set_ht, set_sh.sigma_min, set_sh.sigma_max, alpha, counts),
     )
 
 
 def _survivors(
-    label_set: LabelPathSet, other_sigma_min: float, other_sigma_max: float, alpha: float
+    label_set: LabelPathSet,
+    other_sigma_min: float,
+    other_sigma_max: float,
+    alpha: float,
+    counts: list[int] | None = None,
 ) -> list[int]:
     keep: list[int] = []
     ub_ratio = label_set.ub_ratio
@@ -191,16 +204,25 @@ def _survivors(
     for i in range(len(label_set)):
         j = ub_ratio[i]
         if j >= 0 and alpha < label_set.bound(i, j, other_sigma_min):
-            continue  # intersection dominance: a smaller-mean path wins at alpha
+            # intersection dominance: a smaller-mean path wins at alpha
+            if counts is not None:
+                counts[0] += 1
+            continue
         j = lb_ratio[i]
         if j >= 0 and alpha > label_set.bound(i, j, other_sigma_max):
-            continue  # reverse intersection dominance: a larger-mean path wins
+            # reverse intersection dominance: a larger-mean path wins
+            if counts is not None:
+                counts[1] += 1
+            continue
         keep.append(i)
     return keep
 
 
 def prune_correlated(
-    set_sh: LabelPathSet, set_ht: LabelPathSet, alpha: float
+    set_sh: LabelPathSet,
+    set_ht: LabelPathSet,
+    alpha: float,
+    counts: list[int] | None = None,
 ) -> tuple[list[int], list[int]]:
     """Proposition 5 pruning for correlated sets.
 
@@ -208,12 +230,18 @@ def prune_correlated(
     satisfies ``mu_1 + Z_alpha*(sigma_1 + sigma_max(P)) < mu_2``: even with
     maximal positive correlation, ``p_1``'s concatenations stay below
     ``p_2``'s mean alone.
+
+    ``counts``, when given, is a one-slot accumulator incremented per
+    pruned path (the ``engine.prune.prop5`` counter).
     """
     z = z_value(alpha)
-    return (
-        _correlated_survivors(set_sh, set_ht.sigma_max, z),
-        _correlated_survivors(set_ht, set_sh.sigma_max, z),
-    )
+    survivors_sh = _correlated_survivors(set_sh, set_ht.sigma_max, z)
+    survivors_ht = _correlated_survivors(set_ht, set_sh.sigma_max, z)
+    if counts is not None:
+        counts[0] += (len(set_sh) - len(survivors_sh)) + (
+            len(set_ht) - len(survivors_ht)
+        )
+    return survivors_sh, survivors_ht
 
 
 def _correlated_survivors(

@@ -21,9 +21,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["QueryStats", "QueryResult", "answer_query"]
 
 
+#: QueryStats field -> the observability counter mirroring it
+#: (``repro.obs``); the registry aggregates exactly these five counters
+#: process-wide, so :meth:`QueryStats.from_registry` is a faithful view.
+_REGISTRY_COUNTERS = {
+    "hoplinks": "engine.hoplinks",
+    "concatenations": "engine.concatenations",
+    "label_lookups": "engine.label_lookups",
+    "candidate_paths": "engine.candidate_paths",
+    "surviving_paths": "engine.surviving_paths",
+}
+
+
 @dataclass
 class QueryStats:
-    """Counters behind Figures 8 and 9."""
+    """Counters behind Figures 8 and 9.
+
+    Semantics worth pinning down (locked by a regression test in
+    ``tests/test_obs_integration.py``):
+
+    - On the **separator** case, ``candidate_paths`` counts every stored
+      path of both hoplink label sets and ``surviving_paths`` the subset
+      Algorithm 2 / Proposition 5 kept, so ``candidate - surviving`` is
+      the pruning power of Figure 9.
+    - On the **ancestor** case (one endpoint is the other's tree
+      ancestor), ``surviving_paths == candidate_paths`` *by design*, not
+      by accident: the query scans a single label entry and the paper's
+      pair-pruning has no second set to prune against, so every candidate
+      survives.  Counting it this way keeps prune ratios attributable to
+      the separator case only.
+    - The **trivial** case (``s == t``) touches no labels and contributes
+      nothing.
+
+    The same five counters are mirrored into the process-wide
+    observability registry (``repro.obs``) whenever it is enabled;
+    :meth:`from_registry` reads them back, making ``QueryStats`` a thin
+    view over the registry for whole-process aggregates.
+    """
 
     hoplinks: int = 0
     concatenations: int = 0
@@ -37,6 +71,28 @@ class QueryStats:
         self.label_lookups += other.label_lookups
         self.candidate_paths += other.candidate_paths
         self.surviving_paths += other.surviving_paths
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in _REGISTRY_COUNTERS}
+
+    @classmethod
+    def from_registry(cls, registry=None) -> "QueryStats":
+        """The process-wide aggregate as a ``QueryStats`` (see ``repro.obs``).
+
+        Reads the engine counters the observability registry accumulated
+        since its last reset — the whole-process equivalent of threading
+        one shared accumulator through every query call.
+        """
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        return cls(
+            **{
+                field_name: registry.counter(counter_name).value
+                for field_name, counter_name in _REGISTRY_COUNTERS.items()
+            }
+        )
 
 
 @dataclass

@@ -24,7 +24,10 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
+from time import perf_counter
 from typing import Any
+
+from repro.obs import get_registry, get_tracer
 
 from repro.core.engine import QueryEngine
 from repro.core.index import IndexPlane, NRPIndex
@@ -254,6 +257,23 @@ def save_index(index: NRPIndex, path: str | Path) -> None:
     A ``.gz`` suffix selects gzip compression.  Writes the current
     (columnar, version-2) format.
     """
+    started = perf_counter()
+    with get_tracer().span("serialization.save", path=str(path)) as span:
+        raw = _encode_document(index)
+        span.set(bytes=len(raw))
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wb") as handle:
+            handle.write(raw)
+    else:
+        path.write_bytes(raw)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("serialization.saved_bytes").inc(len(raw))
+        registry.timer("serialization.save").observe(perf_counter() - started)
+
+
+def _encode_document(index: NRPIndex) -> bytes:
     table = _SummaryTable()
     planes = [_encode_plane(plane, table) for plane in index.planes()]
     document = {
@@ -276,24 +296,30 @@ def save_index(index: NRPIndex, path: str | Path) -> None:
         "planes": planes,
         "summaries": table.columns(),
     }
-    raw = json.dumps(document, separators=(",", ":")).encode("utf-8")
-    path = Path(path)
-    if path.suffix == ".gz":
-        with gzip.open(path, "wb") as handle:
-            handle.write(raw)
-    else:
-        path.write_bytes(raw)
+    return json.dumps(document, separators=(",", ":")).encode("utf-8")
 
 
 def load_index(path: str | Path) -> NRPIndex:
     """Load an index written by :func:`save_index` (format 1 or 2)."""
+    started = perf_counter()
     path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "rb") as handle:
             raw = handle.read()
     else:
         raw = path.read_bytes()
-    document = json.loads(raw)
+    with get_tracer().span(
+        "serialization.load", path=str(path), bytes=len(raw)
+    ):
+        index = _decode_document(json.loads(raw))
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("serialization.loaded_bytes").inc(len(raw))
+        registry.timer("serialization.load").observe(perf_counter() - started)
+    return index
+
+
+def _decode_document(document: dict) -> NRPIndex:
     fmt = document.get("format")
     if fmt not in _READABLE_FORMATS:
         raise ValueError(

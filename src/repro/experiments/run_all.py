@@ -9,9 +9,12 @@ Individual experiments can be selected with ``--only``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
+
+from repro import obs
 
 from repro.experiments.charts import log_bar_chart
 from repro.experiments.figures import (
@@ -185,11 +188,37 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated subset: table1,fig7,fig8,fig9,fig10,fig11,table2,table3",
     )
     parser.add_argument("--output", type=Path, default=Path("EXPERIMENTS_RAW.md"))
+    parser.add_argument(
+        "--metrics-output",
+        type=Path,
+        help="metrics sidecar path (default: <output stem>.metrics.json)",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="run without the observability registry / sidecar",
+    )
     args = parser.parse_args(argv)
     only = set(args.only.split(",")) if args.only else None
+    if not args.no_metrics:
+        obs.registry().enable()
     report = run_all(scale=args.scale, queries=args.queries, seed=args.seed, only=only)
     args.output.write_text(report, encoding="utf-8")
     print(f"wrote {args.output}", file=sys.stderr)
+    if not args.no_metrics:
+        sidecar = args.metrics_output or args.output.with_suffix(".metrics.json")
+        document = obs.registry().to_json()
+        document["run"] = {
+            "driver": "repro.experiments.run_all",
+            "scale": args.scale,
+            "queries": args.queries,
+            "seed": args.seed,
+            "only": sorted(only) if only else None,
+        }
+        sidecar.write_text(
+            json.dumps(document, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {sidecar}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,163 @@
+"""Unified observability layer: metrics, span tracing, profiling hooks.
+
+One import point for everything the index can tell you about itself:
+
+>>> from repro import obs
+>>> obs.enable()                       # metrics + tracing
+>>> index = build_index(graph)
+>>> index.query(0, 5, alpha=0.9)
+>>> obs.registry().to_json()["counters"]["engine.label_lookups"]["value"]
+1
+>>> obs.tracer().write("trace.json")   # load in chrome://tracing
+>>> obs.disable(); obs.reset()
+
+Design rules (see ``docs/observability.md`` for the full taxonomy):
+
+- **Disabled by default, near-zero cost when disabled.**  Instrumented
+  code guards every observation with one ``enabled`` attribute check;
+  ``tests/test_obs_integration.py`` enforces the <2% budget on the
+  query path, and the golden engine suite proves enabling tracing never
+  changes a query value.
+- **Process-wide singletons.**  ``registry()``, ``tracer()``, and
+  ``slow_query_log()`` hand out shared objects, so metrics from
+  construction, queries, and maintenance all land in one place and one
+  ``repro obs dump`` shows the whole story.
+- **Schema-versioned exports.**  Every JSON document carries a
+  ``schema`` field (``repro.obs.metrics/1``, ``repro.obs.trace/1``,
+  ``repro.obs.profile/1``) validated by ``tools/check_obs_schema.py``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+)
+from repro.obs.profiling import (
+    PROFILE_SCHEMA,
+    SLOW_QUERY_LOGGER,
+    SamplingProfiler,
+    SlowQueryLog,
+    get_slow_query_log,
+)
+from repro.obs.tracing import TRACE_SCHEMA, Span, Tracer, get_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "SamplingProfiler",
+    "SlowQueryLog",
+    "registry",
+    "tracer",
+    "slow_query_log",
+    "get_registry",
+    "get_tracer",
+    "get_slow_query_log",
+    "enable",
+    "disable",
+    "reset",
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "PROFILE_SCHEMA",
+    "SLOW_QUERY_LOGGER",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return get_registry()
+
+
+def tracer() -> Tracer:
+    """The process-wide span tracer."""
+    return get_tracer()
+
+
+def slow_query_log() -> SlowQueryLog:
+    """The process-wide slow-query hook."""
+    return get_slow_query_log()
+
+
+def enable(*, metrics: bool = True, tracing: bool = True) -> None:
+    """Turn observation on (both sinks by default)."""
+    if metrics:
+        get_registry().enable()
+    if tracing:
+        get_tracer().enable()
+
+
+def disable() -> None:
+    """Turn all observation off (recorded data is kept until :func:`reset`)."""
+    get_registry().disable()
+    get_tracer().disable()
+    get_slow_query_log().configure(None)
+
+
+def reset() -> None:
+    """Zero the registry and drop all recorded spans."""
+    get_registry().reset()
+    get_tracer().reset()
+
+
+def _preregister() -> None:
+    """Declare the core metric names so every dump exposes them (value 0
+    when never hit) — the contract ``repro obs dump`` and the sidecar
+    schema rely on."""
+    reg = get_registry()
+    for name, help in (
+        ("engine.queries", "RSP queries answered (Algorithm 1 runs)"),
+        ("engine.label_lookups", "label entries read during execution"),
+        ("engine.concatenations", "candidate path concatenations scanned"),
+        ("engine.candidate_paths", "stored paths considered before pruning"),
+        ("engine.surviving_paths", "stored paths left after pruning"),
+        ("engine.hoplinks", "hoplinks scanned across separator-case queries"),
+        ("engine.prune.prop2", "paths pruned by intersection dominance (Prop. 2)"),
+        ("engine.prune.prop3", "paths pruned by reverse intersection dominance (Prop. 3)"),
+        ("engine.prune.prop5", "paths pruned by correlated bound dominance (Prop. 5)"),
+        ("engine.plan_cache.hit", "batch-path plan cache hits"),
+        ("engine.plan_cache.miss", "batch-path plan cache misses"),
+        ("engine.separator_cache.hit", "Lemma-1 separator cache hits"),
+        ("engine.separator_cache.miss", "Lemma-1 separator cache misses"),
+        ("engine.slow_queries", "queries over the slow-query threshold"),
+        ("labelstore.compactions", "columnar store compaction passes"),
+        ("construction.label_entries", "label entries built (Algorithm 3)"),
+        ("construction.label_paths", "refined paths stored across label entries"),
+        ("construction.edge_set_paths", "refined paths stored across edge sets"),
+        ("maintenance.updates", "maintenance batches applied (Algorithms 4-5)"),
+        ("maintenance.edge_sets_recomputed", "edge sets recomputed bottom-up"),
+        ("maintenance.edge_sets_changed", "recomputed edge sets that changed"),
+        ("maintenance.labels_rebuilt", "label owners rebuilt top-down"),
+        ("serialization.saved_bytes", "bytes written by save_index"),
+        ("serialization.loaded_bytes", "bytes read by load_index"),
+    ):
+        reg.counter(name, help)
+    for name, help in (
+        ("engine.answer", "end-to-end per-query latency"),
+        ("engine.plan", "planning stage latency"),
+        ("engine.execute", "execution stage latency"),
+        ("construction.build", "full index construction"),
+        ("construction.tree_decomposition", "tree decomposition phase"),
+        ("construction.edge_sets", "edge-set phase (Alg. 3, Lines 1-5)"),
+        ("construction.labels", "label phase (Alg. 3, Lines 6-10)"),
+        ("labelstore.compact", "store compaction passes"),
+        ("maintenance.update", "maintenance batch latency"),
+        ("serialization.save", "index save latency"),
+        ("serialization.load", "index load latency"),
+    ):
+        reg.timer(name, help)
+    reg.histogram("engine.query_seconds", "per-query latency histogram")
+
+
+_preregister()

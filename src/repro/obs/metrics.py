@@ -1,0 +1,350 @@
+"""Process-wide metrics registry — counters, gauges, timers, histograms.
+
+The registry is the single sink for every quantitative observation the
+index emits: how many label lookups a workload performed, how many paths
+each dominance proposition pruned, how long construction phases took.
+Instrumented code holds direct references to metric objects (handle
+lookup happens once, at registration) and guards every observation with
+``registry.enabled`` — one attribute load — so the disabled path costs
+essentially nothing (see ``tests/test_obs_integration.py`` for the
+enforced budget).
+
+Exposition formats:
+
+- :meth:`MetricsRegistry.to_json` — a schema-versioned dict (see
+  ``docs/obs_schema.json``), written as the ``*.metrics.json`` sidecars
+  next to benchmark results;
+- :meth:`MetricsRegistry.to_prometheus` — Prometheus text format 0.0.4,
+  for scraping or eyeballing via ``repro obs dump --format prom``.
+
+All durations are in seconds; histogram buckets are cumulative
+(Prometheus ``le`` semantics).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "METRICS_SCHEMA",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Schema identifier stamped on every JSON exposition of the registry.
+METRICS_SCHEMA = "repro.obs.metrics/1"
+
+#: Fixed latency buckets (seconds): 100 us .. 30 s, roughly 1-3-10 spaced.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.0003,
+    0.001,
+    0.003,
+    0.01,
+    0.03,
+    0.1,
+    0.3,
+    1.0,
+    3.0,
+    10.0,
+    30.0,
+)
+
+_NAME_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789._")
+
+
+def _check_name(name: str) -> str:
+    if not name or not set(name) <= _NAME_OK:
+        raise ValueError(
+            f"metric name {name!r} must be lowercase dotted ([a-z0-9._])"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down (e.g. live bytes, garbage fraction)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Timer:
+    """Aggregated durations: count / total / min / max (seconds)."""
+
+    __slots__ = ("name", "help", "count", "total", "min", "max")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.reset()
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative (``le``) bucket semantics."""
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "total")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # final slot = +Inf
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> list[int]:
+        """Counts per bucket as cumulative ``le`` totals (last = count)."""
+        out = []
+        running = 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+
+class MetricsRegistry:
+    """Named metrics with on-demand registration and text/JSON exposition.
+
+    Disabled by default: ``enabled`` is the one flag instrumented code
+    checks before recording.  Registration is always allowed (and cheap),
+    so modules can grab their handles at import or construction time
+    regardless of whether observation is on.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent; returns the shared handle)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(_check_name(name), help)
+            elif help and not metric.help:
+                metric.help = help
+            return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(_check_name(name), help)
+            elif help and not metric.help:
+                metric.help = help
+            return metric
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                metric = self._timers[name] = Timer(_check_name(name), help)
+            elif help and not metric.help:
+                metric.help = help
+            return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(
+                    _check_name(name), help, buckets
+                )
+            elif help and not metric.help:
+                metric.help = help
+            return metric
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every metric (handles stay registered and shared)."""
+        with self._lock:
+            for group in (
+                self._counters,
+                self._gauges,
+                self._timers,
+                self._histograms,
+            ):
+                for metric in group.values():
+                    metric.reset()
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Schema-versioned snapshot (see ``docs/obs_schema.json``)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "enabled": self.enabled,
+            "counters": {
+                name: {"value": m.value, "help": m.help}
+                for name, m in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": m.value, "help": m.help}
+                for name, m in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: {
+                    "count": m.count,
+                    "total_seconds": m.total,
+                    "min_seconds": m.min if m.count else None,
+                    "max_seconds": m.max if m.count else None,
+                    "mean_seconds": m.mean,
+                    "help": m.help,
+                }
+                for name, m in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets_le": list(m.buckets) + ["+Inf"],
+                    "cumulative_counts": m.cumulative(),
+                    "count": m.count,
+                    "total": m.total,
+                    "help": m.help,
+                }
+                for name, m in sorted(self._histograms.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4)."""
+
+        def prom_name(name: str) -> str:
+            return "repro_" + name.replace(".", "_")
+
+        lines: list[str] = []
+        for name, c in sorted(self._counters.items()):
+            pname = prom_name(name) + "_total"
+            if c.help:
+                lines.append(f"# HELP {pname} {c.help}")
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            pname = prom_name(name)
+            if g.help:
+                lines.append(f"# HELP {pname} {g.help}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {g.value}")
+        for name, t in sorted(self._timers.items()):
+            pname = prom_name(name) + "_seconds"
+            if t.help:
+                lines.append(f"# HELP {pname} {t.help}")
+            lines.append(f"# TYPE {pname} summary")
+            lines.append(f"{pname}_count {t.count}")
+            lines.append(f"{pname}_sum {t.total}")
+        for name, h in sorted(self._histograms.items()):
+            pname = prom_name(name)
+            if h.help:
+                lines.append(f"# HELP {pname} {h.help}")
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = h.cumulative()
+            for bound, total in zip(h.buckets, cumulative):
+                lines.append(f'{pname}_bucket{{le="{bound}"}} {total}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {h.count}')
+            lines.append(f"{pname}_count {h.count}")
+            lines.append(f"{pname}_sum {h.total}")
+        return "\n".join(lines) + "\n"
+
+
+#: The process-wide registry every instrumented module shares.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _REGISTRY

@@ -1,0 +1,183 @@
+"""Profiling hooks: an opt-in sampling profiler and the slow-query log.
+
+:class:`SamplingProfiler` is a wall-clock stack sampler: a background
+thread snapshots the profiled thread's frames every ``interval`` seconds
+(via ``sys._current_frames``), aggregating identical stacks.  It answers
+"where does the time actually go?" for long construction or maintenance
+runs without the 2-5x slowdown of a deterministic tracer — and costs
+exactly nothing unless the context manager is entered.
+
+:class:`SlowQueryLog` is the per-query deadline hook: the engine compares
+each answered query's elapsed time against the configured threshold and,
+over it, emits one ``repro.obs.slowquery`` log line carrying enough plan
+detail (plane, LCA depth, hoplink count, per-proposition prune counts) to
+diagnose the query without re-running it.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import threading
+from time import perf_counter
+from typing import Any
+
+__all__ = [
+    "SamplingProfiler",
+    "SlowQueryLog",
+    "get_slow_query_log",
+    "PROFILE_SCHEMA",
+]
+
+#: Schema identifier stamped on profile JSON exports.
+PROFILE_SCHEMA = "repro.obs.profile/1"
+
+#: Logger the slow-query hook writes to (one line per slow query).
+SLOW_QUERY_LOGGER = "repro.obs.slowquery"
+
+
+class SamplingProfiler:
+    """Sample one thread's stack on a wall-clock interval.
+
+    >>> profiler = SamplingProfiler(interval=0.005)
+    >>> with profiler:
+    ...     heavy_work()
+    >>> profiler.top(5)  # [(stack tuple, samples), ...]
+    """
+
+    def __init__(self, interval: float = 0.005, max_depth: int = 64) -> None:
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_depth = max_depth
+        self.samples: dict[tuple[str, ...], int] = {}
+        self.total_samples = 0
+        self.elapsed = 0.0
+        self._target_id: int | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started = 0.0
+
+    # ------------------------------------------------------------------
+    # Sampling loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target_id)
+            if frame is None:
+                continue
+            # walk from innermost frame outwards, capped at max_depth
+            frames: list[str] = []
+            f = frame
+            while f is not None and len(frames) < self.max_depth:
+                code = f.f_code
+                frames.append(f"{code.co_name} ({code.co_filename}:{f.f_lineno})")
+                f = f.f_back
+            stack = tuple(reversed(frames))
+            self.samples[stack] = self.samples.get(stack, 0) + 1
+            self.total_samples += 1
+
+    # ------------------------------------------------------------------
+    # Context manager
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SamplingProfiler":
+        self._target_id = threading.get_ident()
+        self._stop.clear()
+        self._started = perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.elapsed += perf_counter() - self._started
+        return False
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def top(self, n: int = 10) -> list[tuple[tuple[str, ...], int]]:
+        """The ``n`` most-sampled stacks, heaviest first."""
+        return sorted(self.samples.items(), key=lambda kv: -kv[1])[:n]
+
+    def to_json(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "interval_s": self.interval,
+            "elapsed_s": self.elapsed,
+            "total_samples": self.total_samples,
+            "stacks": [
+                {"frames": list(stack), "samples": count}
+                for stack, count in sorted(
+                    self.samples.items(), key=lambda kv: -kv[1]
+                )
+            ],
+        }
+
+
+class SlowQueryLog:
+    """Deadline hook: log one diagnosable line per over-threshold query.
+
+    Disabled until a threshold is set (``threshold_s = None``).  The
+    engine calls :meth:`log` with the executed plan; the emitted line
+    contains everything needed to understand the query's cost shape:
+    plane direction, LCA depth, hoplink count, candidate/surviving path
+    counts, and per-proposition prune counts.
+    """
+
+    def __init__(self) -> None:
+        self.threshold_s: float | None = None
+        self.logged = 0
+        self._logger = logging.getLogger(SLOW_QUERY_LOGGER)
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_s is not None
+
+    def configure(self, threshold_s: float | None) -> None:
+        """Set (or, with ``None``, clear) the slow-query threshold."""
+        if threshold_s is not None and threshold_s < 0.0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold_s = threshold_s
+
+    def log(self, elapsed_s: float, plan: Any, stats: Any, lca_depth: int = -1) -> bool:
+        """Emit the slow-query line if ``elapsed_s`` is over threshold."""
+        threshold = self.threshold_s
+        if threshold is None or elapsed_s < threshold:
+            return False
+        plane = plan.plane.direction if plan.plane is not None else "-"
+        self._logger.warning(
+            "slow query s=%d t=%d alpha=%g case=%s plane=%s elapsed_ms=%.3f "
+            "lca_depth=%d hoplinks=%d candidates=%d survivors=%d "
+            "pruned_prop2=%d pruned_prop3=%d pruned_prop5=%d concatenations=%d",
+            plan.s,
+            plan.t,
+            plan.alpha,
+            plan.case,
+            plane,
+            elapsed_s * 1000.0,
+            lca_depth,
+            len(plan.hoplinks),
+            stats.candidate_paths,
+            stats.surviving_paths,
+            plan.pruned_prop2,
+            plan.pruned_prop3,
+            plan.pruned_prop5,
+            stats.concatenations,
+        )
+        self.logged += 1
+        return True
+
+
+#: The process-wide slow-query hook the engine consults.
+_SLOW_QUERY_LOG = SlowQueryLog()
+
+
+def get_slow_query_log() -> SlowQueryLog:
+    """The process-wide :class:`SlowQueryLog` singleton."""
+    return _SLOW_QUERY_LOG

@@ -1,0 +1,178 @@
+"""Unit tests for the metrics registry (``repro.obs.metrics``).
+
+All tests here use private :class:`MetricsRegistry` instances, never the
+process-wide singleton, so they cannot interfere with other modules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("a.b")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge(self):
+        g = Gauge("a.b")
+        g.set(2.5)
+        g.add(-1.0)
+        assert g.value == 1.5
+        g.reset()
+        assert g.value == 0.0
+
+    def test_timer(self):
+        t = Timer("a.b")
+        assert t.mean == 0.0
+        t.observe(0.2)
+        t.observe(0.4)
+        assert t.count == 2
+        assert t.total == pytest.approx(0.6)
+        assert t.min == 0.2 and t.max == 0.4
+        assert t.mean == pytest.approx(0.3)
+        t.reset()
+        assert t.count == 0 and t.min == math.inf and t.max == -math.inf
+
+    def test_histogram_buckets(self):
+        h = Histogram("a.b", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            h.observe(value)
+        # per-bucket: le=1 gets {0.5, 1.0}, le=10 gets {5.0}, +Inf gets {100}
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.cumulative() == [2, 3, 4]
+        assert h.count == 4
+        assert h.total == pytest.approx(106.5)
+        h.reset()
+        assert h.cumulative() == [0, 0, 0]
+
+    def test_histogram_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("a.b", buckets=())
+
+    def test_histogram_sorts_buckets(self):
+        h = Histogram("a.b", buckets=(10.0, 1.0))
+        assert h.buckets == (1.0, 10.0)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent_and_shared(self):
+        reg = MetricsRegistry()
+        a = reg.counter("engine.queries", "help text")
+        b = reg.counter("engine.queries")
+        assert a is b
+        assert b.help == "help text"
+        # A later help string backfills an empty one but never overwrites.
+        reg.counter("engine.queries", "other")
+        assert a.help == "help text"
+        c = reg.counter("x.y")
+        reg.counter("x.y", "late help")
+        assert c.help == "late help"
+
+    def test_name_validation(self):
+        reg = MetricsRegistry()
+        for bad in ("", "Upper.case", "with space", "dash-ed"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_enable_disable(self):
+        reg = MetricsRegistry()
+        assert not reg.enabled
+        reg.enable()
+        assert reg.enabled
+        reg.disable()
+        assert not reg.enabled
+
+    def test_reset_zeroes_but_keeps_handles(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        t = reg.timer("c.d")
+        c.inc(3)
+        t.observe(1.0)
+        reg.reset()
+        assert c.value == 0 and t.count == 0
+        assert reg.counter("a.b") is c  # same handle survives
+
+    def test_to_json_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a.count", "c help").inc(2)
+        reg.gauge("a.gauge").set(0.5)
+        timer = reg.timer("a.timer")
+        reg.histogram("a.hist", buckets=(1.0,)).observe(0.5)
+        doc = reg.to_json()
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["enabled"] is False
+        assert doc["counters"]["a.count"] == {"value": 2, "help": "c help"}
+        assert doc["gauges"]["a.gauge"]["value"] == 0.5
+        # Zero-count timers export null min/max (math.inf is not JSON).
+        entry = doc["timers"]["a.timer"]
+        assert entry["count"] == 0
+        assert entry["min_seconds"] is None and entry["max_seconds"] is None
+        timer.observe(0.25)
+        entry = reg.to_json()["timers"]["a.timer"]
+        assert entry["min_seconds"] == entry["max_seconds"] == 0.25
+        hist = doc["histograms"]["a.hist"]
+        assert hist["buckets_le"] == [1.0, "+Inf"]
+        assert hist["cumulative_counts"] == [1, 1]
+
+    def test_to_prometheus(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.queries", "queries answered").inc(7)
+        reg.gauge("store.garbage").set(0.25)
+        t = reg.timer("engine.answer")
+        t.observe(0.5)
+        t.observe(1.5)
+        h = reg.histogram("engine.query_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert "# HELP repro_engine_queries_total queries answered" in text
+        assert "# TYPE repro_engine_queries_total counter" in text
+        assert "repro_engine_queries_total 7" in text
+        assert "repro_store_garbage 0.25" in text
+        assert "repro_engine_answer_seconds_count 2" in text
+        assert "repro_engine_answer_seconds_sum 2.0" in text
+        assert 'repro_engine_query_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_engine_query_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_engine_query_seconds_count 2" in text
+        assert text.endswith("\n")
+
+
+class TestSingletonPreregistration:
+    def test_core_names_preregistered(self):
+        # Importing repro.obs declares the whole taxonomy, so dumps always
+        # expose every core metric even at value 0.
+        from repro import obs
+
+        doc = obs.registry().to_json()
+        for name in (
+            "engine.queries",
+            "engine.prune.prop2",
+            "engine.prune.prop5",
+            "engine.plan_cache.hit",
+            "labelstore.compactions",
+            "construction.label_entries",
+            "maintenance.updates",
+            "serialization.saved_bytes",
+        ):
+            assert name in doc["counters"]
+        for name in ("engine.answer", "construction.build", "labelstore.compact"):
+            assert name in doc["timers"]
+        hist = doc["histograms"]["engine.query_seconds"]
+        assert hist["buckets_le"][:-1] == list(DEFAULT_LATENCY_BUCKETS)

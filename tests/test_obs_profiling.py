@@ -1,0 +1,115 @@
+"""Unit tests for profiling hooks: sampling profiler + slow-query log."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import pytest
+
+from conftest import make_random_instance
+from repro import build_index, obs
+from repro.obs.profiling import PROFILE_SCHEMA, SLOW_QUERY_LOGGER, SamplingProfiler
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """The slow-query hook is a process-wide singleton; leave it off."""
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSamplingProfiler:
+    def test_collects_samples(self):
+        profiler = SamplingProfiler(interval=0.002)
+        with profiler:
+            deadline = time.perf_counter() + 0.08
+            while time.perf_counter() < deadline:
+                sum(i * i for i in range(1000))
+        assert profiler.total_samples > 0
+        assert profiler.elapsed >= 0.08
+        top = profiler.top(3)
+        assert top and top[0][1] >= top[-1][1]
+        # Every sampled stack is a tuple of "name (file:line)" frames.
+        stack, _count = top[0]
+        assert all("(" in frame for frame in stack)
+
+    def test_to_json(self):
+        profiler = SamplingProfiler(interval=0.002)
+        with profiler:
+            deadline = time.perf_counter() + 0.05
+            while time.perf_counter() < deadline:
+                sum(i * i for i in range(1000))
+        doc = profiler.to_json()
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["interval_s"] == 0.002
+        assert doc["total_samples"] == sum(s["samples"] for s in doc["stacks"])
+        for entry in doc["stacks"]:
+            assert isinstance(entry["frames"], list)
+            assert entry["samples"] >= 1
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_no_thread_unless_entered(self):
+        profiler = SamplingProfiler()
+        assert profiler._thread is None
+        assert profiler.total_samples == 0
+
+
+class TestSlowQueryLog:
+    def test_disabled_until_configured(self):
+        log = obs.slow_query_log()
+        assert not log.enabled
+        log.configure(0.5)
+        assert log.enabled and log.threshold_s == 0.5
+        log.configure(None)
+        assert not log.enabled
+        with pytest.raises(ValueError):
+            log.configure(-1.0)
+
+    def test_engine_logs_slow_queries(self, caplog):
+        """Threshold 0 makes every query slow: the line must carry the
+        chosen plane, LCA depth, hoplink count, and per-proposition prune
+        counts (the diagnosable-without-rerunning contract)."""
+        index = build_index(make_random_instance(41, n=14, extra=12, cv=0.6))
+        obs.slow_query_log().configure(0.0)
+        with caplog.at_level(logging.WARNING, logger=SLOW_QUERY_LOGGER):
+            vertices = sorted(index.graph.vertices())
+            for s in vertices[:6]:
+                for t in vertices[-3:]:
+                    if s != t:
+                        index.query(s, t, 0.9)
+        assert caplog.records
+        for record in caplog.records:
+            line = record.getMessage()
+            assert line.startswith("slow query s=")
+            for field in (
+                "case=",
+                "plane=",
+                "elapsed_ms=",
+                "lca_depth=",
+                "hoplinks=",
+                "candidates=",
+                "survivors=",
+                "pruned_prop2=",
+                "pruned_prop3=",
+                "pruned_prop5=",
+                "concatenations=",
+            ):
+                assert field in line, (field, line)
+        # At least one separator-case query shows a real plane and depth.
+        assert any(
+            "case=separator" in r.getMessage() and "plane=high" in r.getMessage()
+            for r in caplog.records
+        )
+        assert obs.slow_query_log().logged >= len(caplog.records)
+
+    def test_fast_queries_not_logged(self, caplog):
+        index = build_index(make_random_instance(42, n=10, extra=8))
+        obs.slow_query_log().configure(60.0)  # nothing is that slow
+        with caplog.at_level(logging.WARNING, logger=SLOW_QUERY_LOGGER):
+            index.query(0, 5, 0.9)
+        assert not caplog.records

@@ -1,0 +1,118 @@
+"""Unit tests for span tracing (``repro.obs.tracing``).
+
+All tests use private :class:`Tracer` instances, never the singleton.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracing import TRACE_SCHEMA, Tracer, _NOOP
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        span = tracer.span("a", x=1)
+        assert span is _NOOP
+        assert tracer.span("b") is span
+        with span as entered:
+            assert entered.set(y=2) is span
+        assert len(tracer) == 0
+
+
+class TestRecording:
+    def test_nesting_records_parent_links(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer", s=1) as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("inner2") as inner2:
+                pass
+        assert inner.parent == outer.id
+        assert inner2.parent == outer.id
+        assert outer.parent == -1
+        # Completion order: children finish before their parent.
+        assert [s.name for s in tracer.spans] == ["inner", "inner2", "outer"]
+
+    def test_attrs_from_kwargs_and_set(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", direction="high") as span:
+            span.set(entries=3)
+        assert tracer.spans[0].attrs == {"direction": "high", "entries": 3}
+
+    def test_max_spans_drops_and_counts(self):
+        tracer = Tracer(max_spans=2)
+        tracer.enable()
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+        assert tracer.to_json()["dropped_spans"] == 2
+
+    def test_reset(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0 and tracer.dropped == 0
+        with tracer.span("b") as span:
+            pass
+        assert span.id == 0  # ids restart
+
+
+class TestExport:
+    @pytest.fixture()
+    def tracer(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer", s=5):
+            with tracer.span("inner", kind="x"):
+                pass
+        return tracer
+
+    def test_to_json(self, tracer):
+        doc = tracer.to_json()
+        assert doc["schema"] == TRACE_SCHEMA
+        by_name = {s["name"]: s for s in doc["spans"]}
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert inner["parent"] == outer["id"]
+        assert inner["attrs"] == {"kind": "x"}
+        for span in doc["spans"]:
+            assert span["start_s"] >= 0.0
+            assert span["duration_s"] >= 0.0
+        # The nested span lies inside its parent's interval.
+        assert outer["start_s"] <= inner["start_s"]
+        assert (
+            inner["start_s"] + inner["duration_s"]
+            <= outer["start_s"] + outer["duration_s"] + 1e-9
+        )
+
+    def test_to_chrome(self, tracer):
+        doc = tracer.to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"schema": TRACE_SCHEMA, "dropped_spans": 0}
+        flat = {s["name"]: s for s in tracer.to_json()["spans"]}
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+            source = flat[event["name"]]
+            assert event["ts"] == pytest.approx(source["start_s"] * 1e6)
+            assert event["dur"] == pytest.approx(source["duration_s"] * 1e6)
+        assert doc["traceEvents"][0]["args"] == {"kind": "x"}
+
+    def test_write_formats(self, tracer, tmp_path):
+        chrome = tmp_path / "t.chrome.json"
+        flat = tmp_path / "t.flat.json"
+        tracer.write(chrome)  # chrome is the default
+        tracer.write(flat, format="json")
+        assert "traceEvents" in json.loads(chrome.read_text())
+        assert json.loads(flat.read_text())["schema"] == TRACE_SCHEMA
+        with pytest.raises(ValueError):
+            tracer.write(tmp_path / "t.x", format="xml")

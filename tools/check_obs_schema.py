@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a ``repro.obs`` export document against docs/obs_schema.json.
+
+Usage::
+
+    python tools/check_obs_schema.py DUMP.json [TRACE.json ...]
+
+The document kind is auto-detected: a top-level ``traceEvents`` key selects
+the Chrome trace-event schema (``repro.obs.trace/1:chrome``); otherwise the
+document's own ``schema`` field picks the entry.  Exit code 0 means every
+file validated; any problem prints a path-qualified error and exits 1.
+
+The validator is a deliberately small, dependency-free subset of JSON
+Schema — exactly the keywords docs/obs_schema.json uses: ``type``,
+``required``, ``properties``, ``additionalProperties`` (as a schema for
+map values), ``items``, ``enum``, ``const``, ``minimum``.  CI runs it on a
+fresh ``repro obs dump`` and ``repro query --trace`` output on every
+supported Python version, so exported documents cannot drift from the
+checked-in schema unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "docs" / "obs_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[name])
+
+
+def validate(value, schema: dict, path: str = "$") -> list[str]:
+    """Return a list of error strings (empty when the document conforms)."""
+    errors: list[str] = []
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return errors
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']!r}")
+        return errors
+    if "type" in schema:
+        names = schema["type"]
+        if isinstance(names, str):
+            names = [names]
+        if not any(_type_ok(value, n) for n in names):
+            errors.append(
+                f"{path}: expected type {'/'.join(names)}, "
+                f"got {type(value).__name__}"
+            )
+            return errors
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{path}: {value!r} below minimum {minimum!r}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                errors.extend(validate(value[key], sub, f"{path}.{key}"))
+        additional = schema.get("additionalProperties")
+        if isinstance(additional, dict):
+            for key, item in value.items():
+                if key not in properties:
+                    errors.extend(validate(item, additional, f"{path}.{key}"))
+        elif additional is False:
+            for key in value:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def schema_id_for(document: dict) -> str:
+    """Auto-detect which checked-in schema a document claims to follow."""
+    if "traceEvents" in document:
+        return "repro.obs.trace/1:chrome"
+    schema_id = document.get("schema")
+    if not isinstance(schema_id, str):
+        raise ValueError("document has neither 'traceEvents' nor a 'schema' field")
+    return schema_id
+
+
+def check_file(path: Path, schemas: dict) -> list[str]:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+    if not isinstance(document, dict):
+        return [f"{path}: top level must be a JSON object"]
+    try:
+        schema_id = schema_id_for(document)
+    except ValueError as exc:
+        return [f"{path}: {exc}"]
+    schema = schemas.get(schema_id)
+    if schema is None:
+        return [f"{path}: unknown schema id {schema_id!r}"]
+    return [f"{path} [{schema_id}] {e}" for e in validate(document, schema)]
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    schemas = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    failed = False
+    for name in argv:
+        errors = check_file(Path(name), schemas)
+        if errors:
+            failed = True
+            print("\n".join(errors), file=sys.stderr)
+        else:
+            print(f"{name}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
