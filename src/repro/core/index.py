@@ -139,7 +139,7 @@ class IndexPlane:
         return view
 
     @classmethod
-    def _empty(cls, direction: str, refiner: Refiner) -> "IndexPlane":
+    def empty(cls, direction: str, refiner: Refiner) -> "IndexPlane":
         """An uninitialised plane shell (deserialisation fills it in)."""
         plane = cls.__new__(cls)
         plane.direction = direction

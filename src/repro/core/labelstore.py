@@ -38,14 +38,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pathsummary import PathSummary
     from repro.core.pruning import LabelPathSet
 
-__all__ = ["ColumnarPathStore", "LabelStore", "compute_bound_refs"]
+__all__ = ["ColumnarPathStore", "LabelStore", "Slice", "compute_bound_refs"]
 
 #: Offset-table cost per entry: (start, count) as two machine words.
 _OFFSET_ENTRY_BYTES = 16
 
+#: The numeric columns detached by :meth:`ColumnarPathStore.compact`:
+#: ``(mus, vars, sigmas, win_flat, win_lens)``.
+_Columns = tuple[
+    "array[float]", "array[float]", "array[float]", "array[int]", "array[int]"
+]
 
-class _Slice:
-    """One entry's location inside the columns."""
+
+class Slice:
+    """One entry's location inside the columns.
+
+    Part of the storage layer's public surface: ``LabelPathSet.from_store``
+    views and ``bound_refs`` address entries through it.
+    """
 
     __slots__ = ("start", "count", "win_start", "win_ints")
 
@@ -95,14 +105,16 @@ class ColumnarPathStore:
         self.sigmas = array("d")
         self.win_flat = array("q")
         self.win_lens = array("I")  # two slots per path: len(win_a), len(win_b)
-        self._entries: dict = {}
+        self._entries: dict[tuple[int, int] | None, Slice] = {}
         self._live_paths = 0
         self._live_win_ints = 0
 
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def set_entry(self, key, paths: Sequence["PathSummary"]) -> _Slice:
+    def set_entry(
+        self, key: tuple[int, int] | None, paths: Sequence["PathSummary"]
+    ) -> Slice:
         """Install ``key -> paths``, replacing (and orphaning) any old slice."""
         old = self._entries.get(key)
         if old is not None:
@@ -115,7 +127,9 @@ class ColumnarPathStore:
         self._live_win_ints += info.win_ints
         return info
 
-    def _append(self, key, paths: Sequence["PathSummary"]) -> _Slice:
+    def _append(
+        self, key: tuple[int, int] | None, paths: Sequence["PathSummary"]
+    ) -> Slice:
         start = len(self.mus)
         win_start = len(self.win_flat)
         mus = self.mus
@@ -135,18 +149,18 @@ class ColumnarPathStore:
             for u, v in p.win_b:
                 win_flat.append(u)
                 win_flat.append(v)
-        return _Slice(start, len(paths), win_start, len(self.win_flat) - win_start)
+        return Slice(start, len(paths), win_start, len(self.win_flat) - win_start)
 
-    def _on_entry_dropped(self, info: _Slice) -> None:
+    def _on_entry_dropped(self, info: Slice) -> None:
         """Hook for subclasses tracking per-slot side columns."""
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def entry_slice(self, key) -> _Slice:
+    def entry_slice(self, key: tuple[int, int] | None) -> Slice:
         return self._entries[key]
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: tuple[int, int] | None) -> bool:
         return key in self._entries
 
     def __len__(self) -> int:
@@ -212,7 +226,7 @@ class ColumnarPathStore:
             self.sigmas = array("d")
             self.win_flat = array("q")
             self.win_lens = array("I")
-            remap: dict[int, _Slice] = {}
+            remap: dict[int, Slice] = {}
             for key, info in self._entries.items():
                 remap[info.start] = self._entries[key] = self._move_slice(old, info)
             self._after_compact(remap)
@@ -225,9 +239,9 @@ class ColumnarPathStore:
                 "garbage fraction reclaimed by the most recent compaction",
             ).set(garbage)
 
-    def _move_slice(self, old, info: _Slice) -> _Slice:
+    def _move_slice(self, old: "_Columns", info: Slice) -> Slice:
         old_mus, old_vars, old_sigmas, old_flat, old_lens = old
-        moved = _Slice(len(self.mus), info.count, len(self.win_flat), info.win_ints)
+        moved = Slice(len(self.mus), info.count, len(self.win_flat), info.win_ints)
         s, c = info.start, info.count
         self.mus.extend(old_mus[s : s + c])
         self.vars.extend(old_vars[s : s + c])
@@ -236,7 +250,7 @@ class ColumnarPathStore:
         self.win_flat.extend(old_flat[info.win_start : info.win_start + info.win_ints])
         return moved
 
-    def _after_compact(self, remap: dict[int, _Slice]) -> None:
+    def _after_compact(self, remap: dict[int, Slice]) -> None:
         """Hook for subclasses compacting side columns / rebinding views."""
 
 
@@ -261,7 +275,7 @@ class LabelStore(ColumnarPathStore):
     # ------------------------------------------------------------------
     def add_entry(
         self,
-        key,
+        key: tuple[int, int] | None,
         paths: Sequence["PathSummary"],
         precomputed: tuple[Sequence[int], Sequence[int]] | None = None,
     ) -> "LabelPathSet":
@@ -284,13 +298,13 @@ class LabelStore(ColumnarPathStore):
                 ub, lb = precomputed
             self.ub.extend(ub)
             self.lb.extend(lb)
-        view = LabelPathSet._over_store(self, info, paths)
+        view = LabelPathSet.from_store(self, info, paths)
         self._views.add(view)
         return view
 
     replace_entry = add_entry
 
-    def bound_refs(self, info: _Slice) -> tuple[array, array]:
+    def bound_refs(self, info: Slice) -> tuple[array, array]:
         """The ``(ub, lb)`` column slices of one entry (independent only)."""
         s, c = info.start, info.count
         return self.ub[s : s + c], self.lb[s : s + c]
@@ -316,7 +330,7 @@ class LabelStore(ColumnarPathStore):
         finally:
             del self._old_stats
 
-    def _move_slice(self, old, info: _Slice) -> _Slice:
+    def _move_slice(self, old: "_Columns", info: Slice) -> Slice:
         moved = super()._move_slice(old, info)
         if self.independent:
             old_ub, old_lb = self._old_stats
@@ -325,7 +339,7 @@ class LabelStore(ColumnarPathStore):
             self.lb.extend(old_lb[s : s + c])
         return moved
 
-    def _after_compact(self, remap: dict[int, _Slice]) -> None:
+    def _after_compact(self, remap: dict[int, Slice]) -> None:
         for view in tuple(self._views):
             moved = remap.get(view._start)
             if moved is not None and moved.count == view._count:

@@ -20,10 +20,11 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.construction import build_label_paths
 from repro.core.pathsummary import PathSummary, concatenate, edge_path
-from repro.core.index import NRPIndex
+from repro.core.index import IndexPlane, NRPIndex
 from repro.obs import get_registry, get_tracer
 
 __all__ = ["IndexMaintainer", "MaintenanceReport"]
@@ -44,7 +45,9 @@ class MaintenanceReport:
     seconds: float = 0.0
 
 
-def _signature(paths) -> tuple:
+def _signature(
+    paths: Sequence[PathSummary],
+) -> tuple[tuple[float, float, tuple[EdgeKey, ...], tuple[EdgeKey, ...]], ...]:
     """Moments + windows: if unchanged, downstream sets cannot change."""
     return tuple((p.mu, p.var, p.win_a, p.win_b) for p in paths)
 
@@ -112,7 +115,7 @@ class IndexMaintainer:
             registry.timer("maintenance.update").observe(report.seconds)
         return report
 
-    def _maybe_compact(self, plane) -> None:
+    def _maybe_compact(self, plane: IndexPlane) -> None:
         if plane.label_store.garbage_fraction() > _COMPACT_GARBAGE_FRACTION:
             plane.label_store.compact()
         if plane.edge_store.columns.garbage_fraction() > _COMPACT_GARBAGE_FRACTION:
@@ -121,7 +124,7 @@ class IndexMaintainer:
     # ------------------------------------------------------------------
     # Algorithm 4: bottom-up edge-set updates
     # ------------------------------------------------------------------
-    def _recompute_edge_set(self, plane, key: EdgeKey) -> list[PathSummary]:
+    def _recompute_edge_set(self, plane: IndexPlane, key: EdgeKey) -> list[PathSummary]:
         index = self.index
         graph = index.graph
         cov = index.cov if index.correlated else None
@@ -141,7 +144,7 @@ class IndexMaintainer:
         return plane.refiner.refine(candidates)
 
     def _propagate_edge_sets(
-        self, plane, seeds: list[EdgeKey], report: MaintenanceReport
+        self, plane: IndexPlane, seeds: list[EdgeKey], report: MaintenanceReport
     ) -> set[int]:
         """Recompute affected ``P_e`` in contraction order of their lower
         endpoint; return the lower endpoints of the sets that actually
@@ -194,7 +197,9 @@ class IndexMaintainer:
     # ------------------------------------------------------------------
     # Algorithm 5: top-down label rebuild in the affected subtree
     # ------------------------------------------------------------------
-    def _rebuild_labels(self, plane, roots: set[int], report: MaintenanceReport) -> None:
+    def _rebuild_labels(
+        self, plane: IndexPlane, roots: set[int], report: MaintenanceReport
+    ) -> None:
         """Rebuild labels in the union of subtrees rooted at ``roots``.
 
         A single top-down pass over the tree: a node is rebuilt when it is a

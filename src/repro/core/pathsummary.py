@@ -43,7 +43,7 @@ class PathSummary:
         win_a: tuple[EdgeKey, ...] = _EMPTY,
         win_b: tuple[EdgeKey, ...] = _EMPTY,
         num_edges: int = 0,
-        prov=None,
+        prov: str | tuple[PathSummary, PathSummary, int] | None = None,
     ) -> None:
         self.mu = mu
         self.var = var
@@ -93,12 +93,13 @@ class PathSummary:
         stack: list[tuple[PathSummary, int]] = [(self, self.a)]
         while stack:
             summary, start = stack.pop()
-            if summary.prov is None:
+            prov = summary.prov
+            if prov is None:
                 continue
-            if summary.prov == "edge":
+            if isinstance(prov, str):  # "edge"
                 out.append(summary.other_endpoint(start))
                 continue
-            left, right, via = summary.prov
+            left, right, via = prov
             # `left` is the half holding endpoint `a` (see concatenate()):
             # walking from `a` means left first, from `b` means right first.
             if start == summary.a:

@@ -22,14 +22,14 @@ dominance of Proposition 5 instead.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.core.pathsummary import PathSummary
 from repro.stats.normal import phi_cdf
 from repro.stats.zscores import z_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.labelstore import LabelStore, _Slice
+    from repro.core.labelstore import LabelStore, Slice
 
 __all__ = ["LabelPathSet", "prune_pair", "prune_correlated"]
 
@@ -65,6 +65,18 @@ class LabelPathSet:
         "__weakref__",
     )
 
+    paths: tuple[PathSummary, ...]
+    sigma_min: float
+    sigma_max: float
+    _store: "LabelStore"
+    _start: int
+    _count: int
+    _mus: tuple[float, ...] | None
+    _sigmas: tuple[float, ...] | None
+    _vars: tuple[float, ...] | None
+    _ub: tuple[int, ...] | None
+    _lb: tuple[int, ...] | None
+
     def __init__(self, paths: Sequence[PathSummary], independent: bool = True) -> None:
         from repro.core.labelstore import LabelStore
 
@@ -79,9 +91,10 @@ class LabelPathSet:
         self._mus = self._sigmas = self._vars = self._ub = self._lb = None
 
     @classmethod
-    def _over_store(
-        cls, store: "LabelStore", info: "_Slice", paths: tuple[PathSummary, ...]
+    def from_store(
+        cls, store: "LabelStore", info: "Slice", paths: tuple[PathSummary, ...]
     ) -> "LabelPathSet":
+        """Store-side constructor: the view half of ``LabelStore.add_entry``."""
         self = object.__new__(cls)
         self.paths = paths
         self._store = store
@@ -114,21 +127,30 @@ class LabelPathSet:
 
     @property
     def mus(self) -> tuple[float, ...]:
-        if self._mus is None:
+        mus = self._mus
+        if mus is None:
             self._materialize()
-        return self._mus
+            mus = self._mus
+            assert mus is not None
+        return mus
 
     @property
     def sigmas(self) -> tuple[float, ...]:
-        if self._sigmas is None:
+        sigmas = self._sigmas
+        if sigmas is None:
             self._materialize()
-        return self._sigmas
+            sigmas = self._sigmas
+            assert sigmas is not None
+        return sigmas
 
     @property
     def vars(self) -> tuple[float, ...]:
-        if self._vars is None:
+        vars_ = self._vars
+        if vars_ is None:
             self._materialize()
-        return self._vars
+            vars_ = self._vars
+            assert vars_ is not None
+        return vars_
 
     @property
     def ub_ratio(self) -> tuple[int, ...] | None:
@@ -163,7 +185,7 @@ class LabelPathSet:
     def __len__(self) -> int:
         return self._count
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PathSummary]:
         return iter(self.paths)
 
 
@@ -201,6 +223,7 @@ def _survivors(
     keep: list[int] = []
     ub_ratio = label_set.ub_ratio
     lb_ratio = label_set.lb_ratio
+    assert ub_ratio is not None and lb_ratio is not None  # independent plane only
     for i in range(len(label_set)):
         j = ub_ratio[i]
         if j >= 0 and alpha < label_set.bound(i, j, other_sigma_min):
@@ -238,6 +261,7 @@ def prune_correlated(
     survivors_sh = _correlated_survivors(set_sh, set_ht.sigma_max, z)
     survivors_ht = _correlated_survivors(set_ht, set_sh.sigma_max, z)
     if counts is not None:
+        # nrplint: disable-next-line=purity -- counts is the documented obs accumulator out-param (prune attribution); it never feeds back into pruning decisions
         counts[0] += (len(set_sh) - len(survivors_sh)) + (
             len(set_ht) - len(survivors_ht)
         )

@@ -17,6 +17,7 @@ from repro.core.pathsummary import PathSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.index import NRPIndex
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["QueryStats", "QueryResult", "answer_query"]
 
@@ -76,7 +77,7 @@ class QueryStats:
         return {name: getattr(self, name) for name in _REGISTRY_COUNTERS}
 
     @classmethod
-    def from_registry(cls, registry=None) -> "QueryStats":
+    def from_registry(cls, registry: "MetricsRegistry | None" = None) -> "QueryStats":
         """The process-wide aggregate as a ``QueryStats`` (see ``repro.obs``).
 
         Reads the engine counters the observability registry accumulated

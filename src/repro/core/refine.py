@@ -158,7 +158,9 @@ class NeighborhoodCache:
                 total[i] = total.get(i, 0.0) + value
         return total
 
-    def _entry(self, v: int):
+    def _entry(
+        self, v: int
+    ) -> tuple[tuple[tuple[EdgeKey, ...], ...], dict[EdgeKey, tuple[int, ...]]]:
         cached = self._cache.get(v)
         if cached is None:
             # Two windows with the same set of *correlated* edges yield the

@@ -223,7 +223,7 @@ def _decode_plane(
     refiner: Refiner,
     fmt: int,
 ) -> IndexPlane:
-    plane = IndexPlane._empty(data["direction"], refiner)
+    plane = IndexPlane.empty(data["direction"], refiner)
     for key, slots in data["edge_sets"]:
         plane.edge_store.set_paths(tuple(key), [summaries[i] for i in slots])
     for key, centers in data["centers"]:

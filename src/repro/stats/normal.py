@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
 
 __all__ = ["phi_cdf", "phi_pdf", "phi_inv", "reliability_value", "Normal"]
 
@@ -125,7 +129,7 @@ class Normal:
 
     def cdf(self, w: float) -> float:
         """``Pr(W <= w)`` — the paper's ``F_e(w)``."""
-        if self.variance == 0.0:
+        if self.variance == 0.0:  # nrplint: disable=float-eq -- exact sentinel: variance is 0.0 only when constructed as the degenerate (deterministic) distribution; near-zero variances must still use the Phi path
             return 1.0 if w >= self.mu else 0.0
         return phi_cdf((w - self.mu) / self.sigma)
 
@@ -137,6 +141,6 @@ class Normal:
         """Sum of independent normals (means and variances add)."""
         return Normal(self.mu + other.mu, self.variance + other.variance)
 
-    def sample(self, rng) -> float:
+    def sample(self, rng: "random.Random") -> float:
         """Draw one travel-time sample using ``rng`` (``random.Random``)."""
         return rng.gauss(self.mu, self.sigma)

@@ -38,9 +38,17 @@ def z_value(alpha: float) -> float:
     """Memoised ``Z_alpha = phi_inv(alpha)``.
 
     ``alpha = 0.5`` returns exactly ``0.0`` (the paper's special case where
-    the RSP degenerates to the deterministic shortest path on means).
+    the RSP degenerates to the deterministic shortest path on means).  The
+    exact IEEE compare below is deliberate, not a tolerance bug: only the
+    literal ``0.5`` means "the deterministic case", and ``phi_inv`` is
+    continuous there (``phi_inv(0.5 ± 1e-10) ≈ ±2.5e-10``), so snapping a
+    *nearby* alpha to ``0.0`` through a tolerance would return the wrong
+    quantile.  The branch pins the ``Phi^-1`` symmetry point regardless of
+    how ``phi_inv`` is implemented (its current central rational
+    approximation with Halley refinement also yields exactly ``0.0``, but
+    that is an implementation detail this sentinel makes a guarantee).
     """
-    if alpha == 0.5:
+    if alpha == 0.5:  # nrplint: disable=float-eq -- exact sentinel: the literal 0.5 selects the paper's deterministic case; phi_inv is continuous here so a tolerance would corrupt nearby alphas (see docstring)
         return 0.0
     return phi_inv(alpha)
 

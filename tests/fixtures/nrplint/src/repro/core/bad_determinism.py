@@ -1,0 +1,14 @@
+"""Broken fixture: ambient RNG + wall clock in core → NRP002 determinism."""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+def jitter(width: float) -> float:
+    return random.uniform(0.0, width)
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,11 @@
+"""Broken fixture: exact float equality in core → NRP003 float-eq."""
+
+from __future__ import annotations
+
+
+def is_half(alpha: float) -> bool:
+    return alpha == 0.5
+
+
+def moments_equal(mu_a: float, mu_b: float) -> bool:
+    return mu_a != mu_b

@@ -1,0 +1,5 @@
+"""Broken fixture: core importing a consumer layer → NRP001 layering."""
+
+from repro.experiments.runners import run_everything
+
+__all__ = ["run_everything"]

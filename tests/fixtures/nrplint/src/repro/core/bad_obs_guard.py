@@ -1,0 +1,9 @@
+"""Broken fixture: unguarded metric emission in core → NRP004 obs-guard."""
+
+from __future__ import annotations
+
+from repro.obs import get_registry
+
+
+def record(n: int) -> None:
+    get_registry().counter("fixture.events").inc(n)

@@ -1,0 +1,11 @@
+"""Broken fixture: private reach across modules → NRP005 private-access."""
+
+from __future__ import annotations
+
+from repro.network.graph import _rebuild_adjacency
+from repro.network import covariance
+
+
+def poke(graph: object) -> object:
+    _rebuild_adjacency(graph)
+    return covariance._entries

@@ -1,0 +1,16 @@
+"""Broken fixture: an argument-mutating prune kernel → NRP006 purity."""
+
+from __future__ import annotations
+
+_SEEN: dict[int, int] = {}
+
+
+def prune_in_place(paths: list[int], alpha: float) -> list[int]:
+    paths.sort()
+    _SEEN[len(paths)] = 1
+    return paths
+
+
+def dominates_with_memo(mu_a: float, mu_b: float) -> bool:
+    global _SEEN
+    return mu_a < mu_b

@@ -1,0 +1,45 @@
+"""Negative fixture: the idiomatic version of everything the rules flag.
+
+Every construct here is the sanctioned counterpart of a ``bad_*`` fixture
+and must produce zero findings: public imports along the layering
+direction, an injected RNG, duration-only clocks, ordering float
+compares, guarded metric emission, spans through the guarded API, and a
+prune kernel that builds fresh output instead of mutating its inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from time import perf_counter
+
+from repro.network.graph import StochasticGraph
+from repro.obs import get_registry, get_tracer
+
+
+def sample(rng: random.Random, width: float) -> float:
+    """Injected, caller-seeded RNG is the sanctioned form."""
+    return rng.uniform(0.0, width)
+
+
+def near_half(alpha: float) -> bool:
+    """Ordering compares on floats are always fine."""
+    return abs(alpha - 0.5) < 1e-12
+
+
+def record(graph: StochasticGraph, n: int) -> float:
+    started = perf_counter()
+    registry = get_registry()
+    with get_tracer().span("fixture.record", n=n) as span:
+        span.set(nodes=n)
+    if registry.enabled:
+        registry.counter("fixture.events").inc(n)
+        registry.timer("fixture.record").observe(perf_counter() - started)
+        registry.gauge("fixture.last_n", "most recent n").set(n)
+    return float(n)
+
+
+def prune_copy(paths: list[int], alpha: float) -> list[int]:
+    """Kernels may build and mutate fresh locals, just not their inputs."""
+    survivors = [p for p in paths if p >= 0]
+    survivors.sort()
+    return survivors

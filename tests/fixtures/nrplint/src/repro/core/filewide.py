@@ -1,0 +1,12 @@
+"""File-wide suppression fixture."""
+# nrplint: disable-file=float-eq -- fixture: file-wide waiver for the whole module
+
+from __future__ import annotations
+
+
+def first(alpha: float) -> bool:
+    return alpha == 0.1
+
+
+def second(alpha: float) -> bool:
+    return alpha == 0.9

@@ -1,0 +1,5 @@
+"""Broken fixture: storage reaching up into the engine → NRP001 layering."""
+
+from repro.core.engine import QueryEngine
+
+__all__ = ["QueryEngine"]

@@ -1,0 +1,16 @@
+"""Suppression fixture: justified, unjustified, and next-line directives."""
+
+from __future__ import annotations
+
+
+def exact_half(alpha: float) -> bool:
+    return alpha == 0.5  # nrplint: disable=float-eq -- fixture: exact sentinel with a justification
+
+
+def unjustified(alpha: float) -> bool:
+    return alpha == 0.25  # nrplint: disable=float-eq
+
+
+def next_line(alpha: float) -> bool:
+    # nrplint: disable-next-line=float-eq -- fixture: next-line directive
+    return alpha == 0.75

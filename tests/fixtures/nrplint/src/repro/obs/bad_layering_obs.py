@@ -1,0 +1,5 @@
+"""Broken fixture: obs importing the core it observes → NRP001 layering."""
+
+from repro.core.engine import QueryEngine
+
+__all__ = ["QueryEngine"]

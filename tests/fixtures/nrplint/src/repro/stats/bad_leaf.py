@@ -1,0 +1,5 @@
+"""Broken fixture: the numeric leaf importing the graph layer → NRP001."""
+
+from repro.network.graph import StochasticGraph
+
+__all__ = ["StochasticGraph"]

@@ -1,0 +1,255 @@
+"""nrplint self-tests: fixtures, suppressions, baseline, schema, CI gate.
+
+The analyzer lives in ``tools/nrplint`` (outside the installed package),
+so the tests put ``tools`` on ``sys.path`` explicitly — the same way the
+CI lint job runs it (``PYTHONPATH=tools python -m nrplint src``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+TOOLS = REPO / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+from nrplint.baseline import DEFAULT_BASELINE_PATH, Baseline  # noqa: E402
+from nrplint.core import lint_paths, module_name_for, rule_registry  # noqa: E402
+from nrplint.report import (  # noqa: E402
+    REPORT_SCHEMA_ID,
+    render_json,
+    validate_report,
+)
+
+FIXTURES = REPO / "tests" / "fixtures" / "nrplint" / "src"
+
+#: file name → the single rule its findings must all belong to.
+EXPECTED_BAD = {
+    "bad_layering.py": "layering",
+    "labelstore.py": "layering",
+    "bad_layering_obs.py": "layering",
+    "bad_leaf.py": "layering",
+    "bad_determinism.py": "determinism",
+    "bad_float_eq.py": "float-eq",
+    "bad_obs_guard.py": "obs-guard",
+    "bad_private.py": "private-access",
+    "bad_purity.py": "purity",
+}
+
+
+@pytest.fixture(scope="module")
+def fixture_result():
+    return lint_paths([FIXTURES])
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        rules = rule_registry()
+        assert set(rules) == {
+            "layering",
+            "determinism",
+            "float-eq",
+            "obs-guard",
+            "private-access",
+            "purity",
+        }
+        codes = {rule.code for rule in rules.values()}
+        assert len(codes) == len(rules), "rule codes must be unique"
+
+    def test_unknown_rule_selection_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_paths([FIXTURES], select=["no-such-rule"])
+
+    def test_module_name_resolution(self):
+        assert (
+            module_name_for(FIXTURES / "repro" / "core" / "bad_purity.py")
+            == "repro.core.bad_purity"
+        )
+        assert module_name_for(FIXTURES / "repro" / "core" / "__init__.py") == (
+            "repro.core"
+        )
+
+
+class TestFixtures:
+    def test_each_bad_fixture_triggers_exactly_its_rule(self, fixture_result):
+        by_file: dict[str, set[str]] = defaultdict(set)
+        for finding in fixture_result.findings:
+            by_file[Path(finding.path).name].add(finding.rule)
+        for name, rule in EXPECTED_BAD.items():
+            assert by_file.get(name) == {rule}, (
+                f"{name}: expected exactly {{{rule}!r}}, got {by_file.get(name)}"
+            )
+
+    def test_no_cross_triggering_or_clean_noise(self, fixture_result):
+        allowed = set(EXPECTED_BAD) | {"suppressed.py"}
+        flagged = {Path(f.path).name for f in fixture_result.findings}
+        assert flagged <= allowed, f"unexpected findings in {flagged - allowed}"
+        assert "clean.py" not in flagged
+        assert not fixture_result.errors
+
+    def test_fixture_counts_are_stable(self, fixture_result):
+        counts: dict[str, int] = defaultdict(int)
+        for finding in fixture_result.findings:
+            counts[Path(finding.path).name] += 1
+        assert counts["bad_determinism.py"] == 2  # RNG + wall clock
+        assert counts["bad_float_eq.py"] == 2  # == and !=
+        assert counts["bad_private.py"] == 2  # import + attribute reach
+        assert counts["bad_purity.py"] == 3  # arg, module state, global
+
+
+class TestSuppressions:
+    def test_justified_trailing_directive_suppresses(self, fixture_result):
+        suppressed = {
+            (Path(f.path).name, f.line): reason
+            for f, reason in fixture_result.suppressed
+        }
+        assert ("suppressed.py", 7) in suppressed
+        assert "justification" in suppressed[("suppressed.py", 7)]
+
+    def test_next_line_directive_suppresses(self, fixture_result):
+        names = {
+            (Path(f.path).name, f.line) for f, _ in fixture_result.suppressed
+        }
+        assert ("suppressed.py", 16) in names
+
+    def test_file_wide_directive_suppresses_everything(self, fixture_result):
+        filewide = [
+            f for f, _ in fixture_result.suppressed
+            if Path(f.path).name == "filewide.py"
+        ]
+        assert len(filewide) == 2
+        assert not any(
+            Path(f.path).name == "filewide.py" for f in fixture_result.findings
+        )
+
+    def test_unjustified_directive_keeps_finding_active(self, fixture_result):
+        active = [
+            f for f in fixture_result.findings
+            if Path(f.path).name == "suppressed.py"
+        ]
+        assert len(active) == 1
+        assert active[0].line == 11
+        assert "suppression ignored" in active[0].message
+
+
+class TestBaseline:
+    def test_roundtrip(self, fixture_result, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(fixture_result.findings).save(path)
+        reloaded = Baseline.load(path)
+        assert len(reloaded) == len(fixture_result.findings)
+        new, baselined = reloaded.split(fixture_result.findings)
+        assert new == []
+        assert len(baselined) == len(fixture_result.findings)
+
+    def test_unbaselined_finding_stays_new(self, fixture_result):
+        findings = list(fixture_result.findings)
+        partial = Baseline.from_findings(findings[1:])
+        new, baselined = partial.split(findings)
+        assert len(new) == 1 and new[0] == findings[0]
+        assert len(baselined) == len(findings) - 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_shipped_baseline_is_minimal(self):
+        assert len(Baseline.load(DEFAULT_BASELINE_PATH)) == 0, (
+            "the shipped baseline must stay minimal: fix findings or add an "
+            "inline justified suppression instead of grandfathering them"
+        )
+
+
+class TestJsonReport:
+    def test_report_validates_against_checked_in_schema(self, fixture_result):
+        baseline = Baseline.from_findings(fixture_result.findings[:2])
+        new, baselined = baseline.split(fixture_result.findings)
+        document = render_json(fixture_result, new, baselined)
+        assert document["schema"] == REPORT_SCHEMA_ID
+        assert validate_report(document) == []
+        assert document["summary"]["findings"] == len(new)
+        assert document["summary"]["baselined"] == 2
+        assert document["summary"]["suppressed"] == len(fixture_result.suppressed)
+
+    def test_validator_rejects_malformed_documents(self, fixture_result):
+        document = render_json(fixture_result, fixture_result.findings, [])
+        document["summary"]["files"] = -1
+        assert validate_report(document)
+        del document["findings"]
+        assert any("findings" in e for e in validate_report(document))
+
+
+class TestShippedTree:
+    """The acceptance gate: the shipped src tree is clean."""
+
+    def test_src_is_clean_under_all_rules(self):
+        result = lint_paths([REPO / "src"])
+        baseline = Baseline.load(DEFAULT_BASELINE_PATH)
+        new, _ = baseline.split(result.findings)
+        assert not result.errors
+        assert new == [], "\n".join(
+            f"{f.path}:{f.line}: {f.code} {f.message}" for f in new
+        )
+
+    def test_shipped_suppressions_are_all_justified(self):
+        result = lint_paths([REPO / "src"])
+        for finding, reason in result.suppressed:
+            assert reason.strip(), f"{finding.path}:{finding.line} lacks a reason"
+
+
+def _run_cli(*args: str, cwd: Path = REPO) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(TOOLS)
+    return subprocess.run(
+        [sys.executable, "-m", "nrplint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+class TestCliGate:
+    """End-to-end: exactly what the CI lint job executes."""
+
+    def test_cli_exits_zero_on_shipped_tree(self):
+        proc = _run_cli("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_cli_fails_on_reintroduced_layering_violation(self, tmp_path):
+        """A fresh core module importing the CLI must fail the gate."""
+        pkg = tmp_path / "repro"
+        (pkg / "core").mkdir(parents=True)
+        (pkg / "__init__.py").write_text('"""tmp."""\n')
+        (pkg / "core" / "__init__.py").write_text('"""tmp."""\n')
+        (pkg / "core" / "regression.py").write_text(
+            '"""Regression: the PR-1 layering split must stay machine-checked."""\n'
+            "from repro.cli import main\n"
+        )
+        proc = _run_cli(str(tmp_path), "--no-baseline")
+        assert proc.returncode == 1
+        assert "NRP001" in proc.stdout
+        assert "repro.core must not import repro.cli" in proc.stdout
+
+    def test_cli_json_output_is_schema_valid(self):
+        proc = _run_cli(str(FIXTURES), "--format", "json", "--no-baseline")
+        assert proc.returncode == 1  # fixtures are deliberately broken
+        document = json.loads(proc.stdout)
+        assert validate_report(document) == []
+
+    def test_cli_list_rules(self):
+        proc = _run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ("NRP001", "NRP002", "NRP003", "NRP004", "NRP005", "NRP006"):
+            assert code in proc.stdout
+
+    def test_cli_usage_error_on_unknown_rule(self):
+        proc = _run_cli("src", "--select", "no-such-rule")
+        assert proc.returncode == 2

@@ -1,0 +1,37 @@
+"""nrplint — repo-specific static analysis for the NRP reproduction.
+
+A zero-dependency (``ast`` + ``tokenize``) analyzer that machine-checks the
+architectural contracts this codebase relies on but that no general-purpose
+linter knows about:
+
+- the storage / engine / service layering of ``repro.core`` and the
+  leaf-status of ``repro.stats`` / ``repro.obs`` (``layering``),
+- reproducibility of index construction and queries — no ambient RNG or
+  wall-clock reads in the numeric kernel (``determinism``),
+- the exact dominance arithmetic of Propositions 1-5, where a stray float
+  ``==`` silently breaks bit-identical results (``float-eq``),
+- the <2% observability overhead budget: metric emission in ``repro.core``
+  must sit behind the ``enabled`` guard (``obs-guard``),
+- module encapsulation (``private-access``) and the purity of the
+  dominance/pruning kernels (``purity``).
+
+Run it with ``PYTHONPATH=tools python -m nrplint src``.  See
+``docs/static_analysis.md`` for the rule catalogue, the suppression syntax
+(``# nrplint: disable=RULE -- reason``) and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from nrplint.core import FileContext, Finding, Rule, RunResult, lint_paths, rule_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "RunResult",
+    "lint_paths",
+    "rule_registry",
+    "__version__",
+]

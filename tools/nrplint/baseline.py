@@ -1,0 +1,86 @@
+"""The grandfathered-findings baseline.
+
+A baseline entry matches on ``(rule, path, snippet)`` — the stripped
+source line, not its line number — so unrelated edits above a finding do
+not churn the file.  Multiple identical lines in one file are handled by
+counting: a baseline entry with ``count: 2`` absorbs at most two matching
+findings; a third is reported as new.
+
+The shipped baseline (``tools/nrplint/baseline.json``) is kept minimal —
+every finding the six rules raise against the current tree is either
+fixed or carries an inline ``# nrplint: disable`` justification, so the
+baseline exists for future grandfathering, not as a dumping ground.
+Regenerate with ``PYTHONPATH=tools python -m nrplint src --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from nrplint.core import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH"]
+
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.snippet)
+
+
+class Baseline:
+    """A multiset of grandfathered findings."""
+
+    def __init__(self, entries: Counter[tuple[str, str, str]] | None = None) -> None:
+        self.entries: Counter[tuple[str, str, str]] = entries or Counter()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if document.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {document.get('version')!r}"
+            )
+        entries: Counter[tuple[str, str, str]] = Counter()
+        for entry in document.get("entries", ()):
+            key = (entry["rule"], entry["path"], entry["snippet"])
+            entries[key] += int(entry.get("count", 1))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(_key(f) for f in findings))
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "snippet": snippet, "count": count}
+            for (rule, rel, snippet), count in sorted(self.entries.items())
+        ]
+        document = {"version": _VERSION, "tool": "nrplint", "entries": entries}
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into ``(new, baselined)`` with count-aware matching."""
+        budget = Counter(self.entries)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = _key(finding)
+            if budget[key] > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,115 @@
+"""The ``python -m nrplint`` command line.
+
+Exit codes: 0 clean (baselined/suppressed findings do not fail the run),
+1 at least one new finding or unparseable file, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from nrplint.baseline import DEFAULT_BASELINE_PATH, Baseline
+from nrplint.core import lint_paths, rule_registry
+from nrplint.report import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m nrplint",
+        description="Repo-specific static analysis for the NRP reproduction "
+        "(layering, determinism, float discipline, obs guards, encapsulation, "
+        "kernel purity).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE_PATH,
+        help="baseline file of grandfathered findings "
+        "(default: tools/nrplint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file to absorb every current finding",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined and suppressed findings (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(rule_registry().items()):
+            print(f"{rule.code}  {name:15s} {rule.summary}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        result = lint_paths(args.paths, select=select, ignore=ignore)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(
+            f"wrote {args.baseline} ({len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'})"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    new, baselined = baseline.split(result.findings)
+
+    if args.format == "json":
+        print(json.dumps(render_json(result, new, baselined), indent=2))
+    else:
+        print(render_text(result, new, baselined, verbose=args.verbose))
+    return 1 if new or result.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,278 @@
+"""The nrplint engine: file contexts, the rule registry, and the runner.
+
+A :class:`FileContext` wraps one parsed source file with everything rules
+need — the AST, a child→parent map, the dotted module name (computed by
+ascending ``__init__.py`` packages, so ``src/repro/core/engine.py`` is
+``repro.core.engine`` regardless of the checkout location), per-line
+suppression directives, and small shared helpers (``TYPE_CHECKING``
+detection, attribute-chain flattening, enclosing-scope lookup).
+
+Rules are singletons registered by :func:`register`; each yields
+:class:`Finding` objects from :meth:`Rule.check`.  :func:`lint_paths`
+drives the whole pass and splits raw findings into *active* /
+*suppressed* buckets (baseline filtering happens one level up, in the
+CLI, because only it knows which baseline file to honour).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from nrplint.suppress import Suppressions, parse_suppressions
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RunResult",
+    "register",
+    "rule_registry",
+    "lint_paths",
+    "iter_python_files",
+    "module_name_for",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: rule slug, e.g. ``"float-eq"``
+    code: str  #: stable display code, e.g. ``"NRP003"``
+    path: str  #: posix-style path as given on the command line
+    line: int
+    col: int
+    message: str
+    snippet: str = ""  #: the stripped source line (baseline fingerprint key)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class RunResult:
+    """Everything one lint pass produced, before baseline filtering."""
+
+    findings: list[Finding] = field(default_factory=list)  #: active findings
+    suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)  #: unparseable files
+    files: int = 0
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, found by ascending ``__init__.py`` packages."""
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+class FileContext:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, path: Path, display_path: str | None = None) -> None:
+        self.path = path
+        self.display = display_path if display_path is not None else path.as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.module = module_name_for(path)
+        # The package relative imports resolve against: the module itself
+        # for an ``__init__.py``, its parent otherwise.
+        if path.stem == "__init__" or "." not in self.module:
+            self.package = self.module
+        else:
+            self.package = self.module.rsplit(".", 1)[0]
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.suppressions: Suppressions = parse_suppressions(self.source)
+
+    # ------------------------------------------------------------------
+    # Shared AST helpers
+    # ------------------------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def in_type_checking(self, node: ast.AST) -> bool:
+        """True when ``node`` sits under an ``if TYPE_CHECKING:`` block."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.If) and _mentions_name(
+                ancestor.test, "TYPE_CHECKING"
+            ):
+                return True
+        return False
+
+    def snippet_at(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def in_package(self, prefix: str) -> bool:
+        """True when this file's module is ``prefix`` or below it."""
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+
+def _mentions_name(node: ast.AST, name: str) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == name:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == name:
+            return True
+    return False
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` attribute chains; None for non-name bases."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def base_name(node: ast.AST) -> str | None:
+    """The root ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class Rule:
+    """Base class for nrplint rules (stateless singletons)."""
+
+    name: str = ""
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.name,
+            code=self.code,
+            path=ctx.display,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.snippet_at(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule singleton."""
+    if not cls.name or not cls.code:
+        raise ValueError(f"rule {cls.__name__} must define 'name' and 'code'")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def rule_registry() -> dict[str, Rule]:
+    """All registered rules, importing the bundled rule modules on demand."""
+    import nrplint.rules  # noqa: F401  (registers via @register side effects)
+
+    return dict(_REGISTRY)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """Expand files/directories into ``(path, display_path)`` pairs."""
+    out: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates: Iterable[Path] = sorted(root.rglob("*.py"))
+        else:
+            candidates = [root]
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append((path, path.as_posix()))
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> RunResult:
+    """Run every (selected) rule over every Python file under ``paths``."""
+    rules = rule_registry()
+    if select is not None:
+        unknown = set(select) - rules.keys()
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules = {name: rule for name, rule in rules.items() if name in set(select)}
+    if ignore is not None:
+        unknown = set(ignore) - rule_registry().keys()
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules = {name: rule for name, rule in rules.items() if name not in set(ignore)}
+
+    result = RunResult()
+    for path, display in iter_python_files(paths):
+        try:
+            ctx = FileContext(path, display)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.errors.append(f"{display}: {exc}")
+            continue
+        result.files += 1
+        raw: list[Finding] = []
+        for rule in rules.values():
+            raw.extend(rule.check(ctx))
+        for finding in sorted(raw, key=Finding.sort_key):
+            directive = ctx.suppressions.lookup(finding.rule, finding.line)
+            if directive is None:
+                result.findings.append(finding)
+            elif directive.reason:
+                result.suppressed.append((finding, directive.reason))
+            else:
+                # A bare disable is not a justification; the finding stays
+                # active so the waiver cannot rot silently.
+                result.findings.append(
+                    replace(
+                        finding,
+                        message=finding.message
+                        + " [suppression ignored: add a '-- reason' justification]",
+                    )
+                )
+    return result

@@ -1,0 +1,165 @@
+"""Text and JSON reporters, plus the report-schema validator.
+
+The JSON document is schema-versioned (``nrplint.report/1``) like the
+observability exports, and the checked-in ``tools/nrplint/schema.json``
+pins its shape; :func:`validate_report` is the same deliberately small
+JSON-Schema subset used by ``tools/check_obs_schema.py`` (``type``,
+``required``, ``properties``, ``additionalProperties``, ``items``,
+``enum``, ``const``, ``minimum``), so the tests can verify every report
+against the schema without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from nrplint.core import Finding, RunResult
+
+__all__ = [
+    "REPORT_SCHEMA_ID",
+    "SCHEMA_PATH",
+    "render_text",
+    "render_json",
+    "validate_report",
+]
+
+REPORT_SCHEMA_ID = "nrplint.report/1"
+SCHEMA_PATH = Path(__file__).resolve().parent / "schema.json"
+
+
+def _finding_dict(finding: Finding) -> dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "code": finding.code,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def render_json(
+    result: RunResult,
+    new: list[Finding],
+    baselined: list[Finding],
+) -> dict[str, Any]:
+    """The machine-readable report (``new`` ∪ ``baselined`` == active)."""
+    return {
+        "schema": REPORT_SCHEMA_ID,
+        "summary": {
+            "files": result.files,
+            "findings": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(result.suppressed),
+            "errors": len(result.errors),
+        },
+        "findings": [_finding_dict(f) for f in new],
+        "baselined": [_finding_dict(f) for f in baselined],
+        "suppressed": [
+            {**_finding_dict(f), "reason": reason} for f, reason in result.suppressed
+        ],
+        "errors": list(result.errors),
+    }
+
+
+def render_text(
+    result: RunResult,
+    new: list[Finding],
+    baselined: list[Finding],
+    verbose: bool = False,
+) -> str:
+    """Human-readable ``path:line:col: CODE [rule] message`` lines."""
+    lines: list[str] = []
+    for finding in new:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.code} [{finding.rule}] {finding.message}"
+        )
+    if verbose:
+        for finding in baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.code} [{finding.rule}] (baselined) {finding.message}"
+            )
+        for finding, reason in result.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.code} [{finding.rule}] (suppressed: {reason}) "
+                f"{finding.message}"
+            )
+    lines.extend(result.errors)
+    summary = (
+        f"{result.files} files checked: {len(new)} finding(s), "
+        f"{len(baselined)} baselined, {len(result.suppressed)} suppressed"
+    )
+    if result.errors:
+        summary += f", {len(result.errors)} file error(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Schema validation (stdlib-only JSON-Schema subset)
+# ----------------------------------------------------------------------
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[name])
+
+
+def validate_report(value: Any, schema: dict[str, Any] | None = None, path: str = "$") -> list[str]:
+    """Return schema errors for a report document (empty when valid)."""
+    if schema is None:
+        schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    errors: list[str] = []
+    if "const" in schema and value != schema["const"]:
+        return [f"{path}: expected {schema['const']!r}, got {value!r}"]
+    if "enum" in schema and value not in schema["enum"]:
+        return [f"{path}: {value!r} not in {schema['enum']!r}"]
+    if "type" in schema:
+        names = schema["type"]
+        if isinstance(names, str):
+            names = [names]
+        if not any(_type_ok(value, n) for n in names):
+            return [
+                f"{path}: expected type {'/'.join(names)}, got {type(value).__name__}"
+            ]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{path}: {value!r} below minimum {minimum!r}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                errors.extend(validate_report(value[key], sub, f"{path}.{key}"))
+        additional = schema.get("additionalProperties")
+        if isinstance(additional, dict):
+            for key, item in value.items():
+                if key not in properties:
+                    errors.extend(validate_report(item, additional, f"{path}.{key}"))
+        elif additional is False:
+            for key in value:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate_report(item, schema["items"], f"{path}[{i}]"))
+    return errors

@@ -1,0 +1,22 @@
+"""Rule catalogue — importing this package registers every rule.
+
+| code   | name           | invariant                                              |
+|--------|----------------|--------------------------------------------------------|
+| NRP001 | layering       | storage/engine/service split; stats & obs stay leaves  |
+| NRP002 | determinism    | no ambient RNG or wall-clock in the numeric kernel     |
+| NRP003 | float-eq       | no exact float ==/!= in the dominance arithmetic       |
+| NRP004 | obs-guard      | core metric emission sits behind the enabled guard     |
+| NRP005 | private-access | no _private reach across module boundaries             |
+| NRP006 | purity         | dominates*/prune* kernels are side-effect free         |
+"""
+
+from __future__ import annotations
+
+from nrplint.rules import (  # noqa: F401  (registration side effects)
+    determinism,
+    float_eq,
+    layering,
+    obs_guard,
+    private_access,
+    purity,
+)

@@ -1,0 +1,141 @@
+"""NRP002 — reproducibility of the numeric kernel.
+
+Query answers and index contents must be bit-identical across runs (the
+golden engine suite depends on it), so inside ``repro.core``,
+``repro.stats``, and ``repro.treedec`` nothing may read ambient
+nondeterminism:
+
+- no module-level RNG (``random.random()``, ``random.shuffle()``, ...):
+  randomness must be *injected* as a ``random.Random`` instance so the
+  caller owns the seed (``random.Random(seed)`` is therefore allowed),
+- no wall-clock reads that could leak into results — ``time.time()``,
+  ``datetime.now()`` and friends, ``uuid.uuid1/4``, ``secrets``, and
+  ``os.urandom`` (``time.perf_counter``/``monotonic`` stay legal: the
+  observability layer uses them for durations that never feed back into
+  query values).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, dotted_name, register
+
+_SCOPES = ("repro.core", "repro.stats", "repro.treedec")
+
+#: ``random`` module-level functions that consume the shared global RNG.
+_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+        "vonmisesvariate",
+        "triangular",
+        "binomialvariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+#: Wall-clock / entropy calls, as flattened dotted suffixes.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.today",
+        "datetime.utcnow",
+        "date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+    }
+)
+
+_SECRETS_MODULE = "secrets"
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    code = "NRP002"
+    summary = "no ambient RNG or wall-clock reads in core/stats/treedec"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(ctx.in_package(scope) for scope in _SCOPES):
+            return
+        # Names bound by `from random import shuffle`-style imports.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _RANDOM_FUNCS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of the shared global RNG "
+                            f"(random.{alias.name}); inject a seeded "
+                            f"random.Random instance instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in ("time", "time_ns"):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "wall-clock import (time.time); results must not "
+                            "depend on the clock (perf_counter is fine for "
+                            "durations)",
+                        )
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                names = (
+                    [alias.name for alias in node.names]
+                    if isinstance(node, ast.Import)
+                    else [node.module or ""]
+                )
+                if any(
+                    n == _SECRETS_MODULE or n.startswith(_SECRETS_MODULE + ".")
+                    for n in names
+                ):
+                    yield self.finding(
+                        ctx, node, "secrets is entropy-backed and never reproducible"
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        # random.shuffle(...) / np.random.shuffle(...): module-level RNG.
+        if len(parts) >= 2 and parts[-2] == "random" and parts[-1] in _RANDOM_FUNCS:
+            yield self.finding(
+                ctx,
+                node,
+                f"call to the shared global RNG ({dotted}); inject a seeded "
+                f"random.Random (or numpy Generator) instead",
+            )
+            return
+        suffix = ".".join(parts[-2:])
+        if suffix in _CLOCK_CALLS or parts[0] == _SECRETS_MODULE:
+            yield self.finding(
+                ctx,
+                node,
+                f"nondeterministic call {dotted}(); results must be "
+                f"bit-identical across runs (golden suite)",
+            )

@@ -1,0 +1,143 @@
+"""NRP003 — float equality discipline in the dominance arithmetic.
+
+The correctness of Propositions 1-5 rests on exact comparisons over
+``(mu, sigma)`` pairs; an ``==``/``!=`` between floats is almost always a
+latent tolerance bug (two mathematically equal quantities computed along
+different float paths compare unequal, silently changing which paths
+dominate).  Inside ``repro.core`` and ``repro.stats`` every float
+equality must therefore either be rewritten (ordering compare, integer
+compare, ``math.isclose`` with an explicit tolerance) or carry a
+``# nrplint: disable=float-eq -- reason`` justification arguing why the
+*exact* IEEE compare is the intended semantics (e.g. an exact sentinel
+such as ``alpha == 0.5``, where Phi^-1 symmetry maps the exact literal to
+the exact result and any tolerance would corrupt nearby alphas).
+
+Detection is lexical: an operand is float-typed when it is a float
+literal, a ``float(...)`` cast, a name or ``self.`` attribute annotated
+``float`` in an enclosing scope, or an arithmetic expression over such
+operands.  That is deliberately conservative — missing a float compare is
+acceptable, crying wolf on int compares is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, register
+
+_SCOPES = ("repro.core", "repro.stats")
+
+
+def _annotation_is_float(annotation: ast.AST | None) -> bool:
+    """True when an annotation mentions ``float`` (covers ``float | None``)."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return "float" in annotation.value
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == "float":
+            return True
+    return False
+
+
+class _FloatNames:
+    """Float-annotated names visible at one node (params + AnnAssigns)."""
+
+    def __init__(self, ctx: FileContext, node: ast.AST) -> None:
+        self.names: set[str] = set()
+        self.self_attrs: set[str] = set()
+        scope: ast.AST | None = node
+        while scope is not None:
+            scope = ctx.parents.get(scope)
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = scope.args
+                for arg in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])
+                ):
+                    if _annotation_is_float(arg.annotation):
+                        self.names.add(arg.arg)
+                for sub in ast.walk(scope):
+                    if isinstance(sub, ast.AnnAssign) and _annotation_is_float(
+                        sub.annotation
+                    ):
+                        if isinstance(sub.target, ast.Name):
+                            self.names.add(sub.target.id)
+            elif isinstance(scope, ast.ClassDef):
+                for sub in ast.walk(scope):
+                    if isinstance(sub, ast.AnnAssign) and _annotation_is_float(
+                        sub.annotation
+                    ):
+                        target = sub.target
+                        if isinstance(target, ast.Name):
+                            self.self_attrs.add(target.id)
+                        elif (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            self.self_attrs.add(target.attr)
+            elif isinstance(scope, ast.Module):
+                for stmt in scope.body:
+                    if isinstance(stmt, ast.AnnAssign) and _annotation_is_float(
+                        stmt.annotation
+                    ):
+                        if isinstance(stmt.target, ast.Name):
+                            self.names.add(stmt.target.id)
+
+    def floaty(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr in self.self_attrs
+        if isinstance(node, ast.BinOp):
+            return self.floaty(node.left) or self.floaty(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.floaty(node.operand)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "float":
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in ("sqrt", "fsum"):
+                return True
+        return False
+
+
+@register
+class FloatEqRule(Rule):
+    name = "float-eq"
+    code = "NRP003"
+    summary = "no exact float ==/!= in core/stats (Props. 1-5 arithmetic)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(ctx.in_package(scope) for scope in _SCOPES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            names: _FloatNames | None = None
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    if names is None:
+                        names = _FloatNames(ctx, node)
+                    if names.floaty(left) or names.floaty(right):
+                        symbol = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"exact float {symbol} compare; use an ordering "
+                            f"compare, math.isclose, or justify the exact "
+                            f"sentinel with a disable comment",
+                        )
+                left = right

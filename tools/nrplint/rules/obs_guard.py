@@ -1,0 +1,92 @@
+"""NRP004 — observability stays behind the enabled guard in core.
+
+``docs/observability.md`` commits to a <2% overhead budget when
+observation is off: the hot path may only pay cheap ``enabled`` boolean
+checks.  Two emission styles satisfy that in ``repro.core``:
+
+- metric emission (``handle.inc(...)``, ``handle.observe(...)``,
+  ``registry.gauge(...).set(...)``) lexically inside an
+  ``if <...>.enabled:`` block, and
+- the guarded span API — ``with tracer.span(...):`` — whose context
+  manager is a no-op when tracing is off (``span.set(...)`` on the
+  yielded handle is likewise free).
+
+This rule flags metric emission in ``repro.core`` that is *not* under an
+``enabled`` conditional.  Resolving handles eagerly (``reg.counter(...)``
+in ``__init__``) is fine and encouraged; only the emission site needs the
+guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, register
+
+_SCOPE = "repro.core"
+
+#: Unambiguous metric-emission methods.
+_EMIT_METHODS = frozenset({"inc", "observe"})
+
+
+def _is_gauge_receiver(node: ast.AST) -> bool:
+    """True for ``registry.gauge(...)`` chains or ``*_g_*``/gauge names."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr == "gauge"
+    last: str | None = None
+    if isinstance(node, ast.Attribute):
+        last = node.attr
+    elif isinstance(node, ast.Name):
+        last = node.id
+    if last is None:
+        return False
+    return last.startswith("_g_") or "gauge" in last.lower()
+
+
+def _test_mentions_enabled(test: ast.AST) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+        if isinstance(node, ast.Name) and node.id == "enabled":
+            return True
+    return False
+
+
+@register
+class ObsGuardRule(Rule):
+    name = "obs-guard"
+    code = "NRP004"
+    summary = "core metric emission must sit behind an `enabled` check"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            receiver = node.func.value
+            if attr in _EMIT_METHODS:
+                emission = True
+            elif attr == "set":
+                # `.set(...)` is ambiguous (spans, CovarianceStore, dicts);
+                # only gauge-shaped receivers count as metric emission.
+                emission = _is_gauge_receiver(receiver)
+            else:
+                emission = False
+            if not emission:
+                continue
+            if any(
+                isinstance(ancestor, ast.If)
+                and _test_mentions_enabled(ancestor.test)
+                for ancestor in ctx.ancestors(node)
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"metric emission .{attr}() outside an `if ....enabled:` "
+                f"guard; unguarded emission in repro.core breaks the <2% "
+                f"observability overhead budget",
+            )

@@ -1,0 +1,80 @@
+"""NRP005 — no ``_private`` reach across module boundaries.
+
+A leading underscore marks implementation detail that its own module may
+reorganise at will; cross-module consumers of ``_names`` turn every such
+refactor into a breaking change.  Two lexically detectable shapes are
+flagged anywhere under ``repro``:
+
+- ``from repro.x import _thing`` — importing a private name from another
+  module (type-only imports included: annotations are API too), and
+- ``mod._thing`` attribute access where ``mod`` (or a class) was bound by
+  an import from a ``repro`` module.
+
+Dunder names (``__init__``-style) are exempt, as is everything accessed
+through ``self``/``cls`` or locally created objects — instance privates
+inside their own class and module privates inside their own module are
+exactly what underscores are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, register
+
+_SCOPE = "repro"
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+@register
+class PrivateAccessRule(Rule):
+    name = "private-access"
+    code = "NRP005"
+    summary = "no _underscore names imported or reached across modules"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(_SCOPE):
+            return
+        imported: set[str] = set()  # local names bound by repro imports
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                is_repro = node.level > 0 or module == _SCOPE or module.startswith(
+                    _SCOPE + "."
+                )
+                for alias in node.names:
+                    if is_repro and _is_private(alias.name):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"imports private name {alias.name!r} from "
+                            f"{module or '.' * node.level}; private names are "
+                            f"module-internal — promote it to a public name "
+                            f"or go through the owning module's API",
+                        )
+                    if is_repro:
+                        imported.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _SCOPE or alias.name.startswith(_SCOPE + "."):
+                        imported.add(alias.asname or alias.name.split(".")[0])
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not _is_private(node.attr):
+                continue
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in imported:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"reaches into private attribute .{node.attr} of imported "
+                    f"name {value.id!r}; cross-module privates are not API",
+                )

@@ -1,0 +1,127 @@
+"""Inline suppression directives, parsed from comments with ``tokenize``.
+
+Three forms are recognised (rule lists are comma-separated; ``all`` waives
+every rule):
+
+``# nrplint: disable=RULE[,RULE...] -- reason``
+    Trailing comment: waives the named rules on that physical line.
+
+``# nrplint: disable-next-line=RULE[,RULE...] -- reason``
+    Comment-only line: waives the named rules on the next line that
+    carries code (stacked directives all bind to the same line).
+
+``# nrplint: disable-file=RULE[,RULE...] -- reason``
+    Anywhere in the file: waives the named rules for the whole file.
+
+The ``-- reason`` justification is part of the contract: the engine treats
+a directive without one as inactive (the finding stays visible with a
+hint), so every waiver in the tree documents *why* the invariant does not
+apply.  This mirrors how the paper-level invariants themselves work — an
+exact float compare or an argument-mutating prune kernel is only
+acceptable with an argument for its correctness.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Directive", "Suppressions", "parse_suppressions"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*nrplint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_*,\s\-]+?)\s*(?:--\s*(?P<reason>.+?)\s*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed directive (``reason`` may be empty → inactive)."""
+
+    kind: str
+    rules: frozenset[str]
+    reason: str
+    line: int
+
+    def covers(self, rule: str) -> bool:
+        return "all" in self.rules or rule in self.rules
+
+
+class Suppressions:
+    """Per-file directive index with line-level lookup."""
+
+    def __init__(
+        self, by_line: dict[int, list[Directive]], file_wide: list[Directive]
+    ) -> None:
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    def lookup(self, rule: str, line: int) -> Directive | None:
+        """The directive waiving ``rule`` at ``line``, if any."""
+        for directive in self._by_line.get(line, ()):
+            if directive.covers(rule):
+                return directive
+        for directive in self._file_wide:
+            if directive.covers(rule):
+                return directive
+        return None
+
+    def all_directives(self) -> list[Directive]:
+        out = list(self._file_wide)
+        for directives in self._by_line.values():
+            out.extend(directives)
+        return sorted(out, key=lambda d: d.line)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Tokenize ``source`` and index its nrplint directives."""
+    comments: list[tuple[int, str]] = []  # (line, text)
+    code_lines: list[int] = []  # lines carrying at least one code token
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return Suppressions({}, [])
+    skip = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append((tok.start[0], tok.string))
+        elif tok.type not in skip:
+            code_lines.append(tok.start[0])
+    code_lines = sorted(set(code_lines))
+
+    by_line: dict[int, list[Directive]] = {}
+    file_wide: list[Directive] = []
+    for line, text in comments:
+        match = _DIRECTIVE_RE.match(text.strip())
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        directive = Directive(
+            kind=match.group("kind"),
+            rules=rules,
+            reason=(match.group("reason") or "").strip(),
+            line=line,
+        )
+        if directive.kind == "disable-file":
+            file_wide.append(directive)
+        elif directive.kind == "disable-next-line":
+            target = next((ln for ln in code_lines if ln > line), None)
+            if target is not None:
+                by_line.setdefault(target, []).append(directive)
+        else:
+            by_line.setdefault(line, []).append(directive)
+    return Suppressions(by_line, file_wide)
