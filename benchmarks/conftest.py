@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro import obs
+from repro.resilience.atomic import atomic_write_text
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
 QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "20"))
@@ -46,14 +47,17 @@ def save_report(name: str, text: str) -> None:
     then resets the registry so the next benchmark starts from zero.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    # Atomic (temp + rename) so an interrupted run never leaves a torn
+    # artefact behind for tooling that diffs results directories.
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
     registry = obs.registry()
     if registry.enabled:
         document = registry.to_json()
         document["benchmark"] = name
         document["config"] = {"scale": SCALE, "queries": QUERIES}
-        (RESULTS_DIR / f"{name}.metrics.json").write_text(
-            json.dumps(document, indent=1) + "\n", encoding="utf-8"
+        atomic_write_text(
+            RESULTS_DIR / f"{name}.metrics.json",
+            json.dumps(document, indent=1) + "\n",
         )
         registry.reset()
     print(f"\n{text}")

@@ -14,7 +14,7 @@ See README.md for the full tour and DESIGN.md for the system inventory.
 
 from repro.core.change_detection import ChangeDetector, DetectedChange
 from repro.core.index import IndexSizeInfo, NRPIndex, build_index
-from repro.core.maintenance import IndexMaintainer, MaintenanceReport
+from repro.core.maintenance import IndexMaintainer, MaintenanceReport, replay_wal
 from repro.core.query import QueryResult, QueryStats
 from repro.core.serialization import load_index, save_index
 from repro.validation.montecarlo import estimate_reliability, validate_query_result
@@ -38,6 +38,7 @@ __all__ = [
     "build_index",
     "IndexSizeInfo",
     "IndexMaintainer",
+    "replay_wal",
     "MaintenanceReport",
     "ChangeDetector",
     "DetectedChange",

@@ -12,6 +12,8 @@ import heapq
 import math
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro.resilience.degraded import mean_shortest_path
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.graph import StochasticGraph
     from repro.stats.normal import Normal
@@ -62,22 +64,17 @@ def dijkstra(
     return dist, parent
 
 
-def _reconstruct(parent: dict[int, int], source: int, target: int) -> list[int]:
-    path = [target]
-    while path[-1] != source:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return path
-
-
 def shortest_mean_path(
     graph: "StochasticGraph", source: int, target: int
 ) -> tuple[float, list[int]]:
-    """Minimum-mean path and its mean travel time."""
-    dist, parent = dijkstra(graph, source, target=target)
-    if target not in dist:
-        raise ValueError(f"no path from {source} to {target}")
-    return dist[target], _reconstruct(parent, source, target)
+    """Minimum-mean path and its mean travel time.
+
+    Delegates to :func:`repro.resilience.degraded.mean_shortest_path` —
+    the same routine serves as the engine's degraded-mode fallback, so
+    there is exactly one mean-Dijkstra in the codebase (a regression test
+    pins the two entry points to identical answers).
+    """
+    return mean_shortest_path(graph, source, target)
 
 
 def mean_distance(graph: "StochasticGraph", source: int) -> dict[int, float]:

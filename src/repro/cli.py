@@ -7,11 +7,20 @@ Commands
 - ``query``  — answer RSP queries against a saved index; ``--trace`` /
   ``--metrics`` / ``--profile`` / ``--slow-ms`` surface the observability
   layer (see docs/observability.md).
-- ``update`` — apply a travel-time distribution change to a saved index.
+- ``update`` — apply a travel-time distribution change to a saved index
+  (journaled through the maintenance WAL; see docs/resilience.md).
+- ``index``  — saved-index tooling; ``index verify`` checks framing,
+  checksum, and structure without building the index.
 - ``bench``  — quick per-query latency comparison of NRP vs the baselines.
 - ``obs``    — observability tooling; ``obs dump`` exercises build /
   query / maintenance with full observation on and dumps the metrics
   registry as JSON or Prometheus text.
+
+Exit codes: 0 success; 2 usage errors; damaged index files map the typed
+taxonomy of :mod:`repro.resilience.errors` to distinct codes instead of
+tracebacks — 3 corrupt, 4 truncated, 5 wrong/unknown format (``index
+verify`` itself uses the compact 0 ok / 1 damaged / 2 unreadable
+contract expected by scripting).
 """
 
 from __future__ import annotations
@@ -28,14 +37,52 @@ from repro import obs
 
 from repro.baselines.dijkstra import approximate_diameter
 from repro.core.index import NRPIndex
-from repro.core.maintenance import IndexMaintainer
-from repro.core.serialization import load_index, save_index
+from repro.core.maintenance import IndexMaintainer, replay_wal
+from repro.core.serialization import load_index, save_index, verify_index
 from repro.experiments.reporting import format_bytes, format_seconds, format_table
 from repro.network.datasets import DATASETS, make_dataset
 from repro.network.dimacs import apply_co, read_co, read_gr
 from repro.network.generators import assign_random_cv
+from repro.resilience.errors import (
+    IndexCorruptError,
+    IndexFormatError,
+    IndexTruncatedError,
+    QueryValidationError,
+)
+from repro.resilience.wal import WriteAheadLog
 
 __all__ = ["main", "build_parser"]
+
+#: ``main``'s mapping from typed index-file damage to exit codes.
+EXIT_CORRUPT = 3
+EXIT_TRUNCATED = 4
+EXIT_FORMAT = 5
+
+
+def _wal_for(index_path: Path) -> WriteAheadLog:
+    return WriteAheadLog(index_path.with_name(index_path.name + ".wal"))
+
+
+def _open_with_recovery(index_path: Path):
+    """Load a saved index, replaying any interrupted maintenance batch.
+
+    The replay protocol mirrors a live update: re-apply pending batches,
+    durably re-save, commit, truncate (docs/resilience.md).
+    """
+    index = load_index(index_path)
+    wal = _wal_for(index_path)
+    replayed = replay_wal(index, wal)
+    if replayed:
+        save_index(index, index_path)
+        for lsn in replayed:
+            wal.commit(lsn)
+        print(
+            f"recovered {len(replayed)} interrupted maintenance "
+            f"batch(es) from {wal.path.name}",
+            file=sys.stderr,
+        )
+    wal.truncate()
+    return index
 
 
 def _load_network(args: argparse.Namespace):
@@ -161,7 +208,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         obs.slow_query_log().configure(args.slow_ms / 1000.0)
         logging.basicConfig(stream=sys.stderr, format="%(name)s: %(message)s")
         logging.getLogger(obs.SLOW_QUERY_LOGGER).setLevel(logging.WARNING)
-    index = load_index(args.index)
+    index = _open_with_recovery(args.index)
     queries: list[tuple[int, int, float]]
     if args.random:
         queries = _random_queries(index, args.random, args.alpha, args.seed)
@@ -172,21 +219,31 @@ def cmd_query(args: argparse.Namespace) -> int:
         queries = [(args.source, args.target, args.alpha)]
     from repro.core.query import QueryStats
 
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
     stats = QueryStats() if args.stats else None
     profiler = obs.SamplingProfiler() if args.profile else None
+
+    def run_workload():
+        if deadline_s is None:
+            return index.query_batch(queries, stats=stats)
+        return [
+            index.query(s, t, alpha, stats=stats, deadline_s=deadline_s)
+            for s, t, alpha in queries
+        ]
+
     start = time.perf_counter()
     if profiler is not None:
         with profiler:
-            results = index.query_batch(queries, stats=stats)
+            results = run_workload()
     else:
-        results = index.query_batch(queries, stats=stats)
+        results = run_workload()
     elapsed = time.perf_counter() - start
     rows = [
         [
             r.source,
             r.target,
             f"{r.alpha:.3f}",
-            f"{r.value:.2f}",
+            f"{r.value:.2f}" + (" *" if r.degraded else ""),
             f"{r.mu:.2f}",
             f"{r.variance:.2f}",
             "->".join(map(str, r.path)) if args.show_paths else f"{len(r.path)} vertices",
@@ -201,6 +258,14 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"({format_seconds(elapsed / len(results))}/query)",
         )
     )
+    degraded = sum(1 for r in results if r.degraded)
+    if degraded:
+        print(
+            f"* {degraded} of {len(results)} queries blew the "
+            f"{args.deadline_ms:g} ms deadline and were answered by the "
+            f"mean-only fallback (valid path, optimal only at alpha=0.5)",
+            file=sys.stderr,
+        )
     if stats is not None:
         print(
             format_table(
@@ -268,10 +333,18 @@ def cmd_obs_dump(args: argparse.Namespace) -> int:
 
 
 def cmd_update(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = _open_with_recovery(args.index)
     variance = args.sigma * args.sigma
-    report = IndexMaintainer(index).update_edge(args.u, args.v, args.mu, variance)
+    wal = _wal_for(args.index)
+    # WAL protocol: journal, apply in memory, durably save, then commit —
+    # a crash anywhere in between either replays or rolls back on reopen.
+    report = IndexMaintainer(index, wal=wal).update_edge(
+        args.u, args.v, args.mu, variance
+    )
     save_index(index, args.index)
+    if report.wal_lsn is not None:
+        wal.commit(report.wal_lsn)
+    wal.truncate()
     print(
         format_table(
             ["metric", "value"],
@@ -283,6 +356,34 @@ def cmd_update(args: argparse.Namespace) -> int:
                 ["repair time", format_seconds(report.seconds)],
             ],
             title="Index updated in place",
+        )
+    )
+    return 0
+
+
+def cmd_index_verify(args: argparse.Namespace) -> int:
+    """0 = intact, 1 = damaged (corrupt/truncated), 2 = unreadable."""
+    try:
+        report = verify_index(args.path)
+    except (IndexCorruptError, IndexTruncatedError) as exc:
+        print(f"damaged: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except (IndexFormatError, FileNotFoundError, IsADirectoryError) as exc:
+        print(f"unreadable: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["file", str(args.path)],
+                ["format", report["format"]],
+                ["bytes", report["bytes"]],
+                ["checksummed", report["checksummed"]],
+                ["vertices", report["vertices"]],
+                ["edges", report["edges"]],
+                ["planes", ", ".join(report["planes"])],
+            ],
+            title="Index file verified",
         )
     )
     return 0
@@ -374,6 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="log any query slower than this many milliseconds (stderr)",
     )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="per-query latency budget; over-budget queries fall back to "
+        "the mean-only degraded answer instead of failing",
+    )
     p_query.set_defaults(fn=cmd_query)
 
     p_update = sub.add_parser("update", help="change one edge's distribution")
@@ -383,6 +490,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_update.add_argument("--mu", type=float, required=True)
     p_update.add_argument("--sigma", type=float, required=True)
     p_update.set_defaults(fn=cmd_update)
+
+    p_index = sub.add_parser("index", help="saved-index tooling")
+    index_sub = p_index.add_subparsers(dest="index_command", required=True)
+    p_verify = index_sub.add_parser(
+        "verify",
+        help="check a saved index's framing, checksum, and structure "
+        "(exit 0 intact / 1 damaged / 2 unreadable)",
+    )
+    p_verify.add_argument("path", type=Path, help="saved index file")
+    p_verify.set_defaults(fn=cmd_index_verify)
 
     p_bench = sub.add_parser("bench", help="quick latency comparison")
     _add_network_options(p_bench)
@@ -429,7 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except IndexCorruptError as exc:
+        print(f"error: corrupt index file: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+    except IndexTruncatedError as exc:
+        print(f"error: truncated index file: {exc}", file=sys.stderr)
+        return EXIT_TRUNCATED
+    except IndexFormatError as exc:
+        print(f"error: unreadable index format: {exc}", file=sys.stderr)
+        return EXIT_FORMAT
+    except QueryValidationError as exc:
+        print(f"error: invalid query: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,7 +41,7 @@ The package is layered (see ``docs/architecture.md``):
 from repro.core.index import NRPIndex, build_index
 from repro.core.engine import QueryEngine
 from repro.core.labelstore import LabelStore
-from repro.core.maintenance import IndexMaintainer
+from repro.core.maintenance import IndexMaintainer, replay_wal
 from repro.core.change_detection import ChangeDetector
 from repro.core.pathsummary import PathSummary
 from repro.core.query import QueryResult, QueryStats
@@ -52,6 +52,7 @@ __all__ = [
     "QueryEngine",
     "LabelStore",
     "IndexMaintainer",
+    "replay_wal",
     "ChangeDetector",
     "PathSummary",
     "QueryResult",

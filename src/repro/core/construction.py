@@ -31,6 +31,7 @@ from repro.core.pathsummary import PathSummary, concatenate, edge_path
 from repro.core.pruning import LabelPathSet
 from repro.core.refine import Refiner
 from repro.obs import get_registry, get_tracer
+from repro.resilience.failpoints import failpoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.covariance import CovarianceStore
@@ -127,6 +128,7 @@ def build_edge_sets(
                     store.set_paths(key, refiner.refine(candidates))
                     store.add_center(key, v)
         span.set(edge_sets=len(store.sets), paths=store.num_paths())
+    failpoint("construction.edge_sets.built")
     registry = get_registry()
     if registry.enabled:
         registry.counter("construction.edge_set_paths").inc(store.num_paths())
@@ -200,6 +202,7 @@ def build_labels(
                 entry[u] = label_store.add_entry((v, u), paths)
             labels[v] = entry
         span.set(entries=len(label_store), paths=label_store.num_paths())
+    failpoint("construction.labels.built")
     registry = get_registry()
     if registry.enabled:
         registry.counter("construction.label_entries").inc(len(label_store))

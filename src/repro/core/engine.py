@@ -25,9 +25,11 @@ import math
 from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
-from repro.core.pathsummary import PathSummary, concatenate, trivial_path
+from repro.core.pathsummary import PathSummary, concatenate, edge_path, trivial_path
 from repro.core.pruning import LabelPathSet, prune_correlated, prune_pair
 from repro.obs import get_registry, get_slow_query_log, get_tracer
+from repro.resilience.degraded import mean_shortest_path
+from repro.resilience.errors import DeadlineExpired, QueryValidationError
 from repro.stats.zscores import z_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -137,6 +139,7 @@ class QueryEngine:
         self._c_sep_hit = reg.counter("engine.separator_cache.hit")
         self._c_sep_miss = reg.counter("engine.separator_cache.miss")
         self._c_slow = reg.counter("engine.slow_queries")
+        self._c_degraded = reg.counter("resilience.query.degraded")
         self._t_answer = reg.timer("engine.answer")
         self._t_plan = reg.timer("engine.plan")
         self._t_execute = reg.timer("engine.execute")
@@ -183,15 +186,23 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _validate(self, alpha: float) -> None:
         if not 0.0 < alpha < 1.0:
-            raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+            raise QueryValidationError(f"alpha must lie in (0, 1), got {alpha}")
         index = self.index
         if index.z_max is not None:
             z = self.z_of(alpha)
             if abs(z) > index.z_max:
-                raise ValueError(
+                raise QueryValidationError(
                     f"alpha={alpha} needs |Z|={abs(z):.3f} > the index's practical "
                     f"refine bound z_max={index.z_max} (labels would be "
                     f"incomplete); build with a larger z_max or z_max=None"
+                )
+
+    def _validate_nodes(self, s: int, t: int) -> None:
+        graph = self.index.graph
+        for name, v in (("source", s), ("target", t)):
+            if not graph.has_vertex(v):
+                raise QueryValidationError(
+                    f"{name} vertex {v} is not in the indexed graph"
                 )
 
     def plan(
@@ -356,8 +367,19 @@ class QueryEngine:
             raise ValueError("empty label entry")
         return best_value, best_i
 
-    def execute(self, plan: QueryPlan, stats: "QueryStats") -> "QueryResult":
-        """Run the concatenation scan of one plan, accumulating ``stats``."""
+    def execute(
+        self,
+        plan: QueryPlan,
+        stats: "QueryStats",
+        *,
+        deadline_at: "float | None" = None,
+    ) -> "QueryResult":
+        """Run the concatenation scan of one plan, accumulating ``stats``.
+
+        ``deadline_at`` (absolute ``perf_counter`` time) is checked between
+        hoplink tasks; expiry raises :class:`DeadlineExpired`, which
+        :meth:`answer` converts into the degraded mean-only fallback.
+        """
         from repro.core.query import QueryResult
 
         s, t, alpha = plan.s, plan.t, plan.alpha
@@ -381,6 +403,11 @@ class QueryEngine:
         best_task: HoplinkTask | None = None
         best_i = best_j = -1
         for task in plan.tasks:
+            if deadline_at is not None and perf_counter() > deadline_at:
+                raise DeadlineExpired(
+                    f"query ({s}, {t}, alpha={alpha}) blew its deadline "
+                    f"mid-scan"
+                )
             stats.label_lookups += 2
             stats.candidate_paths += len(task.set_sh) + len(task.set_ht)
             stats.surviving_paths += len(task.idx_sh) + len(task.idx_ht)
@@ -412,6 +439,7 @@ class QueryEngine:
         stats: "QueryStats | None" = None,
         *,
         use_cache: bool = False,
+        deadline_s: "float | None" = None,
     ) -> "QueryResult":
         """Algorithm 1: plan (or, on the batch path, reuse) and execute.
 
@@ -421,11 +449,22 @@ class QueryEngine:
         Algorithm 1/2 counters, and over-threshold query log lines —
         without changing any returned value (see the golden suite, which
         runs bit-identical with tracing on).
+
+        ``deadline_s`` (seconds) arms the graceful-degradation guard: if
+        planning plus the hoplink scan exceed the budget the query is
+        answered from the exact mean-only fallback instead of failing,
+        flagged ``degraded=True`` and counted in
+        ``resilience.query.degraded`` (docs/resilience.md).
         """
         from repro.core.query import QueryStats
 
         if stats is None:
             stats = QueryStats()
+        if deadline_s is not None:
+            self._validate_nodes(s, t)
+            return self._answer_deadline(
+                s, t, alpha, use_pruning, stats, use_cache, deadline_s
+            )
         if not (
             self._registry.enabled
             or self._tracer.enabled
@@ -434,6 +473,67 @@ class QueryEngine:
             plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
             return self.execute(plan, stats)
         return self._answer_observed(s, t, alpha, use_pruning, stats, use_cache)
+
+    def _answer_deadline(
+        self,
+        s: int,
+        t: int,
+        alpha: float,
+        use_pruning: bool,
+        stats: "QueryStats",
+        use_cache: bool,
+        deadline_s: float,
+    ) -> "QueryResult":
+        """Deadline-armed twin of :meth:`answer` (same answers when on time)."""
+        deadline_at = perf_counter() + deadline_s
+        try:
+            self._validate(alpha)  # validation errors are not deadline misses
+            plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
+            if perf_counter() > deadline_at:
+                raise DeadlineExpired(
+                    f"query ({s}, {t}, alpha={alpha}) blew its deadline "
+                    f"during planning"
+                )
+            return self.execute(plan, stats, deadline_at=deadline_at)
+        except DeadlineExpired:
+            return self._degraded_answer(s, t, alpha, stats)
+
+    def _degraded_answer(
+        self, s: int, t: int, alpha: float, stats: "QueryStats"
+    ) -> "QueryResult":
+        """The mean-only fallback: a valid path, exact moments, flagged."""
+        from repro.core.query import QueryResult
+
+        index = self.index
+        if self._registry.enabled:
+            self._c_degraded.inc()
+        with self._tracer.span("engine.degraded_fallback", s=s, t=t, alpha=alpha):
+            if s == t:
+                return QueryResult(
+                    s, t, alpha, 0.0, 0.0, 0.0, trivial_path(s), stats, degraded=True
+                )
+            _, route = mean_shortest_path(index.graph, s, t)
+            cov = index.cov if index.correlated else None
+            window = index.window
+            graph = index.graph
+            summary: PathSummary | None = None
+            for u, v in zip(route, route[1:]):
+                weight = graph.edge(u, v)
+                leg = edge_path(u, v, weight.mu, weight.variance, window > 0)
+                summary = (
+                    leg
+                    if summary is None
+                    else concatenate(summary, leg, u, cov, window)
+                )
+            assert summary is not None  # route has >= 2 vertices when s != t
+            z = self.z_of(alpha)
+            value = summary.mu + (
+                z * math.sqrt(summary.var) if summary.var > 0.0 else 0.0
+            )
+            return QueryResult(
+                s, t, alpha, value, summary.mu, summary.var, summary, stats,
+                degraded=True,
+            )
 
     def _answer_observed(
         self,

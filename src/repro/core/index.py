@@ -285,14 +285,18 @@ class NRPIndex:
         *,
         use_pruning: bool = True,
         stats: QueryStats | None = None,
+        deadline_s: "float | None" = None,
     ) -> QueryResult:
         """Answer one RSP query (Algorithm 1).
 
         ``use_pruning=False`` disables Algorithm 2 / Proposition 5 — the
         "NRP-w/o pruning" ablation of Figure 9.  Pass a :class:`QueryStats`
         to accumulate hoplink/concatenation counters across a workload.
+        ``deadline_s`` arms the graceful-degradation guard: over-budget
+        queries come back as the exact mean-only fallback with
+        ``degraded=True`` instead of failing (docs/resilience.md).
         """
-        return self.engine.answer(s, t, alpha, use_pruning, stats)
+        return self.engine.answer(s, t, alpha, use_pruning, stats, deadline_s=deadline_s)
 
     def explain(
         self, s: int, t: int, alpha: float, *, use_pruning: bool = True

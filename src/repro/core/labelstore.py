@@ -33,6 +33,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 from repro.obs import get_registry, get_tracer
+from repro.resilience.failpoints import failpoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pathsummary import PathSummary
@@ -230,6 +231,7 @@ class ColumnarPathStore:
             for key, info in self._entries.items():
                 remap[info.start] = self._entries[key] = self._move_slice(old, info)
             self._after_compact(remap)
+        failpoint("labelstore.compacted")
         registry = get_registry()
         if registry.enabled:
             registry.counter("labelstore.compactions").inc()

@@ -13,6 +13,16 @@ All mutation goes through the storage layer (``EdgeSetStore.set_paths`` and
 ``IndexPlane.set_label_entry``), the engine's memoised plans are
 invalidated afterwards, and stores left with enough orphaned columns are
 compacted.
+
+Crash safety: construct the maintainer with a
+:class:`repro.resilience.wal.WriteAheadLog` and every batch is journaled
+(and fsynced) *before* any store is touched.  The maintainer never
+commits — after the caller has durably re-saved the index it calls
+``wal.commit(report.wal_lsn)`` and ``wal.truncate()``.  On reopen,
+:func:`replay_wal` re-applies any appended-but-uncommitted batch, so an
+interrupted update either completes exactly or rolls back exactly
+(records carry absolute weights and Algorithms 4-5 are deterministic, so
+replay after a post-save crash is idempotent).
 """
 
 from __future__ import annotations
@@ -26,8 +36,10 @@ from repro.core.construction import build_label_paths
 from repro.core.pathsummary import PathSummary, concatenate, edge_path
 from repro.core.index import IndexPlane, NRPIndex
 from repro.obs import get_registry, get_tracer
+from repro.resilience.failpoints import failpoint
+from repro.resilience.wal import WriteAheadLog
 
-__all__ = ["IndexMaintainer", "MaintenanceReport"]
+__all__ = ["IndexMaintainer", "MaintenanceReport", "replay_wal"]
 
 EdgeKey = tuple[int, int]
 
@@ -43,6 +55,8 @@ class MaintenanceReport:
     edge_sets_changed: int = 0
     labels_rebuilt: int = 0
     seconds: float = 0.0
+    #: LSN the batch was journaled under, when a WAL is attached.
+    wal_lsn: "int | None" = None
 
 
 def _signature(
@@ -53,10 +67,15 @@ def _signature(
 
 
 class IndexMaintainer:
-    """Applies travel-time distribution changes to a live :class:`NRPIndex`."""
+    """Applies travel-time distribution changes to a live :class:`NRPIndex`.
 
-    def __init__(self, index: NRPIndex) -> None:
+    ``wal`` (optional) makes updates crash-safe: see the module docstring
+    for the append / apply / caller-commits protocol.
+    """
+
+    def __init__(self, index: NRPIndex, wal: "WriteAheadLog | None" = None) -> None:
         self.index = index
+        self.wal = wal
 
     # ------------------------------------------------------------------
     # Public API
@@ -78,6 +97,11 @@ class IndexMaintainer:
         report = MaintenanceReport()
         tracer = get_tracer()
         with tracer.span("maintenance.update_batch", changes=len(changes)) as span:
+            if self.wal is not None:
+                report.wal_lsn = self.wal.append_batch(
+                    [(u, v, mu, variance) for u, v, mu, variance in changes]
+                )
+                failpoint("maintenance.batch.logged", self.wal.path)
             seeds: list[EdgeKey] = []
             for u, v, mu, variance in changes:
                 index.graph.set_edge_weight(u, v, mu, variance)
@@ -95,7 +119,9 @@ class IndexMaintainer:
                     ):
                         self._rebuild_labels(plane, roots, report)
                 self._maybe_compact(plane)
+                failpoint("maintenance.plane.updated")
             index.engine.invalidate_plans()
+            failpoint("maintenance.batch.applied")
             span.set(
                 edge_sets_recomputed=report.edge_sets_recomputed,
                 edge_sets_changed=report.edge_sets_changed,
@@ -234,3 +260,32 @@ class IndexMaintainer:
                     ),
                 )
             report.labels_rebuilt += 1
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+def replay_wal(index: NRPIndex, wal: WriteAheadLog) -> list[int]:
+    """Re-apply every appended-but-uncommitted batch to ``index``.
+
+    Returns the replayed LSNs in order.  The caller must then durably
+    re-save the index, ``wal.commit`` each returned LSN, and
+    ``wal.truncate()`` — the same protocol as a live update.  Replay is
+    idempotent (absolute weights, deterministic repair), so recovering
+    after a crash that happened *after* the index was saved but before
+    the commit record landed converges to the same bits.
+    """
+    pending = wal.pending()
+    if not pending:
+        return []
+    # Replaying must not re-journal: apply through a WAL-less maintainer.
+    maintainer = IndexMaintainer(index)
+    replayed: list[int] = []
+    with get_tracer().span("maintenance.replay_wal", batches=len(pending)):
+        for lsn, changes in pending:
+            maintainer.update_batch(list(changes))
+            replayed.append(lsn)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("resilience.wal.replayed").inc(len(replayed))
+    return replayed

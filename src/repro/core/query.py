@@ -108,6 +108,10 @@ class QueryResult:
     variance: float
     summary: PathSummary
     stats: QueryStats = field(default_factory=QueryStats)
+    #: True when a deadline expired and this is the mean-only fallback
+    #: answer (a valid path with exact moments, but optimal only at
+    #: alpha = 0.5) — see docs/resilience.md.
+    degraded: bool = False
 
     @property
     def path(self) -> list[int]:

@@ -1,33 +1,49 @@
 """Index persistence: save/load an :class:`NRPIndex` without pickle.
 
-The index is written as a single JSON document (optionally gzipped by file
-extension).  Path summaries form a DAG through their provenance records —
-label paths share subpath objects with the edge-driven sets — so summaries
-are dumped once each, topologically, and provenance is stored as indices
-into that table.  Loading restores the full structure, including vertex
-recovery and correlated head/tail windows, bit-for-bit for query purposes.
+Path summaries form a DAG through their provenance records — label paths
+share subpath objects with the edge-driven sets — so summaries are dumped
+once each, topologically, and provenance is stored as indices into that
+table.  Loading restores the full structure, including vertex recovery
+and correlated head/tail windows, bit-for-bit for query purposes.
 
-Version 2 (the current writer) mirrors the in-memory columnar storage
-layer: the summary table is stored as struct-of-arrays columns (``mu`` /
-``var`` / endpoint / flattened window arrays), and each plane's label
-section persists the precomputed Definition-10/11 pruning-statistic
-columns, so loading rebuilds every :class:`LabelStore` without the O(k^2)
-bound-reference recomputation.  Version-1 files (row-per-summary, no
-stats) remain readable.
+Version 3 (the current writer) is *crash-safe and self-verifying*: the
+file is a one-line JSON header (magic, format, per-section byte lengths,
+sha256 over the payload) followed by the concatenated section payloads
+(``meta`` / ``graph`` / ``covariances`` / ``planes`` / ``summaries``,
+each a JSON document).  Writes go through the atomic temp + fsync +
+rename helper of :mod:`repro.resilience.atomic`, so a reader observes
+either the old or the new index, never a torn one; :func:`load_index`
+verifies lengths and checksum and raises the typed taxonomy of
+:mod:`repro.resilience.errors` (:class:`IndexFormatError` /
+:class:`IndexTruncatedError` / :class:`IndexCorruptError`) instead of
+leaking ``json`` or ``KeyError`` internals.
 
-The graph and covariance store are embedded so a loaded index is
-self-contained (maintenance keeps working).
+The section *content* is unchanged from version 2 (columnar summary
+table, persisted Definition-10/11 pruning-statistic columns); version-1
+(row-per-summary) and version-2 (single unframed JSON document) files
+remain readable.  The graph and covariance store are embedded so a
+loaded index is self-contained (maintenance keeps working).
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
+import zlib
 from pathlib import Path
 from time import perf_counter
 from typing import Any
 
 from repro.obs import get_registry, get_tracer
+from repro.resilience.atomic import atomic_write_bytes
+from repro.resilience.errors import (
+    IndexCorruptError,
+    IndexFileError,
+    IndexFormatError,
+    IndexTruncatedError,
+)
+from repro.resilience.failpoints import failpoint
 
 from repro.core.engine import QueryEngine
 from repro.core.index import IndexPlane, NRPIndex
@@ -38,10 +54,16 @@ from repro.network.graph import StochasticGraph
 from repro.treedec.decomposition import TreeDecomposition
 from repro.treedec.ordering import contract_in_order
 
-__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+__all__ = ["save_index", "load_index", "verify_index", "FORMAT_VERSION"]
 
-FORMAT_VERSION = 2
-_READABLE_FORMATS = (1, 2)
+FORMAT_VERSION = 3
+_READABLE_FORMATS = (1, 2, 3)
+
+_MAGIC = "nrp-index"
+_HEADER_PREFIX = b'{"magic":'
+#: Section order inside the v3 payload; ``meta`` carries the top-level
+#: scalars (window / z_max / order), the rest mirror the v2 document.
+_SECTIONS = ("meta", "graph", "covariances", "planes", "summaries")
 
 
 # ----------------------------------------------------------------------
@@ -251,33 +273,46 @@ def _decode_plane(
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
-def save_index(index: NRPIndex, path: str | Path) -> None:
+def save_index(index: NRPIndex, path: str | Path, *, retries: int = 0) -> None:
     """Serialise the index (graph + covariances + all planes) to ``path``.
 
     A ``.gz`` suffix selects gzip compression.  Writes the current
-    (columnar, version-2) format.
+    (framed, checksummed, version-3) format through the atomic
+    temp + fsync + rename helper: a crash at any point leaves either the
+    previous file or the complete new one.  ``retries`` re-attempts the
+    write that many extra times on transient ``OSError``.
     """
     started = perf_counter()
     with get_tracer().span("serialization.save", path=str(path)) as span:
-        raw = _encode_document(index)
+        raw = _encode_framed(index)
         span.set(bytes=len(raw))
+    failpoint("serialization.save.encoded")
     path = Path(path)
     if path.suffix == ".gz":
-        with gzip.open(path, "wb") as handle:
-            handle.write(raw)
+        # mtime=0 keeps saved bytes deterministic (crash-consistency tests
+        # compare whole-file checksums across replays).
+        data = gzip.compress(raw, mtime=0)
     else:
-        path.write_bytes(raw)
+        data = raw
+    atomic_write_bytes(
+        path, data, retries=retries, failpoint_prefix="serialization.save"
+    )
     registry = get_registry()
     if registry.enabled:
-        registry.counter("serialization.saved_bytes").inc(len(raw))
+        registry.counter("serialization.saved_bytes").inc(len(data))
         registry.timer("serialization.save").observe(perf_counter() - started)
 
 
-def _encode_document(index: NRPIndex) -> bytes:
+def _encode_sections(index: NRPIndex) -> dict[str, Any]:
+    """The five v3 sections as JSON-ready objects."""
     table = _SummaryTable()
     planes = [_encode_plane(plane, table) for plane in index.planes()]
-    document = {
-        "format": FORMAT_VERSION,
+    return {
+        "meta": {
+            "window": index.window,
+            "z_max": index.z_max,
+            "order": list(index.td.order),
+        },
         "graph": {
             "vertices": sorted(index.graph.vertices()),
             "edges": [
@@ -290,28 +325,53 @@ def _encode_document(index: NRPIndex) -> bytes:
             ],
         },
         "covariances": [[list(e), list(f), c] for e, f, c in index.cov.items()],
-        "window": index.window,
-        "z_max": index.z_max,
-        "order": list(index.td.order),
         "planes": planes,
         "summaries": table.columns(),
     }
-    return json.dumps(document, separators=(",", ":")).encode("utf-8")
+
+
+def _encode_framed(index: NRPIndex) -> bytes:
+    """Header line (lengths + sha256) followed by the section payloads."""
+    sections = _encode_sections(index)
+    blobs = [
+        json.dumps(sections[name], separators=(",", ":")).encode("utf-8")
+        for name in _SECTIONS
+    ]
+    payload = b"".join(blobs)
+    header = {
+        "magic": _MAGIC,
+        "format": FORMAT_VERSION,
+        "sections": [[name, len(blob)] for name, blob in zip(_SECTIONS, blobs)],
+        "payload_bytes": len(payload),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    return json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n" + payload
 
 
 def load_index(path: str | Path) -> NRPIndex:
-    """Load an index written by :func:`save_index` (format 1 or 2)."""
+    """Load an index written by :func:`save_index` (format 1, 2, or 3).
+
+    Raises the typed taxonomy of :mod:`repro.resilience.errors` on any
+    damage: :class:`IndexFormatError` for files that are not a readable
+    NRP index, :class:`IndexTruncatedError` for torn writes, and
+    :class:`IndexCorruptError` for checksum or structure damage.  A
+    damaged file never yields a wrong index.
+    """
     started = perf_counter()
     path = Path(path)
-    if path.suffix == ".gz":
-        with gzip.open(path, "rb") as handle:
-            raw = handle.read()
-    else:
-        raw = path.read_bytes()
+    raw = _read_raw(path)
     with get_tracer().span(
         "serialization.load", path=str(path), bytes=len(raw)
     ):
-        index = _decode_document(json.loads(raw))
+        document = _parse_document(raw)
+        try:
+            index = _decode_document(document)
+        except IndexFileError:
+            raise
+        except (KeyError, ValueError, TypeError, AttributeError, IndexError) as exc:
+            raise IndexCorruptError(
+                f"index document is structurally damaged: {exc!r}"
+            ) from exc
     registry = get_registry()
     if registry.enabled:
         registry.counter("serialization.loaded_bytes").inc(len(raw))
@@ -319,10 +379,159 @@ def load_index(path: str | Path) -> NRPIndex:
     return index
 
 
+def verify_index(path: str | Path) -> dict[str, Any]:
+    """Check ``path``'s framing, checksum, and section structure.
+
+    Cheap relative to :func:`load_index` (no index objects are built);
+    returns a report dict on success and raises the same typed taxonomy
+    on damage.  Backs the ``repro index verify`` CLI subcommand.
+    """
+    path = Path(path)
+    raw = _read_raw(path)
+    document = _parse_document(raw)
+    fmt = document["format"]
+    for key in ("graph", "covariances", "planes", "summaries", "window", "order"):
+        if key not in document:
+            raise IndexCorruptError(f"index document is missing section {key!r}")
+    graph = document["graph"]
+    if not isinstance(graph, dict) or "vertices" not in graph or "edges" not in graph:
+        raise IndexCorruptError("graph section is malformed")
+    planes = document["planes"]
+    if not isinstance(planes, list) or not planes:
+        raise IndexCorruptError("index file contains no planes")
+    directions = []
+    for plane in planes:
+        if not isinstance(plane, dict) or "direction" not in plane:
+            raise IndexCorruptError("plane section is malformed")
+        directions.append(plane["direction"])
+    if "high" not in directions:
+        raise IndexCorruptError("index file contains no high plane")
+    return {
+        "format": fmt,
+        "bytes": len(raw),
+        "checksummed": fmt >= 3,
+        "vertices": len(graph["vertices"]),
+        "edges": len(graph["edges"]),
+        "planes": directions,
+    }
+
+
+def _read_raw(path: Path) -> bytes:
+    """The (decompressed) file bytes, with gzip damage typed."""
+    blob = path.read_bytes()
+    if path.suffix != ".gz":
+        return blob
+    try:
+        return gzip.decompress(blob)
+    except EOFError as exc:
+        raise IndexTruncatedError(f"{path}: gzip stream truncated") from exc
+    except (gzip.BadGzipFile, zlib.error) as exc:
+        raise IndexCorruptError(f"{path}: gzip stream damaged: {exc}") from exc
+
+
+def _parse_document(raw: bytes) -> dict[str, Any]:
+    """Raw bytes -> the logical index document, verifying v3 framing."""
+    if not raw:
+        raise IndexTruncatedError("index file is empty")
+    if raw.startswith(_HEADER_PREFIX):
+        return _parse_framed(raw)
+    if _HEADER_PREFIX.startswith(raw):
+        # Strict prefix of the v3 magic: a torn write, not a legacy file.
+        raise IndexTruncatedError("index file cut inside the v3 header magic")
+    if raw[:1] == b"{":
+        # Legacy v1/v2: one unframed JSON document, no checksum.
+        try:
+            document = json.loads(raw)
+        except ValueError as exc:
+            raise IndexCorruptError(
+                f"legacy index document unreadable (corrupt or truncated): {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise IndexFormatError("index document is not a JSON object")
+        fmt = document.get("format")
+        if fmt not in _READABLE_FORMATS:
+            raise IndexFormatError(
+                f"unsupported index format {fmt!r}; "
+                f"this build reads versions {_READABLE_FORMATS}"
+            )
+        return document
+    raise IndexFormatError("not an NRP index file (unrecognised leading bytes)")
+
+
+def _parse_framed(raw: bytes) -> dict[str, Any]:
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise IndexTruncatedError("v3 header line is not terminated")
+    try:
+        header = json.loads(raw[:newline])
+    except ValueError as exc:
+        raise IndexCorruptError(f"v3 header is unreadable: {exc}") from exc
+    if not isinstance(header, dict) or header.get("magic") != _MAGIC:
+        raise IndexFormatError(f"bad magic; expected {_MAGIC!r}")
+    fmt = header.get("format")
+    if fmt not in _READABLE_FORMATS:
+        raise IndexFormatError(
+            f"unsupported index format {fmt!r}; "
+            f"this build reads versions {_READABLE_FORMATS}"
+        )
+    sections = header.get("sections")
+    expected_sha = header.get("sha256")
+    total = header.get("payload_bytes")
+    if (
+        not isinstance(sections, list)
+        or not isinstance(expected_sha, str)
+        or not isinstance(total, int)
+        or not all(
+            isinstance(entry, list)
+            and len(entry) == 2
+            and isinstance(entry[0], str)
+            and isinstance(entry[1], int)
+            and entry[1] >= 0
+            for entry in sections
+        )
+    ):
+        raise IndexCorruptError("v3 header is malformed")
+    if [name for name, _ in sections] != list(_SECTIONS):
+        raise IndexCorruptError("v3 header section table has unexpected entries")
+    if sum(length for _, length in sections) != total:
+        raise IndexCorruptError("v3 section lengths do not sum to payload_bytes")
+    payload = raw[newline + 1 :]
+    if len(payload) < total:
+        raise IndexTruncatedError(
+            f"payload holds {len(payload)} of {total} declared bytes"
+        )
+    if len(payload) > total:
+        raise IndexCorruptError(
+            f"{len(payload) - total} trailing bytes after the declared payload"
+        )
+    actual_sha = hashlib.sha256(payload).hexdigest()
+    if actual_sha != expected_sha:
+        raise IndexCorruptError(
+            f"payload checksum mismatch (stored {expected_sha[:12]}..., "
+            f"computed {actual_sha[:12]}...)"
+        )
+    document: dict[str, Any] = {"format": fmt}
+    cursor = 0
+    for name, length in sections:
+        blob = payload[cursor : cursor + length]
+        cursor += length
+        try:
+            value = json.loads(blob)
+        except ValueError as exc:
+            raise IndexCorruptError(f"section {name!r} is undecodable: {exc}") from exc
+        if name == "meta":
+            if not isinstance(value, dict):
+                raise IndexCorruptError("meta section is not a JSON object")
+            document.update(value)
+        else:
+            document[name] = value
+    return document
+
+
 def _decode_document(document: dict) -> NRPIndex:
     fmt = document.get("format")
     if fmt not in _READABLE_FORMATS:
-        raise ValueError(
+        raise IndexFormatError(
             f"unsupported index format {fmt!r}; "
             f"this build reads versions {_READABLE_FORMATS}"
         )

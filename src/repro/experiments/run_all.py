@@ -15,6 +15,7 @@ import time
 from pathlib import Path
 
 from repro import obs
+from repro.resilience.atomic import atomic_write_text
 
 from repro.experiments.charts import log_bar_chart
 from repro.experiments.figures import (
@@ -203,7 +204,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_metrics:
         obs.registry().enable()
     report = run_all(scale=args.scale, queries=args.queries, seed=args.seed, only=only)
-    args.output.write_text(report, encoding="utf-8")
+    atomic_write_text(args.output, report)
     print(f"wrote {args.output}", file=sys.stderr)
     if not args.no_metrics:
         sidecar = args.metrics_output or args.output.with_suffix(".metrics.json")
@@ -215,9 +216,7 @@ def main(argv: list[str] | None = None) -> int:
             "seed": args.seed,
             "only": sorted(only) if only else None,
         }
-        sidecar.write_text(
-            json.dumps(document, indent=1) + "\n", encoding="utf-8"
-        )
+        atomic_write_text(sidecar, json.dumps(document, indent=1) + "\n")
         print(f"wrote {sidecar}", file=sys.stderr)
     return 0
 

@@ -141,6 +141,9 @@ def _preregister() -> None:
         ("maintenance.labels_rebuilt", "label owners rebuilt top-down"),
         ("serialization.saved_bytes", "bytes written by save_index"),
         ("serialization.loaded_bytes", "bytes read by load_index"),
+        ("resilience.query.degraded", "deadline misses answered by the mean-only fallback"),
+        ("resilience.io.retries", "atomic writes retried after transient OSError"),
+        ("resilience.wal.replayed", "maintenance batches replayed from the WAL on reopen"),
     ):
         reg.counter(name, help)
     for name, help in (

@@ -1,0 +1,73 @@
+"""Resilience layer: crash-safe IO, fault injection, degraded serving.
+
+The production failure model (``docs/resilience.md``) has three legs,
+each answered by one part of this package and wired through storage,
+service, and CLI:
+
+- **Torn or corrupted index files** — :mod:`repro.resilience.atomic`
+  writes via temp + fsync + atomic rename; the format-v3 reader in
+  :mod:`repro.core.serialization` verifies an embedded sha256 and
+  section lengths and raises the typed taxonomy of
+  :mod:`repro.resilience.errors` instead of leaking ``json`` errors.
+- **Maintenance batches that die mid-update** —
+  :mod:`repro.resilience.wal` journals every batch before any label
+  store is touched; replay on reopen completes or rolls back, never
+  half-applies.
+- **Queries that blow their latency budget** — the engine's deadline
+  guard falls back to the exact mean-only path of
+  :mod:`repro.resilience.degraded`, flagged ``degraded=True``.
+
+All of it is testable deterministically through
+:mod:`repro.resilience.failpoints`, a zero-cost-when-disabled hook at
+every IO/commit site.
+
+Layering: this package is a low-level substrate — it may import only
+``repro.network`` and ``repro.obs`` (enforced by nrplint NRP001), so
+``repro.core`` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.atomic import atomic_write_bytes, atomic_write_text
+from repro.resilience.degraded import mean_shortest_path
+from repro.resilience.errors import (
+    DeadlineExpired,
+    IndexCorruptError,
+    IndexFileError,
+    IndexFormatError,
+    IndexTruncatedError,
+    InjectedCrash,
+    InjectedFaultError,
+    QueryValidationError,
+    ResilienceError,
+)
+from repro.resilience.failpoints import (
+    CATALOGUE,
+    FailpointSchedule,
+    FaultAction,
+    failpoint,
+    failpoints,
+)
+from repro.resilience.wal import Change, WriteAheadLog
+
+__all__ = [
+    "ResilienceError",
+    "IndexFileError",
+    "IndexFormatError",
+    "IndexTruncatedError",
+    "IndexCorruptError",
+    "QueryValidationError",
+    "DeadlineExpired",
+    "InjectedFaultError",
+    "InjectedCrash",
+    "CATALOGUE",
+    "FaultAction",
+    "FailpointSchedule",
+    "failpoint",
+    "failpoints",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "mean_shortest_path",
+    "WriteAheadLog",
+    "Change",
+]

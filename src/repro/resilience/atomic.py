@@ -1,0 +1,95 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+Readers of a file written through :func:`atomic_write_bytes` observe
+either the complete old content or the complete new content — never a
+torn intermediate — because the data lands in a same-directory temp
+file, is fsynced, and only then renamed over the target (``os.replace``
+is atomic on POSIX and NTFS); finally the directory entry itself is
+fsynced so the rename survives power loss.
+
+The writer retries transient ``OSError`` (``retries`` attempts beyond
+the first) counting each retry in the ``resilience.io.retries``
+observability counter; fault-injection schedules exercise that path with
+:class:`repro.resilience.errors.InjectedFaultError`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.obs import get_registry
+from repro.resilience.failpoints import failpoint
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def _write_once(path: Path, data: bytes, prefix: str, fsync: bool) -> None:
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        failpoint(f"{prefix}.temp_written", temp)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    failpoint(f"{prefix}.synced", temp)
+    os.replace(temp, path)
+    failpoint(f"{prefix}.renamed", path)
+    if fsync:
+        _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make the rename itself durable; best effort off POSIX."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory handles (e.g. Windows)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: "Path | str",
+    data: bytes,
+    *,
+    fsync: bool = True,
+    retries: int = 0,
+    failpoint_prefix: str = "atomic",
+) -> None:
+    """Atomically replace ``path`` with ``data`` (see module docstring).
+
+    ``failpoint_prefix`` selects which registered failpoint family the
+    write reports through (``<prefix>.temp_written`` / ``.synced`` /
+    ``.renamed``): ``save_index`` passes ``serialization.save``; sidecar
+    and report writers keep the generic ``atomic`` family.
+    """
+    path = Path(path)
+    attempt = 0
+    while True:
+        try:
+            _write_once(path, data, failpoint_prefix, fsync)
+            return
+        except OSError:
+            attempt += 1
+            if attempt > retries:
+                raise
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("resilience.io.retries").inc()
+
+
+def atomic_write_text(
+    path: "Path | str",
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+    retries: int = 0,
+) -> None:
+    """Text twin of :func:`atomic_write_bytes` (same guarantees)."""
+    atomic_write_bytes(
+        path, text.encode(encoding), fsync=fsync, retries=retries
+    )

@@ -1,0 +1,59 @@
+"""Degraded-mode fallback: exact mean-only shortest path.
+
+When a deadline-guarded query blows its latency budget the engine does
+not fail it — it answers from the alpha = 0.5 special case instead: the
+RSP objective degenerates to the mean there, so a plain Dijkstra over
+mean travel times yields a *valid* (connected, loop-free) path whose
+moments are exact under the model; only optimality at the requested
+alpha is surrendered.  The result is flagged ``degraded=True`` so
+callers can retry or surface the downgrade.
+
+This is the fallback pattern of the SOTA engineering literature (exact
+algorithms as the safety net under the fast index); the implementation
+here is the single source of truth — ``repro.baselines.dijkstra``'s
+``shortest_mean_path`` delegates to it, and a regression test pins the
+two to identical answers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.graph import StochasticGraph
+
+__all__ = ["mean_shortest_path"]
+
+
+def mean_shortest_path(
+    graph: "StochasticGraph", source: int, target: int
+) -> tuple[float, list[int]]:
+    """Minimum-mean path and its mean travel time (early-exit Dijkstra)."""
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if v == target:
+            break
+        for w, edge in graph.neighbor_items(v):
+            if w in settled:
+                continue
+            nd = d + edge.mu
+            if nd < dist.get(w, math.inf):
+                dist[w] = nd
+                parent[w] = v
+                heapq.heappush(heap, (nd, w))
+    if target not in settled and target not in dist:
+        raise ValueError(f"no path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return dist[target], path

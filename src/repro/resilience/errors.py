@@ -1,0 +1,90 @@
+"""Typed error taxonomy for the resilience layer.
+
+Persistence, recovery, and degraded-query failures surface as members of
+this hierarchy instead of leaking implementation exceptions (``json``
+decode errors, ``KeyError`` on a missing section, ...).  The CLI maps
+each leaf to a distinct exit code (see ``docs/resilience.md``), and the
+fuzz suite asserts that *every* corrupted index file raises one of these
+— never a silent wrong-answer load.
+
+``IndexFileError`` (and its children) additionally subclass
+``ValueError`` so long-standing callers written against the pre-taxonomy
+behaviour (``pytest.raises(ValueError)``) keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "IndexFileError",
+    "IndexFormatError",
+    "IndexTruncatedError",
+    "IndexCorruptError",
+    "QueryValidationError",
+    "DeadlineExpired",
+    "InjectedFaultError",
+    "InjectedCrash",
+]
+
+
+class ResilienceError(Exception):
+    """Root of the resilience-layer error taxonomy."""
+
+
+class IndexFileError(ResilienceError, ValueError):
+    """A persisted index (or journal) file cannot be trusted.
+
+    Base class of the load-side taxonomy; ``load_index`` never raises a
+    bare ``IndexFileError``, always one of the three leaves below.
+    """
+
+
+class IndexFormatError(IndexFileError):
+    """The file is not an NRP index in any readable format version.
+
+    Raised for unknown magic bytes, format versions this build does not
+    read, and headers whose section table is internally inconsistent.
+    """
+
+
+class IndexTruncatedError(IndexFileError):
+    """The file ends before its declared payload does (torn write)."""
+
+
+class IndexCorruptError(IndexFileError):
+    """The file is structurally complete but its content is damaged.
+
+    Raised on checksum mismatches, undecodable section payloads, and
+    legacy (v1/v2) documents whose JSON body or required keys are broken.
+    """
+
+
+class QueryValidationError(ResilienceError, ValueError):
+    """A query's arguments are invalid (alpha out of range, unknown node)."""
+
+
+class DeadlineExpired(ResilienceError):
+    """Internal signal: a deadline-guarded query ran out of budget.
+
+    Raised inside the engine's plan/execute path and caught by
+    :meth:`repro.core.engine.QueryEngine.answer`, which converts it into
+    a degraded mean-only fallback result; it only escapes to callers of
+    the low-level ``execute`` API.
+    """
+
+
+class InjectedFaultError(ResilienceError, OSError):
+    """A failpoint-injected transient IO error.
+
+    Subclasses ``OSError`` so retry logic exercises the same handling
+    path a real ``fsync``/``rename`` failure would take.
+    """
+
+
+class InjectedCrash(BaseException):
+    """A failpoint-injected simulated process death.
+
+    Deliberately a ``BaseException`` subclass: no ``except Exception``
+    handler may swallow it, exactly like a real ``SIGKILL`` mid-write.
+    Tests catch it explicitly at the top of the faulted operation.
+    """

@@ -1,0 +1,142 @@
+"""Maintenance write-ahead journal (crash-safe edge-weight batches).
+
+A :class:`WriteAheadLog` is a JSON-lines file next to a persisted index.
+Before :class:`repro.core.maintenance.IndexMaintainer` mutates any label
+store, the batch of absolute edge-weight changes is appended here and
+fsynced; after the updated index has been *durably saved*, the caller
+commits the LSN.  On reopen, :func:`repro.core.maintenance.replay_wal`
+re-applies every appended-but-uncommitted batch — idempotently, because
+records carry absolute ``(u, v, mu, variance)`` targets and Algorithms
+4-5 are deterministic functions of the resulting weights — so an
+interrupted batch either completes exactly or rolls back exactly.
+
+Record grammar (one JSON object per line, ``\\n``-terminated)::
+
+    {"lsn": 3, "op": "batch", "changes": [[u, v, mu, var], ...], "crc": "<sha256-12>"}
+    {"lsn": 3, "op": "commit", "crc": "<sha256-12>"}
+
+``crc`` is the first 12 hex chars of the sha256 over the record with the
+``crc`` field removed.  A torn tail line (no newline, bad JSON, bad crc)
+marks the crash frontier: it and anything after it are discarded as
+never-happened — the rollback half of the guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.resilience.failpoints import failpoint
+
+__all__ = ["WriteAheadLog", "Change"]
+
+#: One edge-weight change: ``(u, v, mu, variance)`` — absolute, not deltas.
+Change = tuple[int, int, float, float]
+
+_CRC_HEX_CHARS = 12
+
+
+def _crc(record: dict[str, Any]) -> str:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:_CRC_HEX_CHARS]
+
+
+def _encode(record: dict[str, Any]) -> bytes:
+    record = dict(record)
+    record["crc"] = _crc(record)
+    return (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+class WriteAheadLog:
+    """Append-only journal of maintenance batches (see module docstring).
+
+    The file is opened per operation (append + fsync + close): keeping no
+    long-lived handle means the on-disk state after any crash is exactly
+    the bytes that were fsynced, and a fresh process can always take
+    over.
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, payload: bytes, site: str) -> None:
+        with open(self.path, "ab") as handle:
+            handle.write(payload)
+            handle.flush()
+            # "written" = handed to the OS but not yet fsynced, so a
+            # truncate fault here really does model a torn tail.
+            failpoint(f"{site}.written", self.path)
+            os.fsync(handle.fileno())
+        if site == "wal.append":
+            failpoint("wal.append.synced", self.path)
+
+    def append_batch(self, changes: "list[Change]") -> int:
+        """Durably journal one batch; returns its LSN."""
+        lsn = self._last_lsn() + 1
+        record = {
+            "lsn": lsn,
+            "op": "batch",
+            "changes": [[u, v, mu, var] for u, v, mu, var in changes],
+        }
+        self._append(_encode(record), "wal.append")
+        return lsn
+
+    def commit(self, lsn: int) -> None:
+        """Mark ``lsn`` applied *and durably persisted* by the caller."""
+        self._append(_encode({"lsn": lsn, "op": "commit"}), "wal.commit")
+
+    def truncate(self) -> None:
+        """Drop the journal once nothing is pending (no-op otherwise)."""
+        if self.path.exists() and not self.pending():
+            self.path.unlink()
+            failpoint("wal.truncated", self.path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _records(self) -> "list[dict[str, Any]]":
+        """Valid records up to the crash frontier (torn tail discarded)."""
+        if not self.path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        raw = self.path.read_bytes()
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail: this write never completed
+            if not isinstance(record, dict) or "crc" not in record:
+                break
+            claimed = record.pop("crc")
+            if claimed != _crc(record):
+                break
+            out.append(record)
+        return out
+
+    def _last_lsn(self) -> int:
+        records = self._records()
+        return max((r["lsn"] for r in records), default=0)
+
+    def pending(self) -> "list[tuple[int, list[Change]]]":
+        """Appended-but-uncommitted batches, in LSN order."""
+        records = self._records()
+        committed = {r["lsn"] for r in records if r["op"] == "commit"}
+        out: list[tuple[int, list[Change]]] = []
+        for record in records:
+            if record["op"] == "batch" and record["lsn"] not in committed:
+                changes: list[Change] = [
+                    (int(u), int(v), float(mu), float(var))
+                    for u, v, mu, var in record["changes"]
+                ]
+                out.append((record["lsn"], changes))
+        return out

@@ -1,0 +1,18 @@
+"""Broken fixture: silent exception swallowing → NRP007 silent-except."""
+
+from __future__ import annotations
+
+
+def swallow_everything(path: str) -> str | None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except:  # noqa: E722 - deliberately bare for the fixture
+        return None
+
+
+def hide_failure(payload: dict) -> None:
+    try:
+        payload["checksum"] = "deadbeef"
+    except Exception:
+        pass

@@ -4,7 +4,8 @@ Every construct here is the sanctioned counterpart of a ``bad_*`` fixture
 and must produce zero findings: public imports along the layering
 direction, an injected RNG, duration-only clocks, ordering float
 compares, guarded metric emission, spans through the guarded API, and a
-prune kernel that builds fresh output instead of mutating its inputs.
+prune kernel that builds fresh output instead of mutating its inputs,
+and typed / acting exception handlers.
 """
 
 from __future__ import annotations
@@ -43,3 +44,21 @@ def prune_copy(paths: list[int], alpha: float) -> list[int]:
     survivors = [p for p in paths if p >= 0]
     survivors.sort()
     return survivors
+
+
+def typed_handler(path: str) -> bytes:
+    """Narrow, typed excepts are the sanctioned form (never NRP007)."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        return b""
+
+
+def broad_but_acting(task) -> bool:
+    """A broad handler that acts (re-raises, returns a sentinel) is fine."""
+    try:
+        task()
+        return True
+    except Exception:
+        return False

@@ -1,0 +1,1 @@
+"""Fixture package mirroring ``repro.resilience`` for scope checks."""

@@ -1,0 +1,11 @@
+"""Broken fixture: NRP007 applies inside ``repro.resilience`` too."""
+
+from __future__ import annotations
+
+
+def lose_the_fault(action) -> bool:
+    try:
+        action()
+        return True
+    except BaseException:
+        ...

@@ -166,8 +166,8 @@ class TestV2RoundTrip:
         index = build_index(graph, support_low_alpha=True)
         file = tmp_path / "index.json.gz"
         save_index(index, file)
-        document = json.loads(gzip.decompress(file.read_bytes()))
-        assert document["format"] == FORMAT_VERSION == 2
+        header = json.loads(gzip.decompress(file.read_bytes()).split(b"\n", 1)[0])
+        assert header["format"] == FORMAT_VERSION == 3
         loaded = load_index(file)
         assert loaded.size_info() == index.size_info()
         triples = _triples(graph, 402, 25) + _triples(graph, 403, 10, 0.05, 0.45)
@@ -225,12 +225,12 @@ class TestV1Compatibility:
         )
         loaded.validate()
 
-    def test_v1_resaves_as_v2(self, tmp_path):
+    def test_v1_resaves_as_current_format(self, tmp_path):
         loaded = load_index(DATA_DIR / "index_v1_independent.json.gz")
         file = tmp_path / "upgraded.json"
         save_index(loaded, file)
-        document = json.loads(file.read_bytes())
-        assert document["format"] == 2
+        header = json.loads(file.read_bytes().split(b"\n", 1)[0])
+        assert header["format"] == 3
         upgraded = load_index(file)
         triples = _triples(loaded.graph, 504, 20)
         assert _query_fingerprint(upgraded, triples) == _query_fingerprint(

@@ -42,6 +42,8 @@ EXPECTED_BAD = {
     "bad_obs_guard.py": "obs-guard",
     "bad_private.py": "private-access",
     "bad_purity.py": "purity",
+    "bad_except.py": "silent-except",
+    "bad_except_resilience.py": "silent-except",
 }
 
 
@@ -51,7 +53,7 @@ def fixture_result():
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         rules = rule_registry()
         assert set(rules) == {
             "layering",
@@ -60,6 +62,7 @@ class TestRegistry:
             "obs-guard",
             "private-access",
             "purity",
+            "silent-except",
         }
         codes = {rule.code for rule in rules.values()}
         assert len(codes) == len(rules), "rule codes must be unique"
@@ -103,6 +106,8 @@ class TestFixtures:
         assert counts["bad_float_eq.py"] == 2  # == and !=
         assert counts["bad_private.py"] == 2  # import + attribute reach
         assert counts["bad_purity.py"] == 3  # arg, module state, global
+        assert counts["bad_except.py"] == 2  # bare + silent broad
+        assert counts["bad_except_resilience.py"] == 1  # silent BaseException
 
 
 class TestSuppressions:
@@ -247,7 +252,9 @@ class TestCliGate:
     def test_cli_list_rules(self):
         proc = _run_cli("--list-rules")
         assert proc.returncode == 0
-        for code in ("NRP001", "NRP002", "NRP003", "NRP004", "NRP005", "NRP006"):
+        for code in (
+            "NRP001", "NRP002", "NRP003", "NRP004", "NRP005", "NRP006", "NRP007"
+        ):
             assert code in proc.stdout
 
     def test_cli_usage_error_on_unknown_rule(self):

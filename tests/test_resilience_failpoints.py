@@ -1,0 +1,144 @@
+"""Fault-injection harness mechanics: hooks, schedules, actions, catalogue.
+
+The crash-consistency suites (``test_resilience_wal.py``,
+``test_resilience_serialization.py``) lean on these invariants: the hook
+is inert unless armed, schedules are deterministic from their seed, and
+every name a call site uses is registered in the catalogue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    CATALOGUE,
+    FailpointSchedule,
+    FaultAction,
+    InjectedCrash,
+    InjectedFaultError,
+    failpoint,
+    failpoints,
+)
+import importlib
+
+failpoints_module = importlib.import_module("repro.resilience.failpoints")
+
+
+class TestHook:
+    def test_noop_when_disarmed(self):
+        assert failpoints_module._ACTIVE is None  # the production default
+        failpoint("serialization.save.encoded")  # must not raise
+
+    def test_armed_site_fires(self):
+        schedule = FailpointSchedule({"wal.append.written": FaultAction.crash()})
+        with failpoints(schedule):
+            with pytest.raises(InjectedCrash):
+                failpoint("wal.append.written")
+
+    def test_unarmed_site_counts_but_does_not_fire(self):
+        schedule = FailpointSchedule({"wal.append.written": FaultAction.crash()})
+        with failpoints(schedule):
+            failpoint("wal.commit.written")
+        assert schedule.hits == {"wal.commit.written": 1}
+
+    def test_context_manager_restores_previous_state(self):
+        outer = FailpointSchedule()
+        inner = FailpointSchedule()
+        with failpoints(outer):
+            with failpoints(inner):
+                assert failpoints_module._ACTIVE is inner
+            assert failpoints_module._ACTIVE is outer
+        assert failpoints_module._ACTIVE is None
+
+    def test_restores_even_after_injected_crash(self):
+        schedule = FailpointSchedule({"wal.truncated": FaultAction.crash()})
+        with pytest.raises(InjectedCrash):
+            with failpoints(schedule):
+                failpoint("wal.truncated")
+        assert failpoints_module._ACTIVE is None
+
+
+class TestSchedule:
+    def test_unknown_name_rejected_on_arm(self):
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            FailpointSchedule().arm("no.such.site", FaultAction.crash())
+
+    def test_unknown_name_rejected_on_fire(self):
+        with pytest.raises(ValueError, match="not in CATALOGUE"):
+            FailpointSchedule().fire("no.such.site", None)
+
+    def test_hit_index_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FailpointSchedule().arm(
+                "wal.append.written", FaultAction.crash(), hit=0
+            )
+
+    def test_nth_hit_targeting(self):
+        schedule = FailpointSchedule().arm(
+            "wal.append.written", FaultAction.crash(), hit=3
+        )
+        with failpoints(schedule):
+            failpoint("wal.append.written")
+            failpoint("wal.append.written")
+            with pytest.raises(InjectedCrash):
+                failpoint("wal.append.written")
+        assert schedule.hits["wal.append.written"] == 3
+
+    def test_from_seed_is_deterministic(self):
+        a = FailpointSchedule.from_seed(1234, rate=0.5)
+        b = FailpointSchedule.from_seed(1234, rate=0.5)
+        assert set(a._armed) == set(b._armed)
+
+    def test_from_seed_rate_extremes(self):
+        assert not FailpointSchedule.from_seed(1, rate=0.0)._armed
+        assert len(FailpointSchedule.from_seed(1, rate=1.0)._armed) == len(CATALOGUE)
+
+    def test_from_seed_restricted_names(self):
+        names = ["wal.append.written", "wal.commit.written"]
+        schedule = FailpointSchedule.from_seed(7, rate=1.0, names=names)
+        assert {name for name, _ in schedule._armed} == set(names)
+
+
+class TestActions:
+    def test_io_error_is_oserror(self):
+        with pytest.raises(OSError):
+            FaultAction.io_error()("some.site", None)
+
+    def test_crash_is_not_catchable_as_exception(self):
+        assert not issubclass(InjectedCrash, Exception)
+        with pytest.raises(BaseException):
+            FaultAction.crash()("some.site", None)
+
+    def test_truncate_tears_the_file_then_crashes(self, tmp_path):
+        target = tmp_path / "torn.bin"
+        target.write_bytes(b"x" * 100)
+        with pytest.raises(InjectedCrash, match="torn at 10"):
+            FaultAction.truncate(10)("some.site", target)
+        assert target.stat().st_size == 10
+
+    def test_truncate_without_path_still_crashes(self):
+        with pytest.raises(InjectedCrash):
+            FaultAction.truncate(10)("some.site", None)
+
+
+class TestCatalogue:
+    def test_call_sites_use_registered_names_only(self):
+        """Grep the source tree: every failpoint("...") literal is known."""
+        import re
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        pattern = re.compile(r"""failpoint\(\s*[f]?["']([^"']+)["']""")
+        used: set[str] = set()
+        for path in src.rglob("*.py"):
+            for name in pattern.findall(path.read_text(encoding="utf-8")):
+                if "{" in name:  # f-string prefix form: check the families
+                    prefix = name.split("{")[0].rstrip(".")
+                    assert any(
+                        site.startswith(("atomic.", "serialization.save.", "wal."))
+                        for site in CATALOGUE
+                    ), f"no catalogue family for dynamic site {name!r}"
+                else:
+                    used.add(name)
+        unknown = used - set(CATALOGUE)
+        assert not unknown, f"unregistered failpoint sites: {sorted(unknown)}"

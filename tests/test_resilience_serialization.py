@@ -1,0 +1,243 @@
+"""Fuzzed corruption taxonomy for the v3 index format.
+
+Every damage class maps to exactly one typed error, so callers (and the
+CLI exit-code contract) can distinguish "restore from backup" from
+"wrong file" without parsing messages:
+
+* cut anywhere → :class:`IndexTruncatedError`
+* altered bytes / trailing garbage → :class:`IndexCorruptError`
+* not an index at all / unknown version → :class:`IndexFormatError`
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from conftest import make_random_instance
+from repro import build_index, load_index, save_index
+from repro.core.serialization import (
+    _HEADER_PREFIX,
+    FORMAT_VERSION,
+    verify_index,
+)
+from repro.resilience import (
+    FailpointSchedule,
+    FaultAction,
+    IndexCorruptError,
+    IndexFileError,
+    IndexFormatError,
+    IndexTruncatedError,
+    InjectedCrash,
+    failpoints,
+)
+
+pytestmark = pytest.mark.faultinject
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    graph = make_random_instance(17)
+    index = build_index(graph)
+    path = tmp_path_factory.mktemp("idx") / "net.nrp"
+    save_index(index, path)
+    return index, path, path.read_bytes()
+
+
+def _expect(tmp_path, blob: bytes, exc: type[IndexFileError]):
+    mangled = tmp_path / "mangled.nrp"
+    mangled.write_bytes(blob)
+    with pytest.raises(exc):
+        load_index(mangled)
+    with pytest.raises(exc):
+        verify_index(mangled)
+    # The taxonomy stays catchable as ValueError for older call sites.
+    with pytest.raises(ValueError):
+        load_index(mangled)
+
+
+class TestTruncation:
+    def test_empty_file(self, saved, tmp_path):
+        _expect(tmp_path, b"", IndexTruncatedError)
+
+    def test_cut_inside_magic(self, saved, tmp_path):
+        _expect(tmp_path, _HEADER_PREFIX[:5], IndexTruncatedError)
+
+    def test_header_without_newline(self, saved, tmp_path):
+        _, _, blob = saved
+        header_end = blob.index(b"\n")
+        _expect(tmp_path, blob[:header_end], IndexTruncatedError)
+
+    def test_every_payload_boundary(self, saved, tmp_path):
+        """Cut at 0%, 25%, 50%, 75%, 99% of the payload."""
+        _, _, blob = saved
+        start = blob.index(b"\n") + 1
+        payload = len(blob) - start
+        for frac in (0.0, 0.25, 0.5, 0.75, 0.99):
+            cut = start + int(payload * frac)
+            _expect(tmp_path, blob[:cut], IndexTruncatedError)
+
+    def test_fuzzed_cut_points(self, saved, tmp_path):
+        import random
+
+        _, _, blob = saved
+        rng = random.Random(2026)
+        for _ in range(25):
+            cut = rng.randrange(1, len(blob))
+            mangled = tmp_path / "fuzz.nrp"
+            mangled.write_bytes(blob[:cut])
+            with pytest.raises((IndexTruncatedError, IndexCorruptError)):
+                load_index(mangled)
+
+
+class TestCorruption:
+    def test_trailing_garbage(self, saved, tmp_path):
+        _, _, blob = saved
+        _expect(tmp_path, blob + b"junk", IndexCorruptError)
+
+    def test_fuzzed_bit_flips(self, saved, tmp_path):
+        """A flipped payload bit must never load silently."""
+        import random
+
+        _, _, blob = saved
+        start = blob.index(b"\n") + 1
+        rng = random.Random(99)
+        for _ in range(25):
+            pos = rng.randrange(start, len(blob))
+            flipped = bytearray(blob)
+            flipped[pos] ^= 1 << rng.randrange(8)
+            mangled = tmp_path / "flip.nrp"
+            mangled.write_bytes(bytes(flipped))
+            with pytest.raises(IndexFileError):
+                load_index(mangled)
+
+    def test_checksum_mismatch_names_sha256(self, saved, tmp_path):
+        _, _, blob = saved
+        flipped = bytearray(blob)
+        flipped[-1] ^= 0x01
+        mangled = tmp_path / "sha.nrp"
+        mangled.write_bytes(bytes(flipped))
+        with pytest.raises(IndexCorruptError, match="checksum mismatch"):
+            load_index(mangled)
+
+    def test_section_length_mismatch(self, saved, tmp_path):
+        _, _, blob = saved
+        header_end = blob.index(b"\n")
+        header = json.loads(blob[:header_end])
+        header["sections"][0][1] += 1
+        doctored = json.dumps(header, separators=(",", ":")).encode() + blob[header_end:]
+        mangled = tmp_path / "sect.nrp"
+        mangled.write_bytes(doctored)
+        with pytest.raises(IndexFileError):
+            load_index(mangled)
+
+
+class TestFormat:
+    def test_garbage_is_format_error(self, saved, tmp_path):
+        _expect(tmp_path, b"PK\x03\x04 definitely a zip", IndexFormatError)
+
+    def test_unknown_version_rejected(self, saved, tmp_path):
+        _, _, blob = saved
+        header_end = blob.index(b"\n")
+        header = json.loads(blob[:header_end])
+        header["format"] = FORMAT_VERSION + 40
+        doctored = json.dumps(header, separators=(",", ":")).encode() + blob[header_end:]
+        mangled = tmp_path / "vnext.nrp"
+        mangled.write_bytes(doctored)
+        with pytest.raises(IndexFormatError, match="format"):
+            load_index(mangled)
+
+
+class TestGzip:
+    def test_gz_roundtrip_is_deterministic(self, saved, tmp_path):
+        index, _, _ = saved
+        a, b = tmp_path / "a.nrp.gz", tmp_path / "b.nrp.gz"
+        save_index(index, a)
+        save_index(index, b)
+        assert a.read_bytes() == b.read_bytes()
+        assert verify_index(a)["checksummed"] is True
+
+    def test_truncated_gz_stream(self, saved, tmp_path):
+        index, _, _ = saved
+        gz = tmp_path / "cut.nrp.gz"
+        save_index(index, gz)
+        blob = gz.read_bytes()
+        gz.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises((IndexTruncatedError, IndexCorruptError)):
+            load_index(gz)
+
+    def test_garbage_gz_bytes(self, saved, tmp_path):
+        gz = tmp_path / "junk.nrp.gz"
+        gz.write_bytes(b"\x1f\x8b" + b"\x00" * 40)
+        with pytest.raises(IndexFileError):
+            load_index(gz)
+
+
+class TestBackwardCompat:
+    def test_legacy_v2_document_loads(self, saved, tmp_path):
+        """A pre-framing file (single JSON document) still loads and verifies."""
+        _, path, _ = saved
+        fresh = load_index(path)
+        # Rebuild the flat pre-framing document from the real encoder.
+        from repro.core.serialization import _encode_sections
+
+        sections = _encode_sections(fresh)
+        legacy = dict(sections["meta"])
+        legacy["format"] = 2
+        for name in ("graph", "covariances", "planes", "summaries"):
+            legacy[name] = sections[name]
+
+        old = tmp_path / "legacy.nrp"
+        old.write_text(json.dumps(legacy), encoding="utf-8")
+        loaded = load_index(old)
+        assert loaded.graph.num_vertices == fresh.graph.num_vertices
+        report = verify_index(old)
+        assert report["format"] == 2
+        assert report["checksummed"] is False
+
+    def test_v3_verify_report(self, saved):
+        _, path, _ = saved
+        report = verify_index(path)
+        assert report["format"] == FORMAT_VERSION
+        assert report["checksummed"] is True
+        assert report["vertices"] > 0 and report["edges"] > 0
+
+
+class TestAtomicSave:
+    def test_crash_during_save_preserves_old_file(self, saved, tmp_path):
+        """A crash at any save failpoint leaves the previous index intact."""
+        graph = make_random_instance(23)
+        index = build_index(graph)
+        target = tmp_path / "stable.nrp"
+        save_index(index, target)
+        before = target.read_bytes()
+
+        for site in (
+            "serialization.save.encoded",
+            "serialization.save.temp_written",
+            "serialization.save.synced",
+        ):
+            schedule = FailpointSchedule().arm(site, FaultAction.crash())
+            with pytest.raises(InjectedCrash):
+                with failpoints(schedule):
+                    save_index(build_index(make_random_instance(24)), target)
+            assert target.read_bytes() == before, site
+            load_index(target)  # still perfectly readable
+
+    def test_retry_after_crash_succeeds(self, saved, tmp_path):
+        """Any temp litter a hard crash leaves behind never blocks a retry."""
+        target = tmp_path / "clean.nrp"
+        schedule = FailpointSchedule().arm(
+            "serialization.save.synced", FaultAction.crash()
+        )
+        index, _, _ = saved
+        with pytest.raises(InjectedCrash):
+            with failpoints(schedule):
+                save_index(index, target)
+        assert not target.exists()  # crash before rename: target never appears
+        save_index(index, target)  # retry with the harness disarmed
+        load_index(target)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert not leftovers  # the retry reuses/replaces the temp name

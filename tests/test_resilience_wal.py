@@ -1,0 +1,209 @@
+"""Maintenance WAL: journal mechanics and crash-replay atomicity.
+
+The headline property (``TestCrashReplay``): kill the process at *every*
+failpoint along the update protocol, run recovery, and the index file is
+bit-identical to either the pre-batch or the post-batch state — never
+anything in between — with the journal drained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+
+import pytest
+
+from conftest import make_random_instance
+from repro import build_index, load_index, replay_wal, save_index
+from repro.core.maintenance import IndexMaintainer
+from repro.resilience import (
+    FailpointSchedule,
+    FaultAction,
+    InjectedCrash,
+    WriteAheadLog,
+    failpoints,
+)
+
+pytestmark = pytest.mark.faultinject
+
+# Both edges exist in the seed-7 instance (n=12); absolute new weights.
+CHANGES = [(0, 9, 9.5, 2.25), (1, 8, 4.0, 0.81)]
+
+
+def _digest(path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _run_update(index_path, wal_path) -> None:
+    """The full live-update protocol the CLI follows."""
+    index = load_index(index_path)
+    wal = WriteAheadLog(wal_path)
+    maintainer = IndexMaintainer(index, wal=wal)
+    report = maintainer.update_batch(list(CHANGES))
+    save_index(index, index_path)
+    wal.commit(report.wal_lsn)
+    wal.truncate()
+
+
+def _recover(index_path, wal_path) -> None:
+    """The reopen-time protocol (mirrors the CLI's recovery path)."""
+    index = load_index(index_path)
+    wal = WriteAheadLog(wal_path)
+    replayed = replay_wal(index, wal)
+    if replayed:
+        save_index(index, index_path)
+        for lsn in replayed:
+            wal.commit(lsn)
+    wal.truncate()
+
+
+class TestJournal:
+    def test_append_commit_lifecycle(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "m.wal")
+        lsn = wal.append_batch(list(CHANGES))
+        assert lsn == 1
+        assert wal.pending() == [(1, [(0, 9, 9.5, 2.25), (1, 8, 4.0, 0.81)])]
+        wal.commit(lsn)
+        assert wal.pending() == []
+        wal.truncate()
+        assert not wal.path.exists()
+
+    def test_lsns_are_monotonic(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "m.wal")
+        assert wal.append_batch([(0, 9, 1.0, 1.0)]) == 1
+        assert wal.append_batch([(1, 8, 2.0, 1.0)]) == 2
+        assert [lsn for lsn, _ in wal.pending()] == [1, 2]
+
+    def test_truncate_refuses_while_pending(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "m.wal")
+        wal.append_batch(list(CHANGES))
+        wal.truncate()
+        assert wal.path.exists()
+        assert len(wal.pending()) == 1
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "m.wal")
+        wal.append_batch([(0, 9, 1.0, 1.0)])
+        with open(wal.path, "ab") as handle:
+            handle.write(b'{"lsn": 2, "op": "batch", "chan')  # no newline
+        assert [lsn for lsn, _ in wal.pending()] == [1]
+
+    def test_bad_crc_marks_crash_frontier(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "m.wal")
+        wal.append_batch([(0, 9, 1.0, 1.0)])
+        wal.append_batch([(1, 8, 2.0, 1.0)])
+        blob = wal.path.read_bytes()
+        lines = blob.splitlines(keepends=True)
+        wal.path.write_bytes(lines[0] + lines[1].replace(b'"crc":"', b'"crc":"0'))
+        # Record 2's crc no longer matches: it and everything after are gone.
+        assert [lsn for lsn, _ in wal.pending()] == [1]
+
+    def test_missing_file_means_nothing_pending(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "absent.wal")
+        assert wal.pending() == []
+        wal.truncate()  # no-op, no error
+
+
+class TestCrashReplay:
+    """Crash at every protocol failpoint → recovery lands on pre or post."""
+
+    # Every site the live-update protocol passes through, in order.
+    SITES = [
+        "wal.append.written",
+        "wal.append.synced",
+        "maintenance.batch.logged",
+        "maintenance.plane.updated",
+        "maintenance.batch.applied",
+        "serialization.save.encoded",
+        "serialization.save.temp_written",
+        "serialization.save.synced",
+        "serialization.save.renamed",
+        "wal.commit.written",
+    ]
+
+    @pytest.fixture(scope="class")
+    def states(self, tmp_path_factory):
+        """Pristine pre-batch file plus the expected post-batch digest."""
+        root = tmp_path_factory.mktemp("wal-states")
+        pre = root / "pre.nrp"
+        index = build_index(make_random_instance(7))
+        save_index(index, pre)
+
+        post = root / "post.nrp"
+        shutil.copy(pre, post)
+        _run_update(post, root / "post.wal")
+        assert not (root / "post.wal").exists()
+        return pre, _digest(pre), _digest(post)
+
+    @pytest.mark.parametrize("site", SITES)
+    def test_crash_then_recover_is_atomic(self, states, tmp_path, site):
+        pre, pre_digest, post_digest = states
+        index_path = tmp_path / "net.nrp"
+        wal_path = tmp_path / "net.wal"
+        shutil.copy(pre, index_path)
+
+        schedule = FailpointSchedule().arm(site, FaultAction.crash())
+        with pytest.raises(InjectedCrash):
+            with failpoints(schedule):
+                _run_update(index_path, wal_path)
+        assert schedule.hits[site] >= 1  # the site was actually reached
+
+        _recover(index_path, wal_path)
+        recovered = _digest(index_path)
+        assert recovered in (pre_digest, post_digest), site
+        assert not wal_path.exists(), site
+
+        # Whatever state it landed on answers queries.
+        load_index(index_path).query(0, 9, 0.9)
+
+    def test_torn_append_rolls_back(self, states, tmp_path):
+        """A batch record torn mid-line is as if the update never started."""
+        pre, pre_digest, _ = states
+        index_path = tmp_path / "net.nrp"
+        wal_path = tmp_path / "net.wal"
+        shutil.copy(pre, index_path)
+
+        schedule = FailpointSchedule().arm(
+            "wal.append.written", FaultAction.truncate(20)
+        )
+        with pytest.raises(InjectedCrash):
+            with failpoints(schedule):
+                _run_update(index_path, wal_path)
+        assert wal_path.stat().st_size == 20  # genuinely torn mid-record
+        assert WriteAheadLog(wal_path).pending() == []
+
+        _recover(index_path, wal_path)
+        assert _digest(index_path) == pre_digest
+        assert not wal_path.exists()
+
+    def test_replay_is_idempotent(self, states, tmp_path):
+        """Crashing during recovery and recovering again still converges."""
+        pre, _, post_digest = states
+        index_path = tmp_path / "net.nrp"
+        wal_path = tmp_path / "net.wal"
+        shutil.copy(pre, index_path)
+
+        # Crash after the index was durably saved but before the commit
+        # record landed: the batch is applied on disk yet still pending.
+        schedule = FailpointSchedule().arm("wal.commit.written", FaultAction.crash())
+        with pytest.raises(InjectedCrash):
+            with failpoints(schedule):
+                _run_update(index_path, wal_path)
+        assert _digest(index_path) == post_digest
+        # The un-fsynced commit record may or may not have survived a real
+        # crash; model the worst case by tearing it off the journal.
+        batch_line = wal_path.read_bytes().splitlines(keepends=True)[0]
+        wal_path.write_bytes(batch_line)
+        assert len(WriteAheadLog(wal_path).pending()) == 1
+
+        # First recovery attempt crashes too, mid-save this time.
+        schedule = FailpointSchedule().arm(
+            "serialization.save.renamed", FaultAction.crash()
+        )
+        with pytest.raises(InjectedCrash):
+            with failpoints(schedule):
+                _recover(index_path, wal_path)
+
+        _recover(index_path, wal_path)  # second attempt goes through
+        assert _digest(index_path) == post_digest
+        assert not wal_path.exists()

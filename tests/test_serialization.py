@@ -101,4 +101,4 @@ class TestRoundTrip:
             load_index(file)
 
     def test_format_constant(self):
-        assert FORMAT_VERSION == 2
+        assert FORMAT_VERSION == 3

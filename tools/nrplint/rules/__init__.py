@@ -8,6 +8,7 @@
 | NRP004 | obs-guard      | core metric emission sits behind the enabled guard     |
 | NRP005 | private-access | no _private reach across module boundaries             |
 | NRP006 | purity         | dominates*/prune* kernels are side-effect free         |
+| NRP007 | silent-except  | no bare/silent broad excepts in core & resilience      |
 """
 
 from __future__ import annotations
@@ -19,4 +20,5 @@ from nrplint.rules import (  # noqa: F401  (registration side effects)
     obs_guard,
     private_access,
     purity,
+    silent_except,
 )

@@ -2,7 +2,8 @@
 
 Query answers and index contents must be bit-identical across runs (the
 golden engine suite depends on it), so inside ``repro.core``,
-``repro.stats``, and ``repro.treedec`` nothing may read ambient
+``repro.stats``, ``repro.treedec``, and ``repro.resilience`` (whose
+fault schedules must replay exactly) nothing may read ambient
 nondeterminism:
 
 - no module-level RNG (``random.random()``, ``random.shuffle()``, ...):
@@ -22,7 +23,7 @@ from typing import Iterator
 
 from nrplint.core import FileContext, Finding, Rule, dotted_name, register
 
-_SCOPES = ("repro.core", "repro.stats", "repro.treedec")
+_SCOPES = ("repro.core", "repro.stats", "repro.treedec", "repro.resilience")
 
 #: ``random`` module-level functions that consume the shared global RNG.
 _RANDOM_FUNCS = frozenset(

@@ -13,6 +13,10 @@
   and couple the observability plane to the index internals.
 - ``repro.stats`` is a pure numeric leaf (Props. 1-5 arithmetic only);
   ``repro.treedec`` may see ``repro.network`` but nothing higher.
+- ``repro.resilience`` is the crash-safety substrate ``repro.core``
+  builds on (atomic writes, WAL, failpoints); it may see only
+  ``repro.network`` and ``repro.obs``, so depending on it can never
+  create a cycle.
 
 Imports under ``if TYPE_CHECKING:`` are exempt — they express annotations,
 not a runtime dependency, and cannot create import cycles.
@@ -120,6 +124,11 @@ CONTRACTS: tuple[Contract, ...] = (
         scope="repro.treedec",
         allowed=("repro.network",),
         reason="tree decomposition sees the graph layer and nothing higher",
+    ),
+    Contract(
+        scope="repro.resilience",
+        allowed=("repro.network", "repro.obs"),
+        reason="resilience is the crash-safety substrate core builds on",
     ),
 )
 

@@ -1,0 +1,97 @@
+"""NRP007 — no silent exception swallowing in the reliability kernel.
+
+``docs/resilience.md`` commits to "zero silent wrong-answer loads": a
+damaged index file, a torn WAL, or an injected fault must surface as a
+typed error, never vanish into a handler that hides it.  Two handler
+shapes defeat that contract inside ``repro.core`` and
+``repro.resilience``:
+
+- a **bare** ``except:`` — it catches ``BaseException``, including the
+  fault harness's :class:`repro.resilience.errors.InjectedCrash`, which
+  is a ``BaseException`` subclass *precisely so it cannot be caught by
+  accident*; a bare clause re-hides it, and is flagged regardless of
+  body, and
+- a **silent broad** handler — ``except Exception:`` (or
+  ``BaseException``) whose body does nothing but ``pass`` / ``...``,
+  which converts any failure into an apparent success.
+
+Narrow, typed handlers (``except OSError:`` with a retry, ``except
+ValueError:`` re-raised as taxonomy) are the encouraged style and are
+never flagged; a broad handler that *acts* (logs, re-raises, returns a
+sentinel) is also fine.  Where a genuinely-justified swallow exists, use
+the standard escape hatch with a reason::
+
+    except Exception:  # nrplint: disable=silent-except -- best-effort cache warm
+        pass
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, register
+
+_SCOPES = ("repro.core", "repro.resilience")
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return any(ctx.in_package(scope) for scope in _SCOPES)
+
+
+def _catches_broad(type_node: ast.AST) -> bool:
+    """True when the clause catches ``Exception``/``BaseException``."""
+    elements = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    for element in elements:
+        if isinstance(element, ast.Name) and element.id in _BROAD_NAMES:
+            return True
+        if isinstance(element, ast.Attribute) and element.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """True when the handler body is only ``pass`` / ``...`` (a swallow)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is ...
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class SilentExceptRule(Rule):
+    name = "silent-except"
+    code = "NRP007"
+    summary = "no bare `except:` or silent `except Exception: pass` in core/resilience"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` catches BaseException (including the fault "
+                    "harness's InjectedCrash); name the exceptions or use a "
+                    "justified suppression",
+                )
+            elif _catches_broad(node.type) and _is_silent(node.body):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "silent broad handler swallows every failure; handle a "
+                    "typed exception, act on it, or add a justified "
+                    "suppression",
+                )
