@@ -1,0 +1,208 @@
+"""Kernel backend micro-benchmark: reference loops vs vectorised columns.
+
+Times the hot kernels of ``repro.core.kernels`` — Definition-10/11 bound
+references, the Proposition-2/3 and Proposition-5 prune passes, the RF
+sweep, and Algorithm 1's concatenation scan — under every available
+backend on synthetic refined label sets of increasing size, asserting
+along the way that the backends return bit-identical results (the same
+contract the golden suite and ``tests/test_kernels_equiv.py`` pin).
+
+Two artefacts per run:
+
+- the usual ``benchmarks/results/kernels.txt`` table plus its
+  ``kernels.metrics.json`` registry sidecar, and
+- one record appended to the cumulative ``BENCH_kernels.json`` trajectory
+  at the repo root, so future sessions can see whether a change moved
+  kernel throughput without re-running history.
+
+The acceptance bar from the kernel-layer PR: the vectorised
+dominance/prune pass is at least 3x the reference loop on the largest
+fixture (asserted only when numpy is importable; without it the bench
+still runs and records the reference numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from array import array
+from pathlib import Path
+
+from conftest import save_report
+from repro.core import kernels
+from repro.experiments.reporting import format_table
+from repro.resilience.atomic import atomic_write_text
+from repro.stats.zscores import z_value
+
+#: Refined-set sizes; the last one is the "largest fixture" the >=3x
+#: acceptance bound is measured on.
+SIZES = (64, 256, 1024)
+
+#: Best-of repeats per (kernel, size); keeps the whole bench a few seconds.
+_ROUNDS = 3
+
+_ALPHA = 0.9
+
+_TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+_TRAJECTORY_SCHEMA = "repro.bench.kernels/1"
+
+
+def _refined_set(k: int, rng: random.Random) -> tuple[list[float], list[float], list[float]]:
+    """mu strictly ascending, sigma strictly descending — the invariants
+    ``compute_bound_refs`` relies on (refined independent high-plane set)."""
+    mus: list[float] = []
+    sigmas: list[float] = []
+    mu = rng.uniform(10.0, 20.0)
+    sigma = 50.0 + k * 0.01
+    for _ in range(k):
+        mu += rng.uniform(0.01, 1.0)
+        sigma -= rng.uniform(0.001, 0.04)
+        mus.append(mu)
+        sigmas.append(sigma)
+    return mus, sigmas, [s * s for s in sigmas]
+
+
+def _best_of(fn, rounds: int = _ROUNDS) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _time_backend(backend, k: int, rng_seed: int):
+    """Per-kernel best-of timings and results for one backend and size.
+
+    Columns go through ``backend.wrap_columns`` first — exactly what
+    ``LabelPathSet.columns`` hands the kernels on the query path — so the
+    vector backend is measured on its zero-copy arrays, not on list
+    conversions it never pays in production.
+    """
+    rng = random.Random(rng_seed)
+    raw_mus, raw_sigmas, raw_vars = _refined_set(k, rng)
+    o_raw_mus, o_raw_sigmas, o_raw_vars = _refined_set(k, rng)
+    raw_ub, raw_lb = kernels.reference.compute_bound_refs(raw_mus, raw_sigmas)
+    # Store columns are stdlib arrays; wrap_columns sees the same buffers.
+    mus, sigmas, vars_, ub, lb = backend.wrap_columns(
+        array("d", raw_mus),
+        array("d", raw_sigmas),
+        array("d", raw_vars),
+        array("l", raw_ub),
+        array("l", raw_lb),
+    )
+    o_mus, o_sigmas, o_vars, _, _ = backend.wrap_columns(
+        array("d", o_raw_mus), array("d", o_raw_sigmas), array("d", o_raw_vars),
+        None, None,
+    )
+    z = z_value(_ALPHA)
+    scan_k = min(k, 256)
+    idx = list(range(scan_k))
+
+    timings: dict[str, float] = {}
+    results: dict[str, object] = {}
+    timings["bound_refs"], results["bound_refs"] = _best_of(
+        lambda: backend.compute_bound_refs(mus, sigmas)
+    )
+    timings["prune_independent"], results["prune_independent"] = _best_of(
+        lambda: backend.prune_independent(
+            mus, sigmas, ub, lb, o_raw_sigmas[-1], o_raw_sigmas[0], _ALPHA
+        )
+    )
+    timings["prune_correlated"], results["prune_correlated"] = _best_of(
+        lambda: backend.prune_correlated_keep(mus, sigmas, o_raw_sigmas[0], z)
+    )
+    # refine runs on plain lists (Refiner materialises candidate moments),
+    # in both its capped (sequential) and uncapped (prefix-scan) forms.
+    timings["refine_capped"], results["refine_capped"] = _best_of(
+        lambda: backend.refine_keep(raw_mus, raw_vars, raw_sigmas, 3.0, False)
+    )
+    timings["refine_uncapped"], results["refine_uncapped"] = _best_of(
+        lambda: backend.refine_keep(raw_mus, raw_vars, raw_sigmas, None, False)
+    )
+    timings["scan_pairs"], results["scan_pairs"] = _best_of(
+        lambda: backend.scan_pairs(mus, vars_, o_mus, o_vars, idx, idx, z)
+    )
+    return timings, results
+
+
+def _append_trajectory(record: dict) -> None:
+    document = {"schema": _TRAJECTORY_SCHEMA, "runs": []}
+    if _TRAJECTORY.exists():
+        loaded = json.loads(_TRAJECTORY.read_text(encoding="utf-8"))
+        if loaded.get("schema") == _TRAJECTORY_SCHEMA:
+            document = loaded
+    document["runs"].append(record)
+    atomic_write_text(_TRAJECTORY, json.dumps(document, indent=1) + "\n")
+
+
+def test_kernel_backends():
+    backends = {name: kernels._resolve(name) for name in kernels.backend_names()}
+    timings: dict[tuple[str, int, str], float] = {}
+    baseline: dict[int, dict[str, object]] = {}
+    for k in SIZES:
+        # "python" sorts first: the reference result is the equality baseline.
+        for name, backend in sorted(backends.items()):
+            per_kernel, results = _time_backend(backend, k, rng_seed=k)
+            for kernel, seconds in per_kernel.items():
+                timings[(name, k, kernel)] = seconds
+            if name == "python":
+                baseline[k] = results
+            else:
+                # Interchangeability is bit-level, not approximate.
+                assert results == baseline[k], f"{name} diverges at k={k}"
+
+    kernels_order = (
+        "bound_refs",
+        "prune_independent",
+        "prune_correlated",
+        "refine_capped",
+        "refine_uncapped",
+        "scan_pairs",
+    )
+    rows = []
+    speedups: dict[str, float] = {}
+    for k in SIZES:
+        for kernel in kernels_order:
+            py = timings[("python", k, kernel)]
+            if "vector" in backends:
+                vec = timings[("vector", k, kernel)]
+                speedup = py / vec if vec > 0.0 else float("inf")
+                speedups[f"{kernel}/{k}"] = speedup
+                rows.append(
+                    [str(k), kernel, f"{py * 1e6:.1f} us",
+                     f"{vec * 1e6:.1f} us", f"{speedup:.1f}x"]
+                )
+            else:
+                rows.append([str(k), kernel, f"{py * 1e6:.1f} us", "-", "-"])
+
+    report = format_table(
+        ["k", "kernel", "python", "vector", "speedup"],
+        rows,
+        title=f"Kernel backends (best of {_ROUNDS}, alpha={_ALPHA})",
+    )
+    save_report("kernels", report)
+
+    _append_trajectory(
+        {
+            "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "sizes": list(SIZES),
+            "backends": sorted(backends),
+            "rounds": _ROUNDS,
+            "timings_us": {
+                f"{name}/{kernel}/{k}": round(seconds * 1e6, 3)
+                for (name, k, kernel), seconds in sorted(timings.items())
+            },
+            "speedup": {key: round(value, 2) for key, value in speedups.items()},
+        }
+    )
+
+    if "vector" in backends:
+        largest = SIZES[-1]
+        for kernel in ("prune_independent", "prune_correlated"):
+            assert speedups[f"{kernel}/{largest}"] >= 3.0, (
+                f"vectorised dominance/prune ({kernel}) must be >=3x at "
+                f"k={largest}: {speedups[f'{kernel}/{largest}']:.2f}x"
+            )

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.core.kernels import active_backend
 from repro.core.pathsummary import PathSummary, concatenate, edge_path, trivial_path
 from repro.core.pruning import LabelPathSet, prune_correlated, prune_pair
 from repro.obs import get_registry, get_slow_query_log, get_tracer
@@ -140,6 +141,11 @@ class QueryEngine:
         self._c_sep_miss = reg.counter("engine.separator_cache.miss")
         self._c_slow = reg.counter("engine.slow_queries")
         self._c_degraded = reg.counter("resilience.query.degraded")
+        self._c_scan = reg.counter("kernels.calls.scan")
+        self._c_backend = {
+            "python": reg.counter("kernels.backend.python"),
+            "vector": reg.counter("kernels.backend.vector"),
+        }
         self._t_answer = reg.timer("engine.answer")
         self._t_plan = reg.timer("engine.plan")
         self._t_execute = reg.timer("engine.execute")
@@ -214,6 +220,7 @@ class QueryEngine:
         *,
         sort_hoplinks: bool = False,
         use_cache: bool = False,
+        backend: Any = None,
     ) -> QueryPlan:
         """Build the plan for one query.
 
@@ -221,7 +228,9 @@ class QueryEngine:
         — the batch path's repeated-triple optimisation (single queries
         plan fresh, like the pre-engine code).  ``sort_hoplinks`` yields
         deterministic hoplink order for explanations; those plans always
-        bypass the cache.
+        bypass the cache.  ``backend`` pins the kernel backend for the
+        pruning passes; the cache key ignores it because both backends
+        return bit-identical survivor sets.
         """
         self._validate(alpha)
         z = self.z_of(alpha)
@@ -240,7 +249,7 @@ class QueryEngine:
                 return cached
             if self._registry.enabled:
                 self._c_plan_miss.inc()
-        plan = self._build_plan(s, t, alpha, z, plane, pruning, sort_hoplinks)
+        plan = self._build_plan(s, t, alpha, z, plane, pruning, sort_hoplinks, backend)
         if use_cache:
             if len(self._plan_cache) >= _CACHE_LIMIT:
                 self._plan_cache.clear()
@@ -256,7 +265,10 @@ class QueryEngine:
         plane: "IndexPlane",
         pruning: bool,
         sort_hoplinks: bool,
+        backend: Any = None,
     ) -> QueryPlan:
+        if backend is None:
+            backend = active_backend()
         td = self.index.td
         labels = plane.labels
         ancestor = td.lca(s, t)
@@ -287,10 +299,12 @@ class QueryEngine:
             if pruning:
                 if correlated:
                     idx_sh, idx_ht = prune_correlated(
-                        set_sh, set_ht, alpha, prune_counts
+                        set_sh, set_ht, alpha, prune_counts, backend
                     )
                 else:
-                    idx_sh, idx_ht = prune_pair(set_sh, set_ht, alpha, prune_counts)
+                    idx_sh, idx_ht = prune_pair(
+                        set_sh, set_ht, alpha, prune_counts, backend
+                    )
             else:
                 idx_sh = range(len(set_sh))
                 idx_ht = range(len(set_ht))
@@ -304,13 +318,15 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def scan_hoplink(self, task: HoplinkTask, z: float) -> tuple[float, int, int]:
+    def scan_hoplink(
+        self, task: HoplinkTask, z: float, backend: Any = None
+    ) -> tuple[float, int, int]:
         """Best concatenation over one hoplink's surviving index pairs.
 
         Returns ``(value, i, j)`` (``math.inf, -1, -1`` when no pair
-        exists).  The independent case reads moments from the columnar
-        views; the correlated case needs the path objects for their
-        junction windows.
+        exists).  The independent case runs the kernel layer's
+        ``scan_pairs`` over the columnar views; the correlated case needs
+        the path objects for their junction windows.
         """
         index = self.index
         best_value = math.inf
@@ -318,17 +334,15 @@ class QueryEngine:
         set_sh, set_ht = task.set_sh, task.set_ht
         idx_sh, idx_ht = task.idx_sh, task.idx_ht
         if not index.correlated:
-            mus_sh, vars_sh = set_sh.mus, set_sh.vars
-            mus_ht, vars_ht = set_ht.mus, set_ht.vars
-            for i in idx_sh:
-                mu1 = mus_sh[i]
-                var1 = vars_sh[i]
-                for j in idx_ht:
-                    var = var1 + vars_ht[j]
-                    value = mu1 + mus_ht[j] + (z * math.sqrt(var) if var > 0.0 else 0.0)
-                    if value < best_value:
-                        best_value = value
-                        best_i, best_j = i, j
+            if backend is None:
+                backend = active_backend()
+            if self._registry.enabled:
+                self._c_scan.inc()
+            mus_sh, _, vars_sh, _, _ = set_sh.columns(backend)
+            mus_ht, _, vars_ht, _, _ = set_ht.columns(backend)
+            return backend.scan_pairs(
+                mus_sh, vars_sh, mus_ht, vars_ht, idx_sh, idx_ht, z
+            )
         else:
             cov = index.cov
             h = task.hoplink
@@ -350,22 +364,19 @@ class QueryEngine:
                         best_i, best_j = i, j
         return best_value, best_i, best_j
 
-    def best_in_label(self, label_set: LabelPathSet, z: float) -> tuple[float, int]:
+    def best_in_label(
+        self, label_set: LabelPathSet, z: float, backend: Any = None
+    ) -> tuple[float, int]:
         """Best stored path of one label entry at ``Z_alpha = z``."""
-        mus = label_set.mus
-        sigmas = label_set.sigmas
-        best_value = math.inf
-        best_i = -1
-        for i in range(len(mus)):
-            value = mus[i] + z * sigmas[i]
-            if value < best_value:
-                best_value = value
-                best_i = i
-            elif z >= 0.0 and mus[i] > best_value:
-                break  # means are increasing; no later path can win for alpha >= 0.5
+        if backend is None:
+            backend = active_backend()
+        if self._registry.enabled:
+            self._c_scan.inc()
+        mus, sigmas, _, _, _ = label_set.columns(backend)
+        value, best_i = backend.best_label(mus, sigmas, z)
         if best_i < 0:
             raise ValueError("empty label entry")
-        return best_value, best_i
+        return value, best_i
 
     def execute(
         self,
@@ -373,15 +384,19 @@ class QueryEngine:
         stats: "QueryStats",
         *,
         deadline_at: "float | None" = None,
+        backend: Any = None,
     ) -> "QueryResult":
         """Run the concatenation scan of one plan, accumulating ``stats``.
 
         ``deadline_at`` (absolute ``perf_counter`` time) is checked between
         hoplink tasks; expiry raises :class:`DeadlineExpired`, which
         :meth:`answer` converts into the degraded mean-only fallback.
+        ``backend`` pins the kernel backend for every scan in this plan.
         """
         from repro.core.query import QueryResult
 
+        if backend is None:
+            backend = active_backend()
         s, t, alpha = plan.s, plan.t, plan.alpha
         if plan.case == "trivial":
             return QueryResult(s, t, alpha, 0.0, 0.0, 0.0, trivial_path(s), stats)
@@ -394,7 +409,7 @@ class QueryEngine:
             # reads one label entry and Algorithm 2's pair pruning has no
             # opposite set to prune against (see QueryStats docstring).
             stats.surviving_paths += len(label_set)
-            value, i = self.best_in_label(label_set, plan.z)
+            value, i = self.best_in_label(label_set, plan.z, backend)
             best = label_set.paths[i]
             return QueryResult(s, t, alpha, value, best.mu, best.var, best, stats)
 
@@ -412,7 +427,7 @@ class QueryEngine:
             stats.candidate_paths += len(task.set_sh) + len(task.set_ht)
             stats.surviving_paths += len(task.idx_sh) + len(task.idx_ht)
             stats.concatenations += len(task.idx_sh) * len(task.idx_ht)
-            value, i, j = self.scan_hoplink(task, plan.z)
+            value, i, j = self.scan_hoplink(task, plan.z, backend)
             if value < best_value:
                 best_value = value
                 best_task, best_i, best_j = task, i, j
@@ -460,19 +475,32 @@ class QueryEngine:
 
         if stats is None:
             stats = QueryStats()
+        # One backend per query: resolved here, recorded in the stats, and
+        # threaded through planning and execution so a query never
+        # straddles a mid-flight NRP_KERNELS/set_backend change.
+        backend = active_backend()
+        stats.backend = backend.NAME
+        if self._registry.enabled:
+            counter = self._c_backend.get(backend.NAME)
+            if counter is not None:
+                counter.inc()
         if deadline_s is not None:
             self._validate_nodes(s, t)
             return self._answer_deadline(
-                s, t, alpha, use_pruning, stats, use_cache, deadline_s
+                s, t, alpha, use_pruning, stats, use_cache, deadline_s, backend
             )
         if not (
             self._registry.enabled
             or self._tracer.enabled
             or self._slow_log.enabled
         ):
-            plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
-            return self.execute(plan, stats)
-        return self._answer_observed(s, t, alpha, use_pruning, stats, use_cache)
+            plan = self.plan(
+                s, t, alpha, use_pruning, use_cache=use_cache, backend=backend
+            )
+            return self.execute(plan, stats, backend=backend)
+        return self._answer_observed(
+            s, t, alpha, use_pruning, stats, use_cache, backend
+        )
 
     def _answer_deadline(
         self,
@@ -483,18 +511,21 @@ class QueryEngine:
         stats: "QueryStats",
         use_cache: bool,
         deadline_s: float,
+        backend: Any = None,
     ) -> "QueryResult":
         """Deadline-armed twin of :meth:`answer` (same answers when on time)."""
         deadline_at = perf_counter() + deadline_s
         try:
             self._validate(alpha)  # validation errors are not deadline misses
-            plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
+            plan = self.plan(
+                s, t, alpha, use_pruning, use_cache=use_cache, backend=backend
+            )
             if perf_counter() > deadline_at:
                 raise DeadlineExpired(
                     f"query ({s}, {t}, alpha={alpha}) blew its deadline "
                     f"during planning"
                 )
-            return self.execute(plan, stats, deadline_at=deadline_at)
+            return self.execute(plan, stats, deadline_at=deadline_at, backend=backend)
         except DeadlineExpired:
             return self._degraded_answer(s, t, alpha, stats)
 
@@ -543,6 +574,7 @@ class QueryEngine:
         use_pruning: bool,
         stats: "QueryStats",
         use_cache: bool,
+        backend: Any = None,
     ) -> "QueryResult":
         """The instrumented twin of :meth:`answer` (same observable results)."""
         tracer = self._tracer
@@ -556,10 +588,12 @@ class QueryEngine:
         t_start = perf_counter()
         with tracer.span("engine.answer", s=s, t=t, alpha=alpha) as outer:
             with tracer.span("engine.plan"):
-                plan = self.plan(s, t, alpha, use_pruning, use_cache=use_cache)
+                plan = self.plan(
+                    s, t, alpha, use_pruning, use_cache=use_cache, backend=backend
+                )
             t_planned = perf_counter()
             with tracer.span("engine.execute", case=plan.case):
-                result = self.execute(plan, stats)
+                result = self.execute(plan, stats, backend=backend)
             t_done = perf_counter()
             outer.set(case=plan.case, value=result.value)
         elapsed = t_done - t_start
@@ -595,6 +629,7 @@ class QueryEngine:
                 label_lookups=stats.label_lookups - before[2],
                 candidate_paths=stats.candidate_paths - before[3],
                 surviving_paths=stats.surviving_paths - before[4],
+                backend=stats.backend,
             )
             slow.log(elapsed, plan, own, lca_depth)
             if registry.enabled:

@@ -1,0 +1,130 @@
+"""The kernel layer: interchangeable batch implementations of the hot loops.
+
+The paper's query cost concentrates in a handful of tight numeric loops —
+the Definition 10/11 bound-reference scans, the Algorithm-2 /
+Proposition-5 pruning bounds, the refine sweep ``RF``, and the hoplink
+concatenation scan.  This package isolates those loops as *kernels*:
+pure functions over the contiguous ``mu``/``sigma``/``sigma^2``/``ub``/``lb``
+columns of :mod:`repro.core.labelstore`, with two interchangeable
+backends:
+
+- :mod:`repro.core.kernels.reference` (``python``) — the original loops,
+  extracted verbatim from ``pruning``/``refine``/``engine``/``labelstore``.
+  Always available; the semantic ground truth.
+- :mod:`repro.core.kernels.vector` (``vector``) — the same kernels over
+  numpy arrays wrapped zero-copy around the store columns.  Import-gated:
+  it exists only when numpy is importable, and its decisions are
+  bit-identical to the reference by construction (see the module
+  docstring for the epsilon-band argument).
+
+Selection is explicit: the ``NRP_KERNELS`` environment variable picks
+``vector``, ``python``, or ``auto`` (the default — vector when numpy is
+importable, reference otherwise), and :func:`set_backend` overrides the
+environment for a process (tests use it to pin one side of an
+equivalence check).  Callers resolve :func:`active_backend` once per
+query/batch and pass the backend down, so a query never straddles two
+backends.
+
+Layering: kernels are a numeric leaf *below* the storage layer — they
+may import ``repro.stats`` and nothing else of the tree (enforced by
+nrplint NRP001), and every function in the backend modules must be pure
+(NRP006).  Observability counters for kernel calls are therefore
+emitted by the *callers* (pruning/refine/engine/labelstore), never from
+inside a kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from types import ModuleType
+
+from repro.core.kernels import reference
+
+__all__ = [
+    "KERNELS_ENV",
+    "active_backend",
+    "backend_names",
+    "set_backend",
+]
+
+#: Environment variable selecting the backend: ``vector`` | ``python`` | ``auto``.
+KERNELS_ENV = "NRP_KERNELS"
+
+_forced: str | None = None
+_probed = False
+_vector_module: ModuleType | None = None
+_cached: tuple[str | None, str | None, ModuleType] | None = None
+
+
+def _vector_backend() -> ModuleType | None:
+    """The vector backend module, or None when numpy is not importable."""
+    global _probed, _vector_module
+    if not _probed:
+        try:
+            from repro.core.kernels import vector
+        except ImportError:
+            _vector_module = None
+        else:
+            _vector_module = vector
+        _probed = True
+    return _vector_module
+
+
+def backend_names() -> tuple[str, ...]:
+    """The backends available in this process, preferred first."""
+    if _vector_backend() is not None:
+        return ("vector", "python")
+    return ("python",)
+
+
+def _resolve(choice: str) -> ModuleType:
+    if choice == "python":
+        return reference
+    if choice == "vector":
+        vec = _vector_backend()
+        if vec is None:
+            raise RuntimeError(
+                "kernel backend 'vector' requested but numpy is not importable; "
+                "unset NRP_KERNELS (or set it to 'python'/'auto') to use the "
+                "pure-Python reference kernels"
+            )
+        return vec
+    if choice == "auto":
+        vec = _vector_backend()
+        return vec if vec is not None else reference
+    raise ValueError(
+        f"unknown kernel backend {choice!r} (expected 'vector', 'python', or 'auto')"
+    )
+
+
+def set_backend(name: str | None) -> None:
+    """Force a backend for this process; ``None`` returns to env/auto selection.
+
+    The override outranks ``NRP_KERNELS``.  Switching backends mid-process
+    is safe: both backends produce bit-identical survivors and values, so
+    even plans cached under the other backend stay valid.
+    """
+    global _forced, _cached
+    if name is not None:
+        _resolve(name)  # validate eagerly, including vector availability
+    _forced = name
+    _cached = None
+
+
+def active_backend() -> ModuleType:
+    """The backend module queries should use right now.
+
+    Resolution order: :func:`set_backend` override, then ``NRP_KERNELS``,
+    then auto (vector when numpy is importable).  The result is cached
+    against the ``(override, environment)`` pair, so the per-query cost
+    is one environment lookup.
+    """
+    global _cached
+    env = os.environ.get(KERNELS_ENV)
+    cached = _cached
+    if cached is not None and cached[0] == _forced and cached[1] == env:
+        return cached[2]
+    choice = _forced if _forced is not None else (env or "auto")
+    backend = _resolve(choice)
+    _cached = (_forced, env, backend)
+    return backend

@@ -1,0 +1,285 @@
+"""Vectorised kernels over numpy column views (backend name ``vector``).
+
+Importing this module requires numpy; :mod:`repro.core.kernels` gates on
+that, so the rest of the tree never needs to.  Columns arrive as
+zero-copy ``np.frombuffer`` wrappers around the store's ``array``
+buffers (:func:`wrap_columns`), marked read-only so a kernel can never
+scribble on live label data.
+
+Bit-identity with the reference backend is a hard requirement (the
+golden engine suite runs under both), and it is *engineered*, not
+assumed:
+
+- Additions, subtractions, multiplications, divisions, and ``np.sqrt``
+  are IEEE-754 operations with identical rounding to CPython's — those
+  paths are bit-equal by construction (``prune_correlated_keep``,
+  ``refine_keep``, ``scan_pairs``, ``best_label``,
+  ``compute_bound_refs``).
+- ``x ** 2`` is the one exception: CPython routes it through libm
+  ``pow`` while numpy uses its own SIMD power, and the two differ in the
+  last bit on ~1 in 1e3 inputs.  The pruning kernels therefore square
+  via ``s * s`` and compare the bound *ratio* against ``z_value(alpha)``
+  in z-space; any element whose ratio lands inside a relative epsilon
+  band ``|r - z| <= 1e-9 * max(1, |r|)`` — generously wider than the
+  few-ulp drift the squaring difference can cause, yet narrow enough
+  that ``phi_cdf``'s slope (>= 8.7e-4 for ``|z| <= 3.5``) separates
+  alpha from the bound outside it — is re-decided with the exact scalar
+  :func:`repro.core.kernels.reference.bound_value`.  For ``|z| > 3.5``
+  the slope argument thins out, so the whole call delegates to the
+  reference loop (such alphas are vanishingly rare and the sets tiny by
+  then).
+- ``np.argmin``/``np.argmax`` return the first occurrence in C order,
+  which matches the sequential strict ``<``/``>`` update loops they
+  replace.
+- Float *accumulation order* is never vectorised where it matters:
+  :func:`merge_rowsums` is shared with the reference backend outright.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.kernels import reference
+from repro.stats.zscores import z_value
+
+NAME = "vector"
+
+#: Beyond this |z_value(alpha)| the epsilon-band slope argument weakens;
+#: delegate the whole prune call to the exact reference loop instead.
+_Z_EXACT_MAX = 3.5
+
+#: Relative half-width of the ambiguity band around z (see module docstring).
+_BAND = 1e-9
+
+_LONG = np.dtype("l")
+
+
+def wrap_columns(
+    mus: Sequence[float],
+    sigmas: Sequence[float],
+    vars_: Sequence[float],
+    ub: Sequence[int] | None,
+    lb: Sequence[int] | None,
+) -> tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray | None", "np.ndarray | None"]:
+    """Wrap store column views as read-only zero-copy numpy arrays."""
+
+    def _wrap(buf: Sequence[float] | Sequence[int], dtype: "np.dtype") -> "np.ndarray":
+        arr = np.frombuffer(buf, dtype=dtype)  # type: ignore[arg-type]
+        if arr.flags.writeable:
+            arr.flags.writeable = False
+        return arr
+
+    return (
+        _wrap(mus, np.dtype(np.float64)),
+        _wrap(sigmas, np.dtype(np.float64)),
+        _wrap(vars_, np.dtype(np.float64)),
+        _wrap(ub, _LONG) if ub is not None else None,
+        _wrap(lb, _LONG) if lb is not None else None,
+    )
+
+
+def compute_bound_refs(
+    mus: Sequence[float], sigmas: Sequence[float]
+) -> tuple[list[int], list[int]]:
+    """Definitions 10/11 via masked pairwise ratio matrices.
+
+    Pure subtract/divide arithmetic, so the ratios are bit-equal to the
+    reference loop's; ``argmax``/``argmin`` first-occurrence ties match
+    the strict-comparison updates.
+    """
+    m = np.asarray(mus, dtype=np.float64)
+    s = np.asarray(sigmas, dtype=np.float64)
+    k = m.size
+    if k == 0:
+        return [], []
+    num = m[:, None] - m[None, :]  # num[i, j] = mus[i] - mus[j]
+    den = s[None, :] - s[:, None]  # den[i, j] = sigmas[j] - sigmas[i]
+    # One ratio matrix serves both definitions: the Definition-11 ratio is
+    # (-num)/(-den), and IEEE division of negated operands is bit-equal to
+    # num/den.  The diagonal is 0/0 = nan, masked out below.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.divide(num, den, out=num)
+    below = np.tri(k, k, -1, dtype=bool)  # j < i
+    lb = np.where(below.T, ratio, np.inf).argmin(axis=1)
+    np.copyto(ratio, -np.inf, where=~below)
+    ub = ratio.argmax(axis=1)
+    ub_list = ub.tolist()
+    lb_list = lb.tolist()
+    ub_list[0] = -1  # only i = 0 lacks a j < i ...
+    lb_list[-1] = -1  # ... and only i = k-1 lacks a j > i
+    return ub_list, lb_list
+
+
+def prune_independent(
+    mus: Sequence[float],
+    sigmas: Sequence[float],
+    ub: Sequence[int],
+    lb: Sequence[int],
+    other_sigma_min: float,
+    other_sigma_max: float,
+    alpha: float,
+) -> tuple[list[int], int, int]:
+    """Propositions 2/3 in z-space with an exact-fallback epsilon band.
+
+    The reference prunes on ``alpha < Phi(r)`` (Prop. 2) and
+    ``alpha > Phi(r')`` (Prop. 3); with ``z = z_value(alpha)`` those are
+    ``r > z`` and ``r' < z`` up to the band handled below.
+    """
+    m = np.asarray(mus, dtype=np.float64)
+    s = np.asarray(sigmas, dtype=np.float64)
+    if m.size == 0:
+        return [], 0, 0
+    ubv = np.asarray(ub, dtype=np.int64)
+    lbv = np.asarray(lb, dtype=np.int64)
+    z = z_value(alpha)
+    if abs(z) > _Z_EXACT_MAX:
+        return reference.prune_independent(
+            m.tolist(),
+            s.tolist(),
+            ubv.tolist(),
+            lbv.tolist(),
+            other_sigma_min,
+            other_sigma_max,
+            alpha,
+        )
+
+    sq = s * s  # not s ** 2: numpy pow differs from libm in the last bit
+    valid2 = ubv >= 0
+    j2 = np.where(valid2, ubv, 0)
+    x = other_sigma_min
+    # root[j] gathered after the sqrt is bit-equal to sqrt of the gather.
+    root = np.sqrt(sq + x * x)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r2 = (m[j2] - m) / (root - root[j2])
+    prune2 = valid2 & (r2 > z)
+    band2 = valid2 & (np.abs(r2 - z) <= _BAND * np.maximum(1.0, np.abs(r2)))
+
+    valid3 = lbv >= 0
+    j3 = np.where(valid3, lbv, 0)
+    x = other_sigma_max
+    root = np.sqrt(sq + x * x)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r3 = (m[j3] - m) / (root - root[j3])
+    prune3 = valid3 & (r3 < z)
+    band3 = valid3 & (np.abs(r3 - z) <= _BAND * np.maximum(1.0, np.abs(r3)))
+
+    if band2.any() or band3.any():
+        ml = m.tolist()
+        sl = s.tolist()
+        for i in np.nonzero(band2)[0].tolist():
+            j = int(ubv[i])
+            prune2[i] = alpha < reference.bound_value(
+                ml[i], ml[j], sl[i], sl[j], other_sigma_min
+            )
+        for i in np.nonzero(band3)[0].tolist():
+            j = int(lbv[i])
+            prune3[i] = alpha > reference.bound_value(
+                ml[i], ml[j], sl[i], sl[j], other_sigma_max
+            )
+
+    pruned = prune2 | prune3
+    keep = np.nonzero(~pruned)[0].tolist()
+    n2 = int(np.count_nonzero(prune2))
+    n3 = int(np.count_nonzero(prune3 & ~prune2))
+    return keep, n2, n3
+
+
+def prune_correlated_keep(
+    mus: Sequence[float],
+    sigmas: Sequence[float],
+    other_sigma_max: float,
+    z: float,
+) -> list[int]:
+    """Proposition 5: pessimistic-threshold filter, elementwise-identical."""
+    m = np.asarray(mus, dtype=np.float64)
+    s = np.asarray(sigmas, dtype=np.float64)
+    if m.size == 0:
+        return []
+    vals = m + z * (s + other_sigma_max)
+    threshold = float(vals.min())
+    return np.nonzero(m <= threshold)[0].tolist()
+
+
+def refine_keep(
+    mus: Sequence[float],
+    vars_: Sequence[float],
+    sigmas: Sequence[float],
+    z_max: float | None,
+    low: bool,
+) -> list[int]:
+    """The RF sweep; prefix-scan when only the variance condition applies.
+
+    With ``z_max=None`` "improves the running extremum" is exactly
+    "beats the prefix extremum", so a ``minimum``/``maximum.accumulate``
+    suffices.  The two-condition sweep is state-coupled (a kept path
+    updates *both* extrema), which no prefix scan captures — that case is
+    inherently sequential and delegates to the reference loop outright
+    rather than paying an array round-trip for nothing.
+    """
+    if z_max is not None:
+        return reference.refine_keep(mus, vars_, sigmas, z_max, low)
+    v = np.asarray(vars_, dtype=np.float64)
+    if v.size == 0:
+        return []
+    if low:
+        prefix = np.concatenate(
+            (np.asarray([-np.inf]), np.maximum.accumulate(v)[:-1])
+        )
+        return np.nonzero(v > prefix)[0].tolist()
+    prefix = np.concatenate((np.asarray([np.inf]), np.minimum.accumulate(v)[:-1]))
+    return np.nonzero(v < prefix)[0].tolist()
+
+
+def scan_pairs(
+    mus_sh: Sequence[float],
+    vars_sh: Sequence[float],
+    mus_ht: Sequence[float],
+    vars_ht: Sequence[float],
+    idx_sh: Sequence[int],
+    idx_ht: Sequence[int],
+    z: float,
+) -> tuple[float, int, int]:
+    """Algorithm 1's concatenation scan as one broadcast evaluation.
+
+    ``(mu1 + mu2) + z * sqrt(var)`` follows the reference's association
+    order; flat ``argmin`` in C order reproduces its row-major
+    first-occurrence tie-break.
+    """
+    i_idx = np.asarray(idx_sh, dtype=np.intp)
+    j_idx = np.asarray(idx_ht, dtype=np.intp)
+    if i_idx.size == 0 or j_idx.size == 0:
+        return math.inf, -1, -1
+    m1 = np.asarray(mus_sh, dtype=np.float64)[i_idx]
+    v1 = np.asarray(vars_sh, dtype=np.float64)[i_idx]
+    m2 = np.asarray(mus_ht, dtype=np.float64)[j_idx]
+    v2 = np.asarray(vars_ht, dtype=np.float64)[j_idx]
+    var = v1[:, None] + v2[None, :]
+    positive = var > 0.0
+    spread = np.where(positive, z * np.sqrt(np.where(positive, var, 1.0)), 0.0)
+    values = (m1[:, None] + m2[None, :]) + spread
+    flat = int(np.argmin(values))
+    bi, bj = divmod(flat, j_idx.size)
+    return float(values[bi, bj]), int(i_idx[bi]), int(j_idx[bj])
+
+
+def best_label(
+    mus: Sequence[float], sigmas: Sequence[float], z: float
+) -> tuple[float, int]:
+    """Per-label argmin of ``mu + z * sigma`` (first occurrence)."""
+    m = np.asarray(mus, dtype=np.float64)
+    if m.size == 0:
+        return math.inf, -1
+    s = np.asarray(sigmas, dtype=np.float64)
+    values = m + z * s
+    i = int(np.argmin(values))
+    return float(values[i]), i
+
+
+def merge_rowsums(
+    maps: Sequence[Mapping[int, float]],
+) -> dict[int, float]:
+    """Shared with the reference backend: float sums are order-sensitive."""
+    return reference.merge_rowsums(maps)

@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import weakref
 from array import array
+from contextlib import contextmanager
 from time import perf_counter
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro.core.kernels import active_backend
+from repro.core.kernels.reference import compute_bound_refs
 from repro.obs import get_registry, get_tracer
 from repro.resilience.failpoints import failpoint
 
@@ -67,34 +70,8 @@ class Slice:
         self.win_ints = win_ints
 
 
-def compute_bound_refs(
-    mus: Sequence[float], sigmas: Sequence[float]
-) -> tuple[list[int], list[int]]:
-    """Per-path upper bound maximizer / lower bound minimizer indices.
-
-    Definition 10: ``p_max = argmax_{mu' < mu} Phi((mu-mu')/(sigma'-sigma))``;
-    Definition 11: ``p_min = argmin_{mu' > mu} Phi((mu'-mu)/(sigma-sigma'))``.
-    ``-1`` marks "no such path" (first/last elements).  Sets are sorted by
-    increasing mean and decreasing sigma, so candidates with smaller mean
-    are exactly the earlier indices.
-    """
-    k = len(mus)
-    ub = [-1] * k
-    lb = [-1] * k
-    for i in range(k):
-        best_ratio = -float("inf")
-        for j in range(i):
-            ratio = (mus[i] - mus[j]) / (sigmas[j] - sigmas[i])
-            if ratio > best_ratio:
-                best_ratio = ratio
-                ub[i] = j
-        best_ratio = float("inf")
-        for j in range(i + 1, k):
-            ratio = (mus[j] - mus[i]) / (sigmas[i] - sigmas[j])
-            if ratio < best_ratio:
-                best_ratio = ratio
-                lb[i] = j
-    return ub, lb
+# compute_bound_refs (Definitions 10/11) now lives in the kernel layer;
+# re-exported here because it is part of this module's historical API.
 
 
 class ColumnarPathStore:
@@ -227,9 +204,12 @@ class ColumnarPathStore:
             self.sigmas = array("d")
             self.win_flat = array("q")
             self.win_lens = array("I")
+            # Keyed by id() of the *old* Slice object: starts are ambiguous
+            # (a replaced entry's dead view can share a start with a live
+            # slab after earlier compactions), object identity is not.
             remap: dict[int, Slice] = {}
             for key, info in self._entries.items():
-                remap[info.start] = self._entries[key] = self._move_slice(old, info)
+                remap[id(info)] = self._entries[key] = self._move_slice(old, info)
             self._after_compact(remap)
         failpoint("labelstore.compacted")
         registry = get_registry()
@@ -253,7 +233,10 @@ class ColumnarPathStore:
         return moved
 
     def _after_compact(self, remap: dict[int, Slice]) -> None:
-        """Hook for subclasses compacting side columns / rebinding views."""
+        """Hook for subclasses compacting side columns / rebinding views.
+
+        ``remap`` maps ``id(old_slice) -> new_slice`` for live entries.
+        """
 
 
 class LabelStore(ColumnarPathStore):
@@ -271,10 +254,24 @@ class LabelStore(ColumnarPathStore):
         self.ub = array("l")
         self.lb = array("l")
         self._views: "weakref.WeakSet[LabelPathSet]" = weakref.WeakSet()
+        self._exporting: "weakref.WeakSet[LabelPathSet]" = weakref.WeakSet()
+        self._deferred: (
+            list[tuple[Slice, tuple[Sequence[int], Sequence[int]] | None]] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Entry API
     # ------------------------------------------------------------------
+    def set_entry(
+        self, key: tuple[int, int] | None, paths: Sequence["PathSummary"]
+    ) -> Slice:
+        # Cached zero-copy kernel columns hold buffer exports on the column
+        # arrays; appending while one is alive raises BufferError, so the
+        # caches are dropped before any growth.
+        if self._exporting:
+            self._drop_kernel_columns()
+        return super().set_entry(key, paths)
+
     def add_entry(
         self,
         key: tuple[int, int] | None,
@@ -285,31 +282,128 @@ class LabelStore(ColumnarPathStore):
 
         ``precomputed`` optionally supplies the ``(ub, lb)`` bound reference
         columns (the v2 index format persists them so loading skips the
-        O(k^2) recomputation).
+        O(k^2) recomputation).  Inside a :meth:`deferred_bound_refs` window
+        the computation is queued instead of done inline.
         """
         from repro.core.pruning import LabelPathSet
 
         paths = tuple(paths)
         info = self.set_entry(key, paths)
         if self.independent:
-            if precomputed is None:
-                mus = self.mus[info.start : info.start + info.count]
-                sigmas = self.sigmas[info.start : info.start + info.count]
-                ub, lb = compute_bound_refs(mus, sigmas)
+            if self._deferred is not None:
+                self._deferred.append((info, precomputed))
+            elif precomputed is not None:
+                self.ub.extend(precomputed[0])
+                self.lb.extend(precomputed[1])
             else:
-                ub, lb = precomputed
-            self.ub.extend(ub)
-            self.lb.extend(lb)
+                self._extend_bound_refs(info, active_backend())
         view = LabelPathSet.from_store(self, info, paths)
         self._views.add(view)
         return view
 
     replace_entry = add_entry
 
+    def _extend_bound_refs(self, info: Slice, backend: object) -> None:
+        """Append ``info``'s Definition-10/11 columns via ``backend``.
+
+        The moment views passed to the kernel are transient: they die when
+        this frame returns, so they never block later column growth.
+        """
+        s, e = info.start, info.start + info.count
+        ub, lb = backend.compute_bound_refs(  # type: ignore[attr-defined]
+            memoryview(self.mus)[s:e], memoryview(self.sigmas)[s:e]
+        )
+        self.ub.extend(ub)
+        self.lb.extend(lb)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("kernels.calls.bound_refs").inc()
+
+    @contextmanager
+    def deferred_bound_refs(self) -> Iterator[None]:
+        """Batch Definition-10/11 computation across a build/rebuild loop.
+
+        While the context is active, :meth:`add_entry` queues entries
+        instead of computing their ``ub``/``lb`` columns inline; on exit
+        the whole batch flushes through one backend resolution.  Views
+        created inside the window must not serve pruning until the context
+        exits (their bound columns are not appended yet), and
+        :meth:`compact` refuses to run — both match how construction and
+        maintenance drive builds.  No-op on non-independent stores and
+        when already deferring.
+        """
+        if not self.independent or self._deferred is not None:
+            yield
+            return
+        pending: list[tuple[Slice, tuple[Sequence[int], Sequence[int]] | None]] = []
+        self._deferred = pending
+        try:
+            yield
+        finally:
+            # Flush even on error so the columns stay aligned with the
+            # entries that did land.
+            self._deferred = None
+            self._flush_bound_refs(pending)
+
+    def _flush_bound_refs(
+        self,
+        pending: list[tuple[Slice, tuple[Sequence[int], Sequence[int]] | None]],
+    ) -> None:
+        if not pending:
+            return
+        started = perf_counter()
+        backend = active_backend()
+        for info, precomputed in pending:
+            if len(self.ub) != info.start:
+                raise RuntimeError("bound-ref columns out of sync with deferred entries")
+            if precomputed is not None:
+                self.ub.extend(precomputed[0])
+                self.lb.extend(precomputed[1])
+            else:
+                self._extend_bound_refs(info, backend)
+        registry = get_registry()
+        if registry.enabled:
+            registry.timer("kernels.bound_refs").observe(perf_counter() - started)
+
     def bound_refs(self, info: Slice) -> tuple[array, array]:
         """The ``(ub, lb)`` column slices of one entry (independent only)."""
         s, c = info.start, info.count
         return self.ub[s : s + c], self.lb[s : s + c]
+
+    # ------------------------------------------------------------------
+    # Kernel column views
+    # ------------------------------------------------------------------
+    def column_views(
+        self, info: Slice
+    ) -> tuple[
+        memoryview, memoryview, memoryview, memoryview | None, memoryview | None
+    ]:
+        """Zero-copy ``(mus, sigmas, vars, ub, lb)`` views of one entry.
+
+        The views alias the live column buffers, so holding one (or any
+        wrapper around it) blocks column growth; caches built from them
+        must register via :meth:`register_kernel_columns` so the store can
+        drop them before every append and compaction.
+        """
+        s, e = info.start, info.start + info.count
+        ub = memoryview(self.ub)[s:e] if self.independent else None
+        lb = memoryview(self.lb)[s:e] if self.independent else None
+        return (
+            memoryview(self.mus)[s:e],
+            memoryview(self.sigmas)[s:e],
+            memoryview(self.vars)[s:e],
+            ub,
+            lb,
+        )
+
+    def register_kernel_columns(self, view: "LabelPathSet") -> None:
+        """Track a view that cached zero-copy kernel columns."""
+        self._exporting.add(view)
+
+    def _drop_kernel_columns(self) -> None:
+        for view in tuple(self._exporting):
+            view.drop_kernel_columns()
+        self._exporting.clear()
 
     # ------------------------------------------------------------------
     # Exact sizing
@@ -324,6 +418,8 @@ class LabelStore(ColumnarPathStore):
     # Compaction
     # ------------------------------------------------------------------
     def compact(self) -> None:
+        if self._deferred is not None:
+            raise RuntimeError("cannot compact while bound-ref computation is deferred")
         self._old_stats = (self.ub, self.lb)
         self.ub = array("l")
         self.lb = array("l")
@@ -342,9 +438,16 @@ class LabelStore(ColumnarPathStore):
         return moved
 
     def _after_compact(self, remap: dict[int, Slice]) -> None:
+        # Zero-copy kernel caches point into the pre-compaction buffers.
+        self._drop_kernel_columns()
         for view in tuple(self._views):
-            moved = remap.get(view._start)
-            if moved is not None and moved.count == view._count:
+            moved = remap.get(id(view._slice))
+            if moved is not None:
+                view._slice = moved
                 view._start = moved.start
-            elif view._mus is None:
-                view._start = -1  # dead view, never materialised: poison it
+            else:
+                # The entry was replaced after this view was handed out:
+                # poison it (materialised views keep serving their tuple
+                # caches; anything else fails loudly instead of silently
+                # reading another entry's slots).
+                view._start = -1

@@ -22,9 +22,12 @@ dominance of Proposition 5 instead.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Iterator, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
+from repro.core.kernels import active_backend
 from repro.core.pathsummary import PathSummary
+from repro.obs import get_registry
 from repro.stats.normal import phi_cdf
 from repro.stats.zscores import z_value
 
@@ -55,6 +58,7 @@ class LabelPathSet:
         "sigma_min",
         "sigma_max",
         "_store",
+        "_slice",
         "_start",
         "_count",
         "_mus",
@@ -62,6 +66,8 @@ class LabelPathSet:
         "_vars",
         "_ub",
         "_lb",
+        "_cols",
+        "_cols_kind",
         "__weakref__",
     )
 
@@ -69,6 +75,7 @@ class LabelPathSet:
     sigma_min: float
     sigma_max: float
     _store: "LabelStore"
+    _slice: "Slice"
     _start: int
     _count: int
     _mus: tuple[float, ...] | None
@@ -76,6 +83,8 @@ class LabelPathSet:
     _vars: tuple[float, ...] | None
     _ub: tuple[int, ...] | None
     _lb: tuple[int, ...] | None
+    _cols: tuple[Any, Any, Any, Any, Any] | None
+    _cols_kind: str
 
     def __init__(self, paths: Sequence[PathSummary], independent: bool = True) -> None:
         from repro.core.labelstore import LabelStore
@@ -86,9 +95,12 @@ class LabelPathSet:
         self.sigma_min = view.sigma_min
         self.sigma_max = view.sigma_max
         self._store = store
+        self._slice = view._slice
         self._start = view._start
         self._count = view._count
         self._mus = self._sigmas = self._vars = self._ub = self._lb = None
+        self._cols = None
+        self._cols_kind = ""
 
     @classmethod
     def from_store(
@@ -98,6 +110,7 @@ class LabelPathSet:
         self = object.__new__(cls)
         self.paths = paths
         self._store = store
+        self._slice = info
         self._start = info.start
         self._count = info.count
         if info.count:
@@ -107,6 +120,8 @@ class LabelPathSet:
         else:
             self.sigma_min = self.sigma_max = 0.0
         self._mus = self._sigmas = self._vars = self._ub = self._lb = None
+        self._cols = None
+        self._cols_kind = ""
         return self
 
     # ------------------------------------------------------------------
@@ -170,6 +185,40 @@ class LabelPathSet:
             self._materialize()
         return self._lb
 
+    # ------------------------------------------------------------------
+    # Kernel columns
+    # ------------------------------------------------------------------
+    def columns(self, backend: Any) -> tuple[Any, Any, Any, Any, Any]:
+        """The entry's ``(mus, sigmas, vars, ub, lb)`` in kernel layout.
+
+        The reference backend reuses the lazy tuple caches.  Other
+        backends get the result of ``backend.wrap_columns`` over the
+        store's zero-copy column views, cached here and registered with
+        the store so it can invalidate the cache before any column append
+        or compaction.  A poisoned view (its entry was replaced) falls
+        back to its materialised tuples when it has them — matching the
+        tuple path — and raises otherwise.
+        """
+        if backend.NAME == "python" or self._start < 0:
+            if self._mus is None:
+                self._materialize()
+            return (self._mus, self._sigmas, self._vars, self._ub, self._lb)
+        if self._cols is not None and self._cols_kind == backend.NAME:
+            return self._cols
+        store = self._store
+        cols: tuple[Any, Any, Any, Any, Any] = backend.wrap_columns(
+            *store.column_views(self._slice)
+        )
+        self._cols = cols
+        self._cols_kind = backend.NAME
+        store.register_kernel_columns(self)
+        return cols
+
+    def drop_kernel_columns(self) -> None:
+        """Release cached zero-copy columns (store pre-mutation hook)."""
+        self._cols = None
+        self._cols_kind = ""
+
     def bound(self, i: int, j: int, x: float) -> float:
         """``B_{p_i}(p_j, x)`` — the intersection confidence level.
 
@@ -194,12 +243,16 @@ def prune_pair(
     set_ht: LabelPathSet,
     alpha: float,
     counts: list[int] | None = None,
+    backend: Any = None,
 ) -> tuple[list[int], list[int]]:
     """Algorithm 2: prune both sides of a hoplink against each other.
 
     Returns the surviving indices of each side.  Pruning one side uses only
     the *precomputed* ``sigma_min``/``sigma_max`` of the other side's full
-    stored set, exactly as in the paper (Lines 1-4 of Algorithm 2).
+    stored set, exactly as in the paper (Lines 1-4 of Algorithm 2).  The
+    Proposition 2/3 bound evaluation runs in the kernel layer —
+    ``backend`` pins one (callers answering a query resolve it once);
+    ``None`` resolves :func:`repro.core.kernels.active_backend`.
 
     ``counts``, when given, is a two-slot accumulator incremented per
     pruned path by proposition: ``counts[0]`` intersection dominance
@@ -207,38 +260,25 @@ def prune_pair(
     the per-proposition attribution behind the observability layer's
     ``engine.prune.prop2/prop3`` counters.
     """
-    return (
-        _survivors(set_sh, set_ht.sigma_min, set_ht.sigma_max, alpha, counts),
-        _survivors(set_ht, set_sh.sigma_min, set_sh.sigma_max, alpha, counts),
+    if backend is None:
+        backend = active_backend()
+    started = perf_counter()
+    mus, sigmas, _, ub, lb = set_sh.columns(backend)
+    keep_sh, n2_sh, n3_sh = backend.prune_independent(
+        mus, sigmas, ub, lb, set_ht.sigma_min, set_ht.sigma_max, alpha
     )
-
-
-def _survivors(
-    label_set: LabelPathSet,
-    other_sigma_min: float,
-    other_sigma_max: float,
-    alpha: float,
-    counts: list[int] | None = None,
-) -> list[int]:
-    keep: list[int] = []
-    ub_ratio = label_set.ub_ratio
-    lb_ratio = label_set.lb_ratio
-    assert ub_ratio is not None and lb_ratio is not None  # independent plane only
-    for i in range(len(label_set)):
-        j = ub_ratio[i]
-        if j >= 0 and alpha < label_set.bound(i, j, other_sigma_min):
-            # intersection dominance: a smaller-mean path wins at alpha
-            if counts is not None:
-                counts[0] += 1
-            continue
-        j = lb_ratio[i]
-        if j >= 0 and alpha > label_set.bound(i, j, other_sigma_max):
-            # reverse intersection dominance: a larger-mean path wins
-            if counts is not None:
-                counts[1] += 1
-            continue
-        keep.append(i)
-    return keep
+    mus, sigmas, _, ub, lb = set_ht.columns(backend)
+    keep_ht, n2_ht, n3_ht = backend.prune_independent(
+        mus, sigmas, ub, lb, set_sh.sigma_min, set_sh.sigma_max, alpha
+    )
+    if counts is not None:
+        # nrplint: disable-next-line=purity -- counts is the documented obs accumulator out-param (prune attribution); it never feeds back into pruning decisions
+        counts[0], counts[1] = counts[0] + n2_sh + n2_ht, counts[1] + n3_sh + n3_ht
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("kernels.calls.prune").inc(2)
+        registry.timer("kernels.prune").observe(perf_counter() - started)
+    return keep_sh, keep_ht
 
 
 def prune_correlated(
@@ -246,35 +286,34 @@ def prune_correlated(
     set_ht: LabelPathSet,
     alpha: float,
     counts: list[int] | None = None,
+    backend: Any = None,
 ) -> tuple[list[int], list[int]]:
     """Proposition 5 pruning for correlated sets.
 
     ``p_2`` is dominated w.r.t. the other side's set ``P`` when some ``p_1``
     satisfies ``mu_1 + Z_alpha*(sigma_1 + sigma_max(P)) < mu_2``: even with
     maximal positive correlation, ``p_1``'s concatenations stay below
-    ``p_2``'s mean alone.
+    ``p_2``'s mean alone.  The threshold test runs in the kernel layer
+    (``backend`` as in :func:`prune_pair`).
 
     ``counts``, when given, is a one-slot accumulator incremented per
     pruned path (the ``engine.prune.prop5`` counter).
     """
+    if backend is None:
+        backend = active_backend()
+    started = perf_counter()
     z = z_value(alpha)
-    survivors_sh = _correlated_survivors(set_sh, set_ht.sigma_max, z)
-    survivors_ht = _correlated_survivors(set_ht, set_sh.sigma_max, z)
+    mus, sigmas, _, _, _ = set_sh.columns(backend)
+    survivors_sh = backend.prune_correlated_keep(mus, sigmas, set_ht.sigma_max, z)
+    mus, sigmas, _, _, _ = set_ht.columns(backend)
+    survivors_ht = backend.prune_correlated_keep(mus, sigmas, set_sh.sigma_max, z)
     if counts is not None:
         # nrplint: disable-next-line=purity -- counts is the documented obs accumulator out-param (prune attribution); it never feeds back into pruning decisions
         counts[0] += (len(set_sh) - len(survivors_sh)) + (
             len(set_ht) - len(survivors_ht)
         )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("kernels.calls.prune").inc(2)
+        registry.timer("kernels.prune").observe(perf_counter() - started)
     return survivors_sh, survivors_ht
-
-
-def _correlated_survivors(
-    label_set: LabelPathSet, other_sigma_max: float, z: float
-) -> list[int]:
-    if not len(label_set):
-        return []
-    threshold = min(
-        mu + z * (sigma + other_sigma_max)
-        for mu, sigma in zip(label_set.mus, label_set.sigmas)
-    )
-    return [i for i, mu in enumerate(label_set.mus) if mu <= threshold]

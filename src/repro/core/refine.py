@@ -22,9 +22,12 @@ window ``q`` (and the empty window).
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Iterable, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from repro.core.kernels import active_backend
 from repro.core.pathsummary import PathSummary
+from repro.obs import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.covariance import CovarianceStore
@@ -44,34 +47,55 @@ PRACTICAL_Z_MAX = 3.1
 EdgeKey = tuple[int, int]
 
 
+def _refine_sweep(
+    paths: Iterable[PathSummary],
+    z_max: float | None,
+    low: bool,
+    backend: Any,
+) -> list[PathSummary]:
+    """Sort, run the kernel sweep, and map kept indices back to paths."""
+    if backend is None:
+        backend = active_backend()
+    started = perf_counter()
+    if low:
+        # Equal means: the largest variance wins on (0, 0.5).
+        ordered = sorted(paths, key=lambda p: (p.mu, -p.var))
+    else:
+        ordered = sorted(paths, key=lambda p: (p.mu, p.var))
+    kept = backend.refine_keep(
+        [p.mu for p in ordered],
+        [p.var for p in ordered],
+        [p.sigma for p in ordered],
+        z_max,
+        low,
+    )
+    result = [ordered[i] for i in kept]
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("kernels.calls.refine").inc()
+        registry.timer("kernels.refine").observe(perf_counter() - started)
+    return result
+
+
 def refine_independent(
-    paths: Iterable[PathSummary], z_max: float | None = PRACTICAL_Z_MAX
+    paths: Iterable[PathSummary],
+    z_max: float | None = PRACTICAL_Z_MAX,
+    backend: Any = None,
 ) -> list[PathSummary]:
     """``RF(P)`` for independent travel times on ``alpha > 0.5``.
 
     Returns paths sorted by strictly increasing mean, strictly decreasing
     sigma, and (when ``z_max`` is given) strictly decreasing
-    ``mu + z_max * sigma``.
+    ``mu + z_max * sigma``.  The sweep itself runs in the kernel layer
+    (``backend=None`` resolves the active backend).
     """
-    ordered = sorted(paths, key=lambda p: (p.mu, p.var))
-    kept: list[PathSummary] = []
-    best_value = math.inf
-    best_var = math.inf
-    for p in ordered:
-        if p.var >= best_var:
-            continue  # M-V dominated by the previous kept path
-        if z_max is not None:
-            value = p.mu + z_max * p.sigma
-            if value >= best_value:
-                continue  # dominated on the whole interval alpha <= Phi(z_max)
-            best_value = value
-        best_var = p.var
-        kept.append(p)
-    return kept
+    return _refine_sweep(paths, z_max, low=False, backend=backend)
 
 
 def refine_independent_low(
-    paths: Iterable[PathSummary], z_max: float | None = PRACTICAL_Z_MAX
+    paths: Iterable[PathSummary],
+    z_max: float | None = PRACTICAL_Z_MAX,
+    backend: Any = None,
 ) -> list[PathSummary]:
     """``RF(P)`` for the symmetric ``alpha < 0.5`` case (``P^{<0.5}``).
 
@@ -83,22 +107,7 @@ def refine_independent_low(
     ``mu - z_max * sigma`` strictly decreasing (covering ``alpha >=
     1 - Phi(z_max)``, i.e. 0.001 for the default 3.1).
     """
-    # Equal means: the largest variance wins on (0, 0.5).
-    ordered = sorted(paths, key=lambda p: (p.mu, -p.var))
-    kept: list[PathSummary] = []
-    best_value = math.inf
-    best_var = -math.inf
-    for p in ordered:
-        if p.var <= best_var:
-            continue  # low-side M-V dominated
-        if z_max is not None:
-            value = p.mu - z_max * p.sigma
-            if value >= best_value:
-                continue  # dominated for every Z in [-z_max, 0)
-            best_value = value
-        best_var = p.var
-        kept.append(p)
-    return kept
+    return _refine_sweep(paths, z_max, low=True, backend=backend)
 
 
 class NeighborhoodCache:
@@ -151,12 +160,15 @@ class NeighborhoodCache:
         return cached
 
     def path_covariances(self, v: int, window: tuple[EdgeKey, ...]) -> dict[int, float]:
-        """``{window index i: cov(path, q_i)}`` for a path window at ``v``."""
-        total: dict[int, float] = {}
-        for e in set(window):
-            for i, value in self.rowsums(v, e).items():
-                total[i] = total.get(i, 0.0) + value
-        return total
+        """``{window index i: cov(path, q_i)}`` for a path window at ``v``.
+
+        Merging runs through the kernel layer's ``merge_rowsums`` (both
+        backends share one implementation: float accumulation order is
+        part of the determinism contract).
+        """
+        return active_backend().merge_rowsums(
+            [self.rowsums(v, e) for e in set(window)]
+        )
 
     def _entry(
         self, v: int

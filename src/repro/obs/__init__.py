@@ -144,6 +144,12 @@ def _preregister() -> None:
         ("resilience.query.degraded", "deadline misses answered by the mean-only fallback"),
         ("resilience.io.retries", "atomic writes retried after transient OSError"),
         ("resilience.wal.replayed", "maintenance batches replayed from the WAL on reopen"),
+        ("kernels.backend.python", "queries answered with the reference kernel backend"),
+        ("kernels.backend.vector", "queries answered with the vectorised kernel backend"),
+        ("kernels.calls.prune", "kernel prune passes (Algorithm 2 / Proposition 5 sides)"),
+        ("kernels.calls.refine", "kernel refine sweeps (RF)"),
+        ("kernels.calls.bound_refs", "kernel Definition-10/11 bound-reference batches"),
+        ("kernels.calls.scan", "kernel concatenation/label scans (Algorithm 1)"),
     ):
         reg.counter(name, help)
     for name, help in (
@@ -158,6 +164,9 @@ def _preregister() -> None:
         ("maintenance.update", "maintenance batch latency"),
         ("serialization.save", "index save latency"),
         ("serialization.load", "index load latency"),
+        ("kernels.prune", "prune kernel latency per hoplink pair"),
+        ("kernels.refine", "refine kernel latency per RF call"),
+        ("kernels.bound_refs", "bound-reference kernel latency per batch"),
     ):
         reg.timer(name, help)
     reg.histogram("engine.query_seconds", "per-query latency histogram")

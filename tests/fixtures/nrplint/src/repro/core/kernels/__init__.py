@@ -1,0 +1,1 @@
+"""Fixture package mirroring ``repro.core.kernels`` for the lint tests."""

@@ -1,0 +1,3 @@
+"""Fixture: kernel backends may import only the ``repro.stats`` leaf."""
+
+from repro.core.engine import QueryEngine  # noqa: F401  # reaches above the leaf

@@ -1,0 +1,216 @@
+"""Seeded randomized equivalence fuzz: vector vs reference kernels.
+
+The kernel layer's contract is *bit*-identity, not closeness: the engine
+picks a backend once per query and memoises plans, so any divergence —
+a different survivor, a last-bit value difference, a different tie-break
+— would make cached plans disagree with fresh ones.  This fuzz sweeps
+random store shapes (empty, singleton, large), both planes' sweep
+directions, and an alpha ladder including the ``0.5`` sentinel
+(``z = 0``) and ``0.9999`` (``|z| > 3.5``, the vector backend's
+delegate-to-reference regime), asserting exact equality of every kernel
+output under every available backend.
+
+Backend selection itself (env var, forced override, numpy-absent
+fallback) is covered at the bottom.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import kernels
+from repro.core.kernels import reference
+from repro.core.labelstore import LabelStore
+from repro.core.pathsummary import PathSummary
+from repro.core.pruning import prune_correlated, prune_pair
+from repro.stats.zscores import z_value
+
+HAVE_VECTOR = "vector" in kernels.backend_names()
+needs_vector = pytest.mark.skipif(not HAVE_VECTOR, reason="numpy unavailable")
+
+#: The sweep: 0.5 is the z = 0 sentinel, 0.9999 forces |z| > 3.5 (the
+#: vector prune kernel's exact-delegation regime).
+ALPHAS = (0.5, 0.6, 0.75, 0.9, 0.95, 0.99, 0.9999)
+
+SEEDS = (11, 23, 47)
+SIZES = (0, 1, 2, 7, 33, 128)
+
+
+def _candidates(rng: random.Random, k: int) -> list[tuple[float, float]]:
+    return [
+        (rng.uniform(10.0, 40.0), rng.uniform(0.5, 30.0) ** 2) for _ in range(k)
+    ]
+
+
+def _refined(rng: random.Random, k: int) -> tuple[list[float], list[float], list[float]]:
+    """A valid refined independent-high set: run the reference RF sweep
+    over random candidates, so mu strictly rises and sigma strictly falls."""
+    cand = sorted(_candidates(rng, k))
+    mus = [mu for mu, _ in cand]
+    vars_ = [var for _, var in cand]
+    sigmas = [var ** 0.5 for var in vars_]
+    kept = reference.refine_keep(mus, vars_, sigmas, None, False)
+    return (
+        [mus[i] for i in kept],
+        [sigmas[i] for i in kept],
+        [vars_[i] for i in kept],
+    )
+
+
+@needs_vector
+class TestKernelEquivalence:
+    @pytest.fixture(scope="class")
+    def vector(self):
+        return kernels._resolve("vector")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compute_bound_refs(self, vector, seed):
+        rng = random.Random(seed)
+        for k in SIZES:
+            mus, sigmas, _ = _refined(rng, k)
+            assert vector.compute_bound_refs(mus, sigmas) == (
+                reference.compute_bound_refs(mus, sigmas)
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prune_independent(self, vector, seed):
+        rng = random.Random(seed)
+        for k in SIZES:
+            mus, sigmas, _ = _refined(rng, k)
+            o_mus, o_sigmas, _ = _refined(rng, max(k, 1))
+            ub, lb = reference.compute_bound_refs(mus, sigmas)
+            lo, hi = min(o_sigmas), max(o_sigmas)
+            for alpha in ALPHAS:
+                got = vector.prune_independent(mus, sigmas, ub, lb, lo, hi, alpha)
+                want = reference.prune_independent(mus, sigmas, ub, lb, lo, hi, alpha)
+                assert got == want, (seed, k, alpha)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prune_correlated_keep(self, vector, seed):
+        rng = random.Random(seed)
+        for k in SIZES:
+            mus, sigmas, _ = _refined(rng, k)
+            other = rng.uniform(0.5, 20.0)
+            for alpha in ALPHAS:
+                z = z_value(alpha)
+                assert vector.prune_correlated_keep(mus, sigmas, other, z) == (
+                    reference.prune_correlated_keep(mus, sigmas, other, z)
+                ), (seed, k, alpha)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refine_keep(self, vector, seed):
+        rng = random.Random(seed)
+        for k in SIZES:
+            for low in (False, True):
+                cand = sorted(
+                    _candidates(rng, k),
+                    key=(lambda mv: (mv[0], -mv[1])) if low else None,
+                )
+                mus = [mu for mu, _ in cand]
+                vars_ = [var for _, var in cand]
+                sigmas = [var ** 0.5 for var in vars_]
+                for z_max in (None, 2.0, 3.0):
+                    assert vector.refine_keep(mus, vars_, sigmas, z_max, low) == (
+                        reference.refine_keep(mus, vars_, sigmas, z_max, low)
+                    ), (seed, k, low, z_max)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scan_pairs_and_best_label(self, vector, seed):
+        rng = random.Random(seed)
+        for k in SIZES:
+            mus, sigmas, vars_ = _refined(rng, k)
+            o_mus, o_sigmas, o_vars = _refined(rng, k)
+            n, m = len(mus), len(o_mus)
+            idx_sh = sorted(rng.sample(range(n), rng.randint(0, n))) if n else []
+            idx_ht = sorted(rng.sample(range(m), rng.randint(0, m))) if m else []
+            for alpha in (0.3, *ALPHAS):  # 0.3: a negative-z scan
+                z = z_value(alpha)
+                assert vector.scan_pairs(
+                    mus, vars_, o_mus, o_vars, idx_sh, idx_ht, z
+                ) == reference.scan_pairs(
+                    mus, vars_, o_mus, o_vars, idx_sh, idx_ht, z
+                ), (seed, k, alpha)
+                assert vector.best_label(mus, sigmas, z) == (
+                    reference.best_label(mus, sigmas, z)
+                ), (seed, k, alpha)
+
+    def test_merge_rowsums_shared(self, vector):
+        maps = [{1: 0.1, 2: 0.2}, {2: 0.3, 5: -0.4}, {1: 1e-9}]
+        assert vector.merge_rowsums(maps) == reference.merge_rowsums(maps)
+
+
+@needs_vector
+class TestStoreLevelEquivalence:
+    """prune_pair / prune_correlated through real store views."""
+
+    def _sets(self, seed: int, independent: bool):
+        rng = random.Random(seed)
+        store = LabelStore(independent=independent)
+        views = []
+        for key, k in (((1, 0), 19), ((2, 0), 31)):
+            mus, sigmas, vars_ = _refined(rng, k)
+            views.append(
+                store.add_entry(
+                    key,
+                    [PathSummary(mu, var, 0, 1) for mu, var in zip(mus, vars_)],
+                )
+            )
+        return views
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prune_pair_backends_agree(self, seed):
+        vector = kernels._resolve("vector")
+        python = kernels._resolve("python")
+        sh, ht = self._sets(seed, independent=True)
+        for alpha in ALPHAS:
+            counts_v, counts_p = [0, 0], [0, 0]
+            got = prune_pair(sh, ht, alpha, counts_v, backend=vector)
+            want = prune_pair(sh, ht, alpha, counts_p, backend=python)
+            assert got == want and counts_v == counts_p, (seed, alpha)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prune_correlated_backends_agree(self, seed):
+        vector = kernels._resolve("vector")
+        python = kernels._resolve("python")
+        sh, ht = self._sets(seed, independent=False)
+        for alpha in ALPHAS:
+            counts_v, counts_p = [0], [0]
+            got = prune_correlated(sh, ht, alpha, counts_v, backend=vector)
+            want = prune_correlated(sh, ht, alpha, counts_p, backend=python)
+            assert got == want and counts_v == counts_p, (seed, alpha)
+
+
+class TestBackendSelection:
+    def test_env_and_override(self, monkeypatch):
+        monkeypatch.setenv("NRP_KERNELS", "python")
+        assert kernels.active_backend().NAME == "python"
+        monkeypatch.setenv("NRP_KERNELS", "auto")
+        expected = "vector" if HAVE_VECTOR else "python"
+        assert kernels.active_backend().NAME == expected
+        monkeypatch.setenv("NRP_KERNELS", "nonsense")
+        with pytest.raises(ValueError, match="nonsense"):
+            kernels.active_backend()
+        try:
+            kernels.set_backend("python")
+            monkeypatch.setenv("NRP_KERNELS", "vector")
+            # A forced override beats the environment.
+            assert kernels.active_backend().NAME == "python"
+        finally:
+            kernels.set_backend(None)
+
+    def test_auto_falls_back_without_numpy(self, monkeypatch):
+        """Acceptance: the pure-Python backend is auto-selected when numpy
+        is absent, and asking for vector explicitly fails loudly."""
+        monkeypatch.setattr(kernels, "_probed", True)
+        monkeypatch.setattr(kernels, "_vector_module", None)
+        monkeypatch.setattr(kernels, "_cached", None)
+        monkeypatch.delenv("NRP_KERNELS", raising=False)
+        try:
+            assert kernels.backend_names() == ("python",)
+            assert kernels.active_backend() is reference
+            with pytest.raises(RuntimeError, match="numpy"):
+                kernels._resolve("vector")
+        finally:
+            kernels._cached = None  # do not leak the numpy-less cache

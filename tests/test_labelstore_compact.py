@@ -1,0 +1,154 @@
+"""LabelPathSet column caching across ``LabelStore.compact()``.
+
+The kernel layer hands out zero-copy column views (and, under the vector
+backend, numpy wrappers cached on the view), so compaction and appends
+must actively invalidate or re-resolve them:
+
+- a live view is re-bound to its moved slice and keeps serving the same
+  values through both the tuple and the kernel-column paths;
+- a dead view (its entry was replaced) is *poisoned*, never silently
+  re-bound to whatever slice now occupies its old offsets — including the
+  collision case where a later compaction moves a different live entry
+  onto exactly the dead view's ``(start, count)``;
+- appending to the store drops cached zero-copy columns first, so the
+  ``array`` buffers are never locked by a stale export (``BufferError``);
+- ``compact()`` inside a ``deferred_bound_refs`` window is refused — the
+  side columns are not aligned yet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import kernels
+from repro.core.labelstore import LabelStore
+from repro.core.pathsummary import PathSummary
+
+HAVE_VECTOR = "vector" in kernels.backend_names()
+needs_vector = pytest.mark.skipif(not HAVE_VECTOR, reason="numpy unavailable")
+
+
+def _paths(k: int, base_mu: float) -> list[PathSummary]:
+    """A refined independent set: mu strictly up, sigma strictly down."""
+    return [
+        PathSummary(base_mu + i, float((k - i + 1) ** 2), 0, 1) for i in range(k)
+    ]
+
+
+def _backend(name: str):
+    return kernels._resolve(name)
+
+
+class TestLiveViews:
+    def test_live_view_re_resolves_across_compact(self):
+        store = LabelStore(independent=True)
+        store.add_entry((1, 0), _paths(2, 10.0))
+        view = store.add_entry((2, 0), _paths(3, 20.0))
+        store.add_entry((1, 0), _paths(2, 30.0))  # orphan the first slice
+        assert store.garbage_fraction() > 0.0
+        store.compact()
+        assert view._start == view._slice.start >= 0
+        assert view.mus == (20.0, 21.0, 22.0)
+        ub, lb = store.bound_refs(view._slice)
+        assert len(ub) == len(lb) == 3
+
+    @needs_vector
+    def test_live_view_kernel_columns_survive_compact(self):
+        backend = _backend("vector")
+        store = LabelStore(independent=True)
+        store.add_entry((1, 0), _paths(2, 10.0))
+        view = store.add_entry((2, 0), _paths(3, 20.0))
+        cols = view.columns(backend)
+        assert cols[0].tolist() == [20.0, 21.0, 22.0]
+        # Callers must not retain kernel columns across store mutations:
+        # only the view's own cache is under the store's control.
+        del cols
+        store.add_entry((1, 0), _paths(2, 30.0))
+        store.compact()
+        # The pre-compaction cache was dropped, not served from the old
+        # (moved-out-of) buffers.
+        assert view._cols is None
+        after = view.columns(backend)
+        assert after[0].tolist() == [20.0, 21.0, 22.0]
+
+
+class TestDeadViews:
+    def test_dead_view_is_poisoned(self):
+        store = LabelStore(independent=True)
+        view = store.add_entry((1, 0), _paths(2, 10.0))
+        store.add_entry((1, 0), _paths(2, 30.0))  # replace: view is now dead
+        store.compact()
+        assert view._start == -1
+        with pytest.raises(RuntimeError, match="stale LabelPathSet"):
+            view.mus
+
+    def test_materialised_dead_view_keeps_tuple_cache(self):
+        store = LabelStore(independent=True)
+        view = store.add_entry((1, 0), _paths(2, 10.0))
+        assert view.mus == (10.0, 11.0)  # materialise before it dies
+        store.add_entry((1, 0), _paths(2, 30.0))
+        store.compact()
+        assert view._start == -1
+        assert view.mus == (10.0, 11.0)
+        # The kernel-column path must serve the same cached tuples (under
+        # any backend) instead of reading another entry's slots.
+        cols = view.columns(_backend("python"))
+        assert cols[0] == (10.0, 11.0)
+        if HAVE_VECTOR:
+            cols = view.columns(_backend("vector"))
+            assert cols[0] == (10.0, 11.0)
+
+    def test_slice_collision_does_not_resurrect_dead_view(self):
+        """A dead view whose (start, count) later coincides with a live
+        slice must stay dead — the remap is keyed by slice identity."""
+        store = LabelStore(independent=True)
+        va = store.add_entry((1, 0), _paths(2, 10.0))
+        store.add_entry((2, 0), _paths(2, 20.0))
+        store.compact()  # va's slice is now a post-compact object at start 0
+        assert va._slice.start == 0 and va._slice.count == 2
+        store.add_entry((1, 0), _paths(2, 30.0))  # kill va
+        store.compact()  # moves the replacement to exactly (start=0, count=2)
+        assert store.entry_slice((1, 0)).start == 0
+        assert store.entry_slice((1, 0)).count == 2
+        assert va._start == -1
+        with pytest.raises(RuntimeError, match="stale LabelPathSet"):
+            va.mus
+
+
+class TestBufferExports:
+    @needs_vector
+    def test_append_after_cached_vector_columns(self):
+        """Zero-copy caches lock the array buffers; the store must drop
+        them before growing, or every append raises BufferError."""
+        backend = _backend("vector")
+        store = LabelStore(independent=True)
+        view = store.add_entry((1, 0), _paths(2, 10.0))
+        view.columns(backend)
+        assert view._cols is not None
+        fresh = store.add_entry((2, 0), _paths(3, 20.0))  # must not raise
+        assert view._cols is None  # cache invalidated pre-append
+        assert view.columns(backend)[0].tolist() == [10.0, 11.0]
+        assert fresh.columns(backend)[0].tolist() == [20.0, 21.0, 22.0]
+
+
+class TestDeferredBoundRefs:
+    def test_compact_refused_while_deferring(self):
+        store = LabelStore(independent=True)
+        store.add_entry((1, 0), _paths(2, 10.0))
+        store.add_entry((1, 0), _paths(2, 30.0))
+        with store.deferred_bound_refs():
+            with pytest.raises(RuntimeError, match="deferred"):
+                store.compact()
+        store.compact()  # fine after the flush
+
+    def test_deferred_columns_match_inline(self):
+        inline = LabelStore(independent=True)
+        deferred = LabelStore(independent=True)
+        sets = [(key, _paths(3, 10.0 * key[0])) for key in ((1, 0), (2, 0), (3, 1))]
+        for key, paths in sets:
+            inline.add_entry(key, paths)
+        with deferred.deferred_bound_refs():
+            for key, paths in sets:
+                deferred.add_entry(key, paths)
+        assert deferred.ub == inline.ub
+        assert deferred.lb == inline.lb

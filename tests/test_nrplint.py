@@ -42,6 +42,8 @@ EXPECTED_BAD = {
     "bad_obs_guard.py": "obs-guard",
     "bad_private.py": "private-access",
     "bad_purity.py": "purity",
+    "reference.py": "purity",  # kernel backend module: every function is a kernel
+    "bad_kernels_layering.py": "layering",
     "bad_except.py": "silent-except",
     "bad_except_resilience.py": "silent-except",
 }
@@ -106,6 +108,7 @@ class TestFixtures:
         assert counts["bad_float_eq.py"] == 2  # == and !=
         assert counts["bad_private.py"] == 2  # import + attribute reach
         assert counts["bad_purity.py"] == 3  # arg, module state, global
+        assert counts["reference.py"] == 2  # non-kernel-named arg + module state
         assert counts["bad_except.py"] == 2  # bare + silent broad
         assert counts["bad_except_resilience.py"] == 1  # silent BaseException
 

@@ -13,10 +13,14 @@ file validated; any problem prints a path-qualified error and exits 1.
 The validator is a deliberately small, dependency-free subset of JSON
 Schema — exactly the keywords docs/obs_schema.json uses: ``type``,
 ``required``, ``properties``, ``additionalProperties`` (as a schema for
-map values), ``items``, ``enum``, ``const``, ``minimum``.  CI runs it on a
-fresh ``repro obs dump`` and ``repro query --trace`` output on every
-supported Python version, so exported documents cannot drift from the
-checked-in schema unnoticed.
+map values), ``items``, ``enum``, ``const``, ``minimum``.  On top of the
+structural check, ``repro.obs.metrics/1`` documents must carry every
+kernel-layer metric listed under ``_kernel_metrics`` in the schema file —
+those names are pre-registered at import, so a dump missing one means the
+taxonomy and the code have drifted.  CI runs it on a fresh
+``repro obs dump`` and ``repro query --trace`` output on every supported
+Python version, so exported documents cannot drift from the checked-in
+schema unnoticed.
 """
 
 from __future__ import annotations
@@ -100,6 +104,23 @@ def schema_id_for(document: dict) -> str:
     return schema_id
 
 
+def kernel_metric_errors(document: dict, schemas: dict) -> list[str]:
+    """The kernel-layer names from ``_kernel_metrics`` must be present in a
+    metrics dump — pre-registration guarantees them even at value zero."""
+    errors: list[str] = []
+    documented = schemas.get("_kernel_metrics", {})
+    for section in ("counters", "timers"):
+        present = document.get(section)
+        if not isinstance(present, dict):
+            continue  # structural validation already reported this
+        for name in documented.get(section, ()):
+            if name not in present:
+                errors.append(
+                    f"$.{section}: missing pre-registered kernel metric {name!r}"
+                )
+    return errors
+
+
 def check_file(path: Path, schemas: dict) -> list[str]:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
@@ -114,7 +135,10 @@ def check_file(path: Path, schemas: dict) -> list[str]:
     schema = schemas.get(schema_id)
     if schema is None:
         return [f"{path}: unknown schema id {schema_id!r}"]
-    return [f"{path} [{schema_id}] {e}" for e in validate(document, schema)]
+    errors = validate(document, schema)
+    if schema_id == "repro.obs.metrics/1":
+        errors.extend(kernel_metric_errors(document, schemas))
+    return [f"{path} [{schema_id}] {e}" for e in errors]
 
 
 def main(argv: list[str]) -> int:

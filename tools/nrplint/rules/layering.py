@@ -13,6 +13,10 @@
   and couple the observability plane to the index internals.
 - ``repro.stats`` is a pure numeric leaf (Props. 1-5 arithmetic only);
   ``repro.treedec`` may see ``repro.network`` but nothing higher.
+- ``repro.core.kernels`` sits just above that leaf: the backends may
+  import only ``repro.stats`` (numpy is gated in the package
+  ``__init__``), so storage and engine can call down into them without
+  ever creating a cycle.
 - ``repro.resilience`` is the crash-safety substrate ``repro.core``
   builds on (atomic writes, WAL, failpoints); it may see only
   ``repro.network`` and ``repro.obs``, so depending on it can never
@@ -109,6 +113,14 @@ CONTRACTS: tuple[Contract, ...] = (
         scope="repro.core.pathsummary",
         forbidden=_CORE_STORAGE_FORBIDDEN,
         reason="storage must not reach up into engine/service modules",
+    ),
+    Contract(
+        scope="repro.core.kernels",
+        allowed=("repro.stats",),
+        reason=(
+            "kernels are pure columns-in/indices-out procedures over the "
+            "stats leaf; storage and engine layers call down into them"
+        ),
     ),
     Contract(
         scope="repro.obs",

@@ -8,7 +8,10 @@ state would make cached plans diverge from fresh ones — the exact bug
 class the golden suite can only catch after the fact.
 
 Within ``repro.core``, any function whose name matches ``dominates*`` or
-``prune*`` (leading underscore allowed) must not:
+``prune*`` (leading underscore allowed) — and, in the kernel backend
+modules ``repro.core.kernels.reference`` / ``repro.core.kernels.vector``,
+*every* function, since the whole point of that layer is interchangeable
+pure columns-in/indices-out procedures — must not:
 
 - declare ``global``/``nonlocal``,
 - assign/del through a parameter (``param[i] = ...``, ``param.x = ...``,
@@ -30,6 +33,13 @@ from nrplint.core import FileContext, Finding, Rule, base_name, register
 
 _SCOPE = "repro.core"
 _KERNEL_RE = re.compile(r"^_?(dominates|prune)")
+
+#: Backend modules where *every* function is a kernel, not just name
+#: matches.  ``repro.core.kernels`` itself (the ``__init__``) is exempt:
+#: backend selection legitimately caches module state.
+_KERNEL_MODULES = frozenset(
+    {"repro.core.kernels.reference", "repro.core.kernels.vector"}
+)
 
 _MUTATORS = frozenset(
     {
@@ -93,9 +103,10 @@ class PurityRule(Rule):
         if not ctx.in_package(_SCOPE):
             return
         module_names = _module_bindings(ctx.tree)
+        all_kernels = ctx.module in _KERNEL_MODULES
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if _KERNEL_RE.match(node.name):
+                if all_kernels or _KERNEL_RE.match(node.name):
                     yield from self._check_kernel(ctx, node, module_names)
 
     def _check_kernel(
