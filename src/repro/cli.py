@@ -15,6 +15,12 @@ Commands
 - ``obs``    — observability tooling; ``obs dump`` exercises build /
   query / maintenance with full observation on and dumps the metrics
   registry as JSON or Prometheus text.
+- ``workload`` — flight-recorder tooling; ``workload capture`` answers a
+  random workload with the recorder armed and persists a replayable
+  workload file, ``workload show`` summarises one.
+- ``replay`` — re-execute a captured workload, verify every result digest
+  bit-identically (exit 1 on any mismatch), and print the latency /
+  per-phase / per-backend comparison report.
 
 Exit codes: 0 success; 2 usage errors; damaged index files map the typed
 taxonomy of :mod:`repro.resilience.errors` to distinct codes instead of
@@ -204,6 +210,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     observing = bool(args.trace or args.metrics or args.profile)
     if observing:
         obs.enable(metrics=True, tracing=bool(args.trace))
+    if args.flight:
+        obs.flight_recorder().arm()
     if args.slow_ms is not None:
         obs.slow_query_log().configure(args.slow_ms / 1000.0)
         logging.basicConfig(stream=sys.stderr, format="%(name)s: %(message)s")
@@ -295,9 +303,105 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"wrote {profiler.total_samples} profile samples to {args.profile}",
             file=sys.stderr,
         )
+    if args.flight:
+        written = obs.flight_recorder().write_jsonl(args.flight)
+        print(
+            f"wrote {written} flight records to {args.flight} (JSONL)",
+            file=sys.stderr,
+        )
     if args.metrics:
         _print_metrics_table(obs.registry())
     return 0
+
+
+def cmd_workload_capture(args: argparse.Namespace) -> int:
+    from repro.experiments.replay import capture_workload, save_workload
+
+    index = _open_with_recovery(args.index)
+    rng = random.Random(args.seed)
+    alphas = args.alpha or [0.95]
+    vertices = list(index.graph.vertices())
+    triples: list[tuple[int, int, float]] = []
+    while len(triples) < args.count:
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        if s != t:
+            triples.append((s, t, rng.choice(alphas)))
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    document = capture_workload(
+        index, triples, use_pruning=not args.no_pruning, deadline_s=deadline_s
+    )
+    save_workload(document, args.output)
+    meta = document["meta"]
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["queries captured", meta["queries"]],
+                ["alphas", ", ".join(f"{a:g}" for a in sorted(set(alphas)))],
+                ["pruning", not args.no_pruning],
+                ["backends", ", ".join(meta["backends"])],
+                ["written to", str(args.output)],
+            ],
+            title="Workload captured",
+        )
+    )
+    return 0
+
+
+def cmd_workload_show(args: argparse.Namespace) -> int:
+    from repro.experiments.replay import load_workload, percentile
+    from repro.obs.flight import FLIGHT_FIELDS, records_from_rows
+
+    workload = load_workload(args.workload)
+    records = records_from_rows(workload["records"])
+    if not records:
+        print(f"{args.workload}: empty workload", file=sys.stderr)
+        return 1
+    idx = {name: i for i, name in enumerate(FLIGHT_FIELDS)}
+    totals = [rec[idx["total_ns"]] for rec in records]
+    cases: dict[str, int] = {}
+    for rec in records:
+        cases[rec[idx["case"]]] = cases.get(rec[idx["case"]], 0) + 1
+    rows = [
+        ["queries", len(records)],
+        ["backends", ", ".join(workload["meta"].get("backends", []))],
+        ["case mix", ", ".join(f"{k}={v}" for k, v in sorted(cases.items()))],
+        ["degraded", sum(1 for rec in records if rec[idx["degraded"]])],
+        ["p50 latency", f"{percentile(totals, 0.50) / 1e6:.3f} ms"],
+        ["p95 latency", f"{percentile(totals, 0.95) / 1e6:.3f} ms"],
+        ["p99 latency", f"{percentile(totals, 0.99) / 1e6:.3f} ms"],
+    ]
+    print(
+        format_table(
+            ["property", "value"],
+            rows,
+            title=f"Workload {args.workload} ({workload['schema']})",
+        )
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.experiments.replay import (
+        format_replay_report,
+        load_workload,
+        replay_workload,
+    )
+
+    index = _open_with_recovery(args.index)
+    try:
+        workload = load_workload(args.workload)
+        report = replay_workload(index, workload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_replay_report(report))
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote replay report to {args.report}", file=sys.stderr)
+    return 0 if report["identical"] else 1
 
 
 def cmd_obs_dump(args: argparse.Namespace) -> int:
@@ -481,7 +585,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query latency budget; over-budget queries fall back to "
         "the mean-only degraded answer instead of failing",
     )
+    p_query.add_argument(
+        "--flight",
+        type=Path,
+        help="arm the flight recorder and write its per-query records "
+        "to this file as JSONL",
+    )
     p_query.set_defaults(fn=cmd_query)
+
+    p_workload = sub.add_parser("workload", help="flight-recorder workload tooling")
+    workload_sub = p_workload.add_subparsers(dest="workload_command", required=True)
+    p_capture = workload_sub.add_parser(
+        "capture",
+        help="answer a random workload with the flight recorder armed and "
+        "persist it as a replayable workload file",
+    )
+    p_capture.add_argument("--index", type=Path, required=True)
+    p_capture.add_argument("--count", type=int, default=1000, help="queries to capture")
+    p_capture.add_argument(
+        "--alpha",
+        type=float,
+        action="append",
+        help="alpha value(s) to draw from (repeatable; default 0.95)",
+    )
+    p_capture.add_argument("--seed", type=int, default=7)
+    p_capture.add_argument(
+        "--no-pruning", action="store_true", help="capture the Figure-9 ablation"
+    )
+    p_capture.add_argument(
+        "--deadline-ms", type=float, help="per-query deadline during capture"
+    )
+    p_capture.add_argument("--output", "-o", type=Path, required=True)
+    p_capture.set_defaults(fn=cmd_workload_capture)
+    p_show = workload_sub.add_parser("show", help="summarise a workload file")
+    p_show.add_argument("workload", type=Path)
+    p_show.set_defaults(fn=cmd_workload_show)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a captured workload, verify result digests "
+        "bit-identically (exit 1 on mismatch), and print the comparison",
+    )
+    p_replay.add_argument("--index", type=Path, required=True)
+    p_replay.add_argument("--workload", type=Path, required=True)
+    p_replay.add_argument(
+        "--report", type=Path, help="also write the comparison report as JSON"
+    )
+    p_replay.set_defaults(fn=cmd_replay)
 
     p_update = sub.add_parser("update", help="change one edge's distribution")
     p_update.add_argument("--index", type=Path, required=True)

@@ -28,7 +28,8 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.core.kernels import active_backend
 from repro.core.pathsummary import PathSummary, concatenate, edge_path, trivial_path
 from repro.core.pruning import LabelPathSet, prune_correlated, prune_pair
-from repro.obs import get_registry, get_slow_query_log, get_tracer
+from repro.obs import get_flight_recorder, get_registry, get_slow_query_log, get_tracer
+from repro.obs.flight import result_digest
 from repro.resilience.degraded import mean_shortest_path
 from repro.resilience.errors import DeadlineExpired, QueryValidationError
 from repro.stats.zscores import z_value
@@ -126,6 +127,7 @@ class QueryEngine:
         self._registry = reg
         self._tracer = get_tracer()
         self._slow_log = get_slow_query_log()
+        self._flight = get_flight_recorder()
         self._c_queries = reg.counter("engine.queries")
         self._c_hoplinks = reg.counter("engine.hoplinks")
         self._c_concatenations = reg.counter("engine.concatenations")
@@ -494,6 +496,10 @@ class QueryEngine:
             or self._tracer.enabled
             or self._slow_log.enabled
         ):
+            if self._flight.enabled:
+                return self._answer_flight(
+                    s, t, alpha, use_pruning, stats, use_cache, backend
+                )
             plan = self.plan(
                 s, t, alpha, use_pruning, use_cache=use_cache, backend=backend
             )
@@ -514,20 +520,39 @@ class QueryEngine:
         backend: Any = None,
     ) -> "QueryResult":
         """Deadline-armed twin of :meth:`answer` (same answers when on time)."""
-        deadline_at = perf_counter() + deadline_s
+        flight = self._flight
+        plan_hit = sep_hit = False
+        if flight.enabled:
+            plan_hit, sep_hit = self._cache_probe(s, t, alpha, use_pruning, use_cache)
+        before = self._stats_snapshot(stats)
+        plan: QueryPlan | None = None
+        t_start = t_planned = perf_counter()
+        deadline_at = t_start + deadline_s
         try:
             self._validate(alpha)  # validation errors are not deadline misses
             plan = self.plan(
                 s, t, alpha, use_pruning, use_cache=use_cache, backend=backend
             )
-            if perf_counter() > deadline_at:
+            t_planned = perf_counter()
+            if t_planned > deadline_at:
                 raise DeadlineExpired(
                     f"query ({s}, {t}, alpha={alpha}) blew its deadline "
                     f"during planning"
                 )
-            return self.execute(plan, stats, deadline_at=deadline_at, backend=backend)
+            result = self.execute(
+                plan, stats, deadline_at=deadline_at, backend=backend
+            )
         except DeadlineExpired:
-            return self._degraded_answer(s, t, alpha, stats)
+            result = self._degraded_answer(s, t, alpha, stats)
+        t_done = perf_counter()
+        if flight.enabled:
+            flight.record(
+                self._flight_record(
+                    plan, result, stats, before, plan_hit, sep_hit,
+                    t_planned - t_start, t_done - t_planned, t_done - t_start,
+                )
+            )
+        return result
 
     def _degraded_answer(
         self, s: int, t: int, alpha: float, stats: "QueryStats"
@@ -578,13 +603,11 @@ class QueryEngine:
     ) -> "QueryResult":
         """The instrumented twin of :meth:`answer` (same observable results)."""
         tracer = self._tracer
-        before = (
-            stats.hoplinks,
-            stats.concatenations,
-            stats.label_lookups,
-            stats.candidate_paths,
-            stats.surviving_paths,
-        )
+        flight = self._flight
+        plan_hit = sep_hit = False
+        if flight.enabled:
+            plan_hit, sep_hit = self._cache_probe(s, t, alpha, use_pruning, use_cache)
+        before = self._stats_snapshot(stats)
         t_start = perf_counter()
         with tracer.span("engine.answer", s=s, t=t, alpha=alpha) as outer:
             with tracer.span("engine.plan"):
@@ -634,6 +657,128 @@ class QueryEngine:
             slow.log(elapsed, plan, own, lca_depth)
             if registry.enabled:
                 self._c_slow.inc()
+        if flight.enabled:
+            flight.record(
+                self._flight_record(
+                    plan, result, stats, before, plan_hit, sep_hit,
+                    t_planned - t_start, t_done - t_planned, elapsed,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Flight recorder (see repro.obs.flight and docs/observability.md)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stats_snapshot(stats: "QueryStats") -> tuple[int, int, int, int, int]:
+        return (
+            stats.hoplinks,
+            stats.concatenations,
+            stats.label_lookups,
+            stats.candidate_paths,
+            stats.surviving_paths,
+        )
+
+    def _cache_probe(
+        self, s: int, t: int, alpha: float, use_pruning: bool, use_cache: bool
+    ) -> tuple[bool, bool]:
+        """Would this query hit the plan/separator caches?  Pure membership
+        checks mirroring :meth:`plan`'s key (``pruning`` there is
+        ``use_pruning and plane.direction != "low"``, i.e. ``alpha >= 0.5``),
+        taken *before* planning so the flight record carries hit/miss
+        attribution without threading flags through the plan path."""
+        plan_hit = (
+            use_cache
+            and (s, t, alpha, use_pruning and alpha >= 0.5) in self._plan_cache
+        )
+        sep_hit = (s, t) in self._separator_cache
+        return plan_hit, sep_hit
+
+    def _flight_record(
+        self,
+        plan: "QueryPlan | None",
+        result: "QueryResult",
+        stats: "QueryStats",
+        before: tuple[int, int, int, int, int],
+        plan_hit: bool,
+        sep_hit: bool,
+        plan_s: float,
+        execute_s: float,
+        total_s: float,
+    ) -> tuple:
+        """One flight-record tuple (``repro.obs.flight.FLIGHT_FIELDS`` order).
+
+        ``plan`` is None only when a deadline expired during planning; the
+        record is then the degraded fallback's ("degraded" case, no plane).
+        """
+        if plan is not None:
+            plane = plan.plane.direction if plan.plane is not None else "-"
+            case = "degraded" if result.degraded else plan.case
+            lca_depth = (
+                self.index.td.depth[plan.lca] if plan.lca is not None else -1
+            )
+            sep_hit = sep_hit and plan.case == "separator"
+            p2, p3, p5 = plan.pruned_prop2, plan.pruned_prop3, plan.pruned_prop5
+        else:
+            plane, case, lca_depth = "-", "degraded", -1
+            sep_hit = False
+            p2 = p3 = p5 = 0
+        return (
+            result.source,
+            result.target,
+            result.alpha,
+            plane,
+            case,
+            lca_depth,
+            stats.backend,
+            plan_hit,
+            sep_hit,
+            int(plan_s * 1e9),
+            int(execute_s * 1e9),
+            int(total_s * 1e9),
+            stats.hoplinks - before[0],
+            stats.label_lookups - before[2],
+            stats.candidate_paths - before[3],
+            stats.surviving_paths - before[4],
+            stats.concatenations - before[1],
+            p2,
+            p3,
+            p5,
+            result.degraded,
+            result_digest(result),
+        )
+
+    def _answer_flight(
+        self,
+        s: int,
+        t: int,
+        alpha: float,
+        use_pruning: bool,
+        stats: "QueryStats",
+        use_cache: bool,
+        backend: Any = None,
+    ) -> "QueryResult":
+        """The flight-only twin of :meth:`answer`: taken when the recorder
+        is armed but every aggregate sink is off, so a captured workload
+        doesn't pay the span/metrics overhead of :meth:`_answer_observed`
+        (the <3% armed budget of ``bench_flight_overhead.py``)."""
+        flight = self._flight
+        plan_hit, sep_hit = self._cache_probe(s, t, alpha, use_pruning, use_cache)
+        before = self._stats_snapshot(stats)
+        t_start = perf_counter()
+        plan = self.plan(
+            s, t, alpha, use_pruning, use_cache=use_cache, backend=backend
+        )
+        t_planned = perf_counter()
+        result = self.execute(plan, stats, backend=backend)
+        t_done = perf_counter()
+        if flight.enabled:
+            flight.record(
+                self._flight_record(
+                    plan, result, stats, before, plan_hit, sep_hit,
+                    t_planned - t_start, t_done - t_planned, t_done - t_start,
+                )
+            )
         return result
 
     def answer_batch(

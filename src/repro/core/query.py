@@ -125,6 +125,14 @@ class QueryResult:
             vertices.reverse()
         return vertices
 
+    def digest(self) -> int:
+        """Bit-exact 32-bit digest of this answer (value, moments, path
+        length, degraded flag) — the replay-verification token carried in
+        flight records and workload files (``repro.obs.flight``)."""
+        from repro.obs.flight import result_digest
+
+        return result_digest(self)
+
 
 def answer_query(
     index: "NRPIndex",

@@ -29,6 +29,13 @@ Design rules (see ``docs/observability.md`` for the full taxonomy):
 
 from __future__ import annotations
 
+from repro.obs.flight import (
+    FLIGHT_FIELDS,
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    get_flight_recorder,
+    result_digest,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     METRICS_SCHEMA,
@@ -58,18 +65,24 @@ __all__ = [
     "Tracer",
     "SamplingProfiler",
     "SlowQueryLog",
+    "FlightRecorder",
     "registry",
     "tracer",
     "slow_query_log",
+    "flight_recorder",
     "get_registry",
     "get_tracer",
     "get_slow_query_log",
+    "get_flight_recorder",
+    "result_digest",
     "enable",
     "disable",
     "reset",
     "METRICS_SCHEMA",
     "TRACE_SCHEMA",
     "PROFILE_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "FLIGHT_FIELDS",
     "SLOW_QUERY_LOGGER",
     "DEFAULT_LATENCY_BUCKETS",
 ]
@@ -90,12 +103,24 @@ def slow_query_log() -> SlowQueryLog:
     return get_slow_query_log()
 
 
-def enable(*, metrics: bool = True, tracing: bool = True) -> None:
-    """Turn observation on (both sinks by default)."""
+def flight_recorder() -> FlightRecorder:
+    """The process-wide query flight recorder."""
+    return get_flight_recorder()
+
+
+def enable(*, metrics: bool = True, tracing: bool = True, flight: bool = False) -> None:
+    """Turn observation on (metrics + tracing by default).
+
+    The flight recorder is opt-in here (``flight=True``) because, unlike
+    the aggregate sinks, it retains per-query records; arm it explicitly
+    when capturing a workload or diagnosing per-query behaviour.
+    """
     if metrics:
         get_registry().enable()
     if tracing:
         get_tracer().enable()
+    if flight:
+        get_flight_recorder().arm()
 
 
 def disable() -> None:
@@ -103,12 +128,17 @@ def disable() -> None:
     get_registry().disable()
     get_tracer().disable()
     get_slow_query_log().configure(None)
+    get_flight_recorder().disarm()
 
 
 def reset() -> None:
-    """Zero the registry and drop all recorded spans."""
+    """Drop *all* recorded obs state: zero the registry, drop recorded
+    spans, clear the slow-query log's entries, and empty the flight
+    recorder's ring.  Enabled/armed flags are left as they are."""
     get_registry().reset()
     get_tracer().reset()
+    get_slow_query_log().reset()
+    get_flight_recorder().reset()
 
 
 def _preregister() -> None:

@@ -39,7 +39,8 @@ __all__ = [
 ]
 
 #: Schema identifier stamped on every JSON exposition of the registry.
-METRICS_SCHEMA = "repro.obs.metrics/1"
+#: /2 added derived p50/p95/p99 quantile fields to histogram entries.
+METRICS_SCHEMA = "repro.obs.metrics/2"
 
 #: Fixed latency buckets (seconds): 100 us .. 30 s, roughly 1-3-10 spaced.
 DEFAULT_LATENCY_BUCKETS = (
@@ -172,6 +173,27 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile estimated from the buckets (Prometheus
+        ``histogram_quantile`` semantics: linear interpolation within the
+        bucket the rank falls into).  ``None`` when nothing was observed;
+        observations beyond the last finite bound clamp to it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        lower = 0.0
+        cum = 0
+        for bound, c in zip(self.buckets, self.bucket_counts):
+            if c and cum + c >= rank:
+                if rank <= cum:
+                    return lower
+                return lower + (bound - lower) * (rank - cum) / c
+            cum += c
+            lower = bound
+        return self.buckets[-1]
+
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.buckets) + 1)
         self.count = 0
@@ -295,6 +317,9 @@ class MetricsRegistry:
                     "cumulative_counts": m.cumulative(),
                     "count": m.count,
                     "total": m.total,
+                    "p50": m.quantile(0.50),
+                    "p95": m.quantile(0.95),
+                    "p99": m.quantile(0.99),
                     "help": m.help,
                 }
                 for name, m in sorted(self._histograms.items())
@@ -307,30 +332,35 @@ class MetricsRegistry:
         def prom_name(name: str) -> str:
             return "repro_" + name.replace(".", "_")
 
+        def help_text(text: str) -> str:
+            # HELP escaping per the exposition format: backslash and
+            # newline only (label-value escaping would also cover '"').
+            return text.replace("\\", "\\\\").replace("\n", "\\n")
+
         lines: list[str] = []
         for name, c in sorted(self._counters.items()):
             pname = prom_name(name) + "_total"
             if c.help:
-                lines.append(f"# HELP {pname} {c.help}")
+                lines.append(f"# HELP {pname} {help_text(c.help)}")
             lines.append(f"# TYPE {pname} counter")
             lines.append(f"{pname} {c.value}")
         for name, g in sorted(self._gauges.items()):
             pname = prom_name(name)
             if g.help:
-                lines.append(f"# HELP {pname} {g.help}")
+                lines.append(f"# HELP {pname} {help_text(g.help)}")
             lines.append(f"# TYPE {pname} gauge")
             lines.append(f"{pname} {g.value}")
         for name, t in sorted(self._timers.items()):
             pname = prom_name(name) + "_seconds"
             if t.help:
-                lines.append(f"# HELP {pname} {t.help}")
+                lines.append(f"# HELP {pname} {help_text(t.help)}")
             lines.append(f"# TYPE {pname} summary")
             lines.append(f"{pname}_count {t.count}")
             lines.append(f"{pname}_sum {t.total}")
         for name, h in sorted(self._histograms.items()):
             pname = prom_name(name)
             if h.help:
-                lines.append(f"# HELP {pname} {h.help}")
+                lines.append(f"# HELP {pname} {help_text(h.help)}")
             lines.append(f"# TYPE {pname} histogram")
             cumulative = h.cumulative()
             for bound, total in zip(h.buckets, cumulative):

@@ -145,6 +145,10 @@ class SlowQueryLog:
             raise ValueError("threshold must be >= 0")
         self.threshold_s = threshold_s
 
+    def reset(self) -> None:
+        """Zero the logged-entry count (the threshold is left configured)."""
+        self.logged = 0
+
     def log(self, elapsed_s: float, plan: Any, stats: Any, lca_depth: int = -1) -> bool:
         """Emit the slow-query line if ``elapsed_s`` is over threshold."""
         threshold = self.threshold_s

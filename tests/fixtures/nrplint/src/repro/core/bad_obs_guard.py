@@ -2,8 +2,20 @@
 
 from __future__ import annotations
 
-from repro.obs import get_registry
+from repro.obs import get_flight_recorder, get_registry
 
 
 def record(n: int) -> None:
     get_registry().counter("fixture.events").inc(n)
+
+
+def record_flight(rec: tuple) -> None:
+    # Unguarded flight-recorder emission: same NRP004 violation as an
+    # unguarded counter — must sit inside `if flight.enabled:`.
+    get_flight_recorder().record(rec)
+
+
+def record_flight_guarded(rec: tuple) -> None:
+    flight = get_flight_recorder()
+    if flight.enabled:
+        flight.record(rec)  # guarded: not a finding

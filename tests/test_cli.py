@@ -132,6 +132,112 @@ class TestBuildQueryUpdate:
         )
 
 
+class TestWorkloadAndReplay:
+    @pytest.fixture()
+    def index_file(self, tmp_path, capsys):
+        file = tmp_path / "ny.json"
+        assert (
+            main(["build", "--dataset", "NY", "--scale", "0.3", "--output", str(file)])
+            == 0
+        )
+        capsys.readouterr()
+        return file
+
+    def test_capture_show_replay_roundtrip(self, index_file, tmp_path, capsys):
+        import json
+
+        workload = tmp_path / "wl.json"
+        assert (
+            main(
+                [
+                    "workload", "capture",
+                    "--index", str(index_file),
+                    "--count", "30",
+                    "--alpha", "0.9",
+                    "--alpha", "0.95",
+                    "--output", str(workload),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(workload.read_text())["schema"] == "repro.workload/1"
+
+        assert main(["workload", "show", str(workload)]) == 0
+        out = capsys.readouterr().out
+        assert "queries" in out and "30" in out
+
+        report_file = tmp_path / "replay.json"
+        assert (
+            main(
+                [
+                    "replay",
+                    "--index", str(index_file),
+                    "--workload", str(workload),
+                    "--report", str(report_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "30/30 digests bit-identical" in out
+        report = json.loads(report_file.read_text())
+        assert report["schema"] == "repro.replay/1"
+        assert report["identical"] is True
+
+    def test_replay_detects_divergence(self, index_file, tmp_path, capsys):
+        import json
+
+        workload = tmp_path / "wl.json"
+        assert (
+            main(
+                [
+                    "workload", "capture",
+                    "--index", str(index_file),
+                    "--count", "10",
+                    "--output", str(workload),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(workload.read_text())
+        digest_col = doc["fields"].index("digest")
+        doc["records"][0][digest_col] ^= 1
+        workload.write_text(json.dumps(doc))
+        assert (
+            main(["replay", "--index", str(index_file), "--workload", str(workload)])
+            == 1
+        )
+        assert "DIGEST MISMATCH" in capsys.readouterr().out
+
+    def test_replay_rejects_malformed_workload(self, index_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope/1"}')
+        assert (
+            main(["replay", "--index", str(index_file), "--workload", str(bad)])
+            == 2
+        )
+
+    def test_query_flight_export(self, index_file, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "flight.jsonl"
+        assert (
+            main(
+                [
+                    "query",
+                    "--index", str(index_file),
+                    "--random", "5",
+                    "--flight", str(out_file),
+                ]
+            )
+            == 0
+        )
+        lines = out_file.read_text().splitlines()
+        assert len(lines) == 5
+        first = json.loads(lines[0])
+        assert {"seq", "s", "t", "alpha", "digest"} <= set(first)
+
+
 class TestBench:
     def test_bench_fast_algorithms(self, capsys):
         assert (

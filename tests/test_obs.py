@@ -154,6 +154,117 @@ class TestRegistry:
         assert text.endswith("\n")
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_is_none(self):
+        h = Histogram("a.b", buckets=(1.0, 10.0))
+        assert h.quantile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("a.b", buckets=(1.0,))
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations, all landing in the (0, 10] bucket: the rank-r
+        # quantile interpolates linearly across the bucket, exactly like
+        # Prometheus histogram_quantile.
+        h = Histogram("a.b", buckets=(10.0, 100.0))
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_spans_buckets(self):
+        h = Histogram("a.b", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            h.observe(value)
+        # ranks: p50 -> 2nd observation, inside (1, 2].
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert 2.0 <= h.quantile(0.9) <= 4.0
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        h = Histogram("a.b", buckets=(1.0, 10.0))
+        h.observe(500.0)  # lands in +Inf
+        assert h.quantile(0.99) == 10.0
+
+    def test_json_dump_carries_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("a.hist", buckets=(1.0, 10.0))
+        doc = reg.to_json()["histograms"]["a.hist"]
+        assert doc["p50"] is None and doc["p95"] is None and doc["p99"] is None
+        h.observe(0.5)
+        doc = reg.to_json()["histograms"]["a.hist"]
+        assert doc["p50"] is not None
+        assert doc["p50"] <= doc["p95"] <= doc["p99"] <= 1.0
+
+
+class TestPrometheusEdgeCases:
+    def test_zero_valued_preregistered_metrics_exposed(self):
+        # Pre-registration promises the full taxonomy in every exposition,
+        # including metrics that never recorded a value.
+        reg = MetricsRegistry()
+        reg.counter("engine.queries")
+        reg.timer("engine.answer")
+        reg.histogram("engine.query_seconds", buckets=(0.1,))
+        text = reg.to_prometheus()
+        assert "repro_engine_queries_total 0" in text
+        assert "repro_engine_answer_seconds_count 0" in text
+        assert "repro_engine_answer_seconds_sum 0" in text
+        assert 'repro_engine_query_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_engine_query_seconds_sum 0" in text
+
+    def test_counter_total_suffix_exactly_once(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.queries.total_things").inc(2)
+        text = reg.to_prometheus()
+        # Dots become underscores first, then one _total suffix.
+        assert "repro_engine_queries_total_things_total 2" in text
+
+    def test_name_mangling(self):
+        reg = MetricsRegistry()
+        reg.gauge("labelstore.last_compacted_garbage_fraction").set(0.5)
+        text = reg.to_prometheus()
+        assert "repro_labelstore_last_compacted_garbage_fraction 0.5" in text
+        # Gauges carry no suffix and no spurious type lines.
+        assert "labelstore_last_compacted_garbage_fraction_total" not in text
+
+    def test_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", "line one\nline two with back\\slash").inc()
+        text = reg.to_prometheus()
+        assert "# HELP repro_a_b_total line one\\nline two with back\\\\slash" in text
+        # The escaped HELP stays on one physical line.
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP repro_a_b")]
+        assert len(help_lines) == 1
+
+    def test_no_help_line_when_help_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        text = reg.to_prometheus()
+        assert "# HELP" not in text
+        assert "# TYPE repro_a_b_total counter" in text
+
+    def test_histogram_bucket_le_labels_are_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("a.h", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert 'repro_a_h_bucket{le="0.1"} 1' in text
+        assert 'repro_a_h_bucket{le="1.0"} 2' in text
+        assert 'repro_a_h_bucket{le="+Inf"} 3' in text
+
+    def test_timer_renders_as_summary(self):
+        reg = MetricsRegistry()
+        reg.timer("a.t").observe(0.25)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_a_t_seconds summary" in text
+        assert "repro_a_t_seconds_count 1" in text
+        assert "repro_a_t_seconds_sum 0.25" in text
+
+
 class TestSingletonPreregistration:
     def test_core_names_preregistered(self):
         # Importing repro.obs declares the whole taxonomy, so dumps always

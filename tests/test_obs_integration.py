@@ -301,7 +301,7 @@ class TestCliAndSchemas:
             == 0
         )
         document = json.loads(dump.read_text())
-        assert document["schema"] == "repro.obs.metrics/1"
+        assert document["schema"] == "repro.obs.metrics/2"
         # A dump exercises build + queries + one maintenance update, and
         # pre-registration exposes never-hit metrics at zero.
         assert document["counters"]["engine.queries"]["value"] > 0
@@ -330,3 +330,46 @@ class TestCliAndSchemas:
         unknown = tmp_path / "unknown.json"
         unknown.write_text(json.dumps({"schema": "repro.obs.metrics/9"}))
         assert check_obs_schema.check_file(unknown, _SCHEMAS)
+
+
+# ----------------------------------------------------------------------
+# 4. obs.reset() drops every component's recorded state
+# ----------------------------------------------------------------------
+class TestFullReset:
+    def test_reset_clears_all_recorded_state(self):
+        """Regression: ``obs.reset()`` must reset *all four* components —
+        registry, tracer, slow-query log, and flight recorder — not just
+        the registry (the slow log and flight ring were once missed)."""
+        graph = make_random_instance(5)
+        obs.enable(flight=True)
+        obs.slow_query_log().configure(0.0)  # threshold 0: log everything
+        index = build_index(graph)
+        rng = random.Random(9)
+        vertices = list(graph.vertices())
+        for _ in range(5):
+            s, t = rng.sample(vertices, 2)
+            index.query(s, t, 0.9)
+
+        assert obs.registry().counter("engine.queries").value > 0
+        assert len(obs.tracer()) > 0
+        assert obs.slow_query_log().logged > 0
+        assert len(obs.flight_recorder()) > 0
+
+        obs.reset()
+
+        assert obs.registry().counter("engine.queries").value == 0
+        assert len(obs.tracer()) == 0
+        assert obs.slow_query_log().logged == 0
+        assert len(obs.flight_recorder()) == 0
+        assert obs.flight_recorder().recorded == 0
+        # reset drops data, not configuration/armed state.
+        assert obs.registry().enabled
+        assert obs.tracer().enabled
+        assert obs.slow_query_log().enabled
+        assert obs.flight_recorder().enabled
+
+    def test_disable_disarms_flight_recorder(self):
+        obs.enable(flight=True)
+        assert obs.flight_recorder().enabled
+        obs.disable()
+        assert not obs.flight_recorder().enabled

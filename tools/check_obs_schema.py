@@ -14,7 +14,8 @@ The validator is a deliberately small, dependency-free subset of JSON
 Schema — exactly the keywords docs/obs_schema.json uses: ``type``,
 ``required``, ``properties``, ``additionalProperties`` (as a schema for
 map values), ``items``, ``enum``, ``const``, ``minimum``.  On top of the
-structural check, ``repro.obs.metrics/1`` documents must carry every
+structural check, metrics documents (``repro.obs.metrics/1`` and ``/2``)
+must carry every
 kernel-layer metric listed under ``_kernel_metrics`` in the schema file —
 those names are pre-registered at import, so a dump missing one means the
 taxonomy and the code have drifted.  CI runs it on a fresh
@@ -136,7 +137,7 @@ def check_file(path: Path, schemas: dict) -> list[str]:
     if schema is None:
         return [f"{path}: unknown schema id {schema_id!r}"]
     errors = validate(document, schema)
-    if schema_id == "repro.obs.metrics/1":
+    if schema_id in ("repro.obs.metrics/1", "repro.obs.metrics/2"):
         errors.extend(kernel_metric_errors(document, schemas))
     return [f"{path} [{schema_id}] {e}" for e in errors]
 

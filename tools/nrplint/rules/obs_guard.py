@@ -5,8 +5,9 @@ observation is off: the hot path may only pay cheap ``enabled`` boolean
 checks.  Two emission styles satisfy that in ``repro.core``:
 
 - metric emission (``handle.inc(...)``, ``handle.observe(...)``,
-  ``registry.gauge(...).set(...)``) lexically inside an
-  ``if <...>.enabled:`` block, and
+  ``registry.gauge(...).set(...)``) and flight-recorder emission
+  (``flight.record(...)``) lexically inside an ``if <...>.enabled:``
+  block, and
 - the guarded span API — ``with tracer.span(...):`` — whose context
   manager is a no-op when tracing is off (``span.set(...)`` on the
   yielded handle is likewise free).
@@ -44,6 +45,26 @@ def _is_gauge_receiver(node: ast.AST) -> bool:
     return last.startswith("_g_") or "gauge" in last.lower()
 
 
+def _is_flight_receiver(node: ast.AST) -> bool:
+    """True for flight-recorder-shaped receivers: ``self._flight``,
+    ``flight``, or a ``get_flight_recorder()`` call chain."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return "flight" in func.attr.lower()
+        if isinstance(func, ast.Name):
+            return "flight" in func.id.lower()
+        return False
+    last: str | None = None
+    if isinstance(node, ast.Attribute):
+        last = node.attr
+    elif isinstance(node, ast.Name):
+        last = node.id
+    if last is None:
+        return False
+    return "flight" in last.lower()
+
+
 def _test_mentions_enabled(test: ast.AST) -> bool:
     for node in ast.walk(test):
         if isinstance(node, ast.Attribute) and node.attr == "enabled":
@@ -73,6 +94,10 @@ class ObsGuardRule(Rule):
                 # `.set(...)` is ambiguous (spans, CovarianceStore, dicts);
                 # only gauge-shaped receivers count as metric emission.
                 emission = _is_gauge_receiver(receiver)
+            elif attr == "record":
+                # `.record(...)` is flight-recorder emission only on
+                # flight-shaped receivers (WAL/log objects also record).
+                emission = _is_flight_receiver(receiver)
             else:
                 emission = False
             if not emission:
