@@ -21,6 +21,11 @@ Commands
 - ``replay`` — re-execute a captured workload, verify every result digest
   bit-identically (exit 1 on any mismatch), and print the latency /
   per-phase / per-backend comparison report.
+- ``serve`` — long-lived query daemon: load the index once, answer
+  concurrent queries over the NDJSON protocol with admission control,
+  per-request deadlines, and micro-batching (docs/serving.md).
+- ``serve-client`` — drive a running daemon: single or random workloads,
+  concurrent connections, ``--stats`` / ``--ping`` / ``--shutdown``.
 
 Exit codes: 0 success; 2 usage errors; damaged index files map the typed
 taxonomy of :mod:`repro.resilience.errors` to distinct codes instead of
@@ -36,6 +41,7 @@ import json
 import logging
 import random
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -524,6 +530,147 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import QueryServer
+
+    if not args.no_obs:
+        obs.enable(metrics=True, tracing=False)
+    index = _open_with_recovery(args.index)
+    server = QueryServer(
+        index,
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue,
+        workers=args.workers,
+        batch_max=args.batch_max,
+        default_deadline_ms=args.deadline_ms,
+    )
+    server.start()
+    # One parseable line on stdout so scripts can discover an ephemeral
+    # port; everything else goes to stderr.
+    print(f"repro-serve listening {server.host}:{server.port}", flush=True)
+    print(
+        f"serving {args.index} (workers={server.workers}, "
+        f"queue={server.queue_capacity}, batch_max={server.batch_max}, "
+        f"deadline_ms={args.deadline_ms}) — repro serve-client --port "
+        f"{server.port} to query, op shutdown or SIGINT to stop",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("interrupt: stopping", file=sys.stderr)
+        server.stop()
+    snapshot = server.stats.snapshot()
+    print(
+        f"served {snapshot['completed']} queries "
+        f"({snapshot['degraded']} degraded, {snapshot['shed']} shed, "
+        f"{snapshot['invalid']} invalid) in {snapshot['batches']} batches "
+        f"(mean {snapshot['mean_batch']:.1f}/batch)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_serve_client(args: argparse.Namespace) -> int:
+    from repro.experiments.replay import percentile
+    from repro.serve.client import ServeClient, ServeError
+
+    host, port = args.host, args.port
+    if args.ping:
+        with ServeClient(host, port) as client:
+            print(json.dumps(client.ping(), indent=1))
+    queries: list[tuple[int, int, float]] = []
+    if args.random:
+        with ServeClient(host, port) as probe:
+            n = int(probe.ping().get("n", 0))
+        if n < 2:
+            print("error: server index has fewer than 2 vertices", file=sys.stderr)
+            return 2
+        rng = random.Random(args.seed)
+        for _ in range(args.random):
+            s = rng.randrange(n)
+            t = rng.randrange(n)
+            while t == s:
+                t = rng.randrange(n)
+            queries.append((s, t, args.alpha))
+    elif args.source is not None and args.target is not None:
+        queries.append((args.source, args.target, args.alpha))
+
+    if len(queries) == 1 and args.concurrency <= 1:
+        with ServeClient(host, port) as client:
+            s, t, alpha = queries[0]
+            print(json.dumps(client.query(s, t, alpha, deadline_ms=args.deadline_ms)))
+    elif queries:
+        outcome = {"ok": 0, "degraded": 0, "shed": 0, "error": 0}
+        latencies: list[float] = []
+        lock = threading.Lock()
+
+        def drive(chunk: list[tuple[int, int, float]]) -> None:
+            try:
+                with ServeClient(host, port) as client:
+                    for i, (s, t, alpha) in enumerate(chunk):
+                        started = time.perf_counter()
+                        response = client.query(
+                            s, t, alpha, id=i, deadline_ms=args.deadline_ms
+                        )
+                        elapsed_one = time.perf_counter() - started
+                        with lock:
+                            latencies.append(elapsed_one)
+                            if response.get("ok"):
+                                outcome["ok"] += 1
+                                if response.get("degraded"):
+                                    outcome["degraded"] += 1
+                            elif response.get("error") == "shed":
+                                outcome["shed"] += 1
+                            else:
+                                outcome["error"] += 1
+            except ServeError as exc:
+                with lock:
+                    outcome["error"] += 1
+                print(f"connection failed: {exc}", file=sys.stderr)
+
+        workers = max(1, args.concurrency)
+        chunks = [queries[i::workers] for i in range(workers)]
+        threads = [
+            threading.Thread(target=drive, args=(chunk,))
+            for chunk in chunks
+            if chunk
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        qps = len(latencies) / elapsed if elapsed > 0 else 0.0
+        rows = [
+            ["queries", str(len(queries))],
+            ["connections", str(len(threads))],
+            ["ok", str(outcome["ok"])],
+            ["degraded", str(outcome["degraded"])],
+            ["shed", str(outcome["shed"])],
+            ["errors", str(outcome["error"])],
+            ["throughput", f"{qps:.0f} q/s"],
+        ]
+        if latencies:
+            rows += [
+                ["p50 latency", format_seconds(percentile(latencies, 0.50))],
+                ["p95 latency", format_seconds(percentile(latencies, 0.95))],
+                ["p99 latency", format_seconds(percentile(latencies, 0.99))],
+            ]
+        print(format_table(["metric", "value"], rows, title="serve-client workload"))
+    if args.stats:
+        with ServeClient(host, port) as client:
+            print(json.dumps(client.stats(), indent=1))
+    if args.shutdown:
+        with ServeClient(host, port) as client:
+            client.shutdown()
+        print("server stopping", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -669,6 +816,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full metrics registry dump (JSON) to this file",
     )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived query daemon over a saved index (docs/serving.md)"
+    )
+    p_serve.add_argument("--index", type=Path, required=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port (printed)"
+    )
+    p_serve.add_argument(
+        "--queue",
+        type=int,
+        default=256,
+        help="admission queue capacity; a full queue sheds new requests",
+    )
+    p_serve.add_argument("--workers", type=int, default=2, help="worker threads")
+    p_serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        help="micro-batch size cap (1 disables batching and plan memoisation)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="default per-query budget; over-budget queries return the "
+        "mean-only degraded answer (requests may override per query)",
+    )
+    p_serve.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="leave the metrics registry disabled (/metrics stays empty)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_sclient = sub.add_parser(
+        "serve-client", help="query a running 'repro serve' daemon"
+    )
+    p_sclient.add_argument("--host", default="127.0.0.1")
+    p_sclient.add_argument("--port", type=int, required=True)
+    p_sclient.add_argument("--source", type=int)
+    p_sclient.add_argument("--target", type=int)
+    p_sclient.add_argument("--alpha", type=float, default=0.95)
+    p_sclient.add_argument(
+        "--random", type=int, help="run N random queries (node range via ping)"
+    )
+    p_sclient.add_argument("--seed", type=int, default=7)
+    p_sclient.add_argument(
+        "--concurrency", type=int, default=1, help="concurrent connections"
+    )
+    p_sclient.add_argument("--deadline-ms", type=float, help="per-query budget")
+    p_sclient.add_argument("--ping", action="store_true", help="print the ping reply")
+    p_sclient.add_argument(
+        "--stats", action="store_true", help="print server stats after the workload"
+    )
+    p_sclient.add_argument(
+        "--shutdown", action="store_true", help="stop the daemon when done"
+    )
+    p_sclient.set_defaults(fn=cmd_serve_client)
 
     p_obs = sub.add_parser("obs", help="observability tooling")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)

@@ -22,6 +22,8 @@ plan contributes exactly the same counters as a freshly built one.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -38,11 +40,67 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.index import IndexPlane, NRPIndex
     from repro.core.query import QueryResult, QueryStats
 
-__all__ = ["QueryEngine", "QueryPlan", "HoplinkTask"]
+__all__ = ["QueryEngine", "QueryPlan", "HoplinkTask", "BoundedCache"]
 
-#: Bound on the memoisation dictionaries; reaching it clears them (simple
-#: and allocation-free compared to an LRU, and workloads rarely get close).
+#: Bound on each memoisation cache.  Reaching it evicts the least
+#: recently used entry — one at a time, never wholesale — so a long-lived
+#: server keeps its hot plans instead of hitting a periodic latency cliff
+#: where every memoised plan is lost at once.
 _CACHE_LIMIT = 65536
+
+
+class BoundedCache:
+    """A thread-safe bounded LRU map for the engine's memoisation.
+
+    Replaces the old "clear the whole dict at ``_CACHE_LIMIT``" policy:
+    under a sustained workload that wiped every memoised plan at once and
+    caused a periodic latency cliff.  Here a full cache evicts exactly
+    one entry (the least recently touched), so hot keys survive
+    indefinitely.  All operations take one internal lock, making the
+    cache safe for the serving plane's concurrent workers; the lock is
+    uncontended in single-threaded use and costs well under a
+    microsecond per hit.
+    """
+
+    __slots__ = ("_data", "_limit", "_lock")
+
+    def __init__(self, limit: int = _CACHE_LIMIT) -> None:
+        if limit <= 0:
+            raise ValueError("cache limit must be positive")
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._limit = limit
+        self._lock = threading.Lock()
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def get(self, key: Any) -> Any:
+        """The cached value (refreshing its recency), or None on a miss."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert, evicting the least recently used entry when full."""
+        with self._lock:
+            data = self._data
+            if key not in data and len(data) >= self._limit:
+                data.popitem(last=False)
+            data[key] = value
+            data.move_to_end(key)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
 
 
 class HoplinkTask:
@@ -117,9 +175,9 @@ class QueryEngine:
 
     def __init__(self, index: "NRPIndex") -> None:
         self.index = index
-        self._z_cache: dict[float, float] = {}
-        self._separator_cache: dict[tuple[int, int], tuple[set[int], set[int]]] = {}
-        self._plan_cache: dict[tuple[int, int, float, bool], QueryPlan] = {}
+        self._z_cache: BoundedCache = BoundedCache()
+        self._separator_cache: BoundedCache = BoundedCache()
+        self._plan_cache: BoundedCache = BoundedCache()
         # Observability handles (process-wide singletons).  Metric handles
         # are resolved once here; the hot path only pays ``enabled`` checks
         # while observation is off (see docs/observability.md).
@@ -164,9 +222,7 @@ class QueryEngine:
         z = self._z_cache.get(alpha)
         if z is None:
             z = z_value(alpha)
-            if len(self._z_cache) >= _CACHE_LIMIT:
-                self._z_cache.clear()
-            self._z_cache[alpha] = z
+            self._z_cache.put(alpha, z)
         return z
 
     def separators(self, s: int, t: int) -> tuple[set[int], set[int]]:
@@ -177,9 +233,7 @@ class QueryEngine:
             if self._registry.enabled:
                 self._c_sep_miss.inc()
             cached = self.index.td.separators(s, t)
-            if len(self._separator_cache) >= _CACHE_LIMIT:
-                self._separator_cache.clear()
-            self._separator_cache[key] = cached
+            self._separator_cache.put(key, cached)
         elif self._registry.enabled:
             self._c_sep_hit.inc()
         return cached
@@ -253,9 +307,7 @@ class QueryEngine:
                 self._c_plan_miss.inc()
         plan = self._build_plan(s, t, alpha, z, plane, pruning, sort_hoplinks, backend)
         if use_cache:
-            if len(self._plan_cache) >= _CACHE_LIMIT:
-                self._plan_cache.clear()
-            self._plan_cache[key] = plan
+            self._plan_cache.put(key, plan)
         return plan
 
     def _build_plan(
@@ -457,6 +509,7 @@ class QueryEngine:
         *,
         use_cache: bool = False,
         deadline_s: "float | None" = None,
+        backend: Any = None,
     ) -> "QueryResult":
         """Algorithm 1: plan (or, on the batch path, reuse) and execute.
 
@@ -472,15 +525,21 @@ class QueryEngine:
         answered from the exact mean-only fallback instead of failing,
         flagged ``degraded=True`` and counted in
         ``resilience.query.degraded`` (docs/resilience.md).
+
+        ``backend`` pins the kernel backend for this query; callers that
+        answer a stream (the serving plane, ``answer_batch``) resolve it
+        once so no query ever straddles a mid-flight ``NRP_KERNELS`` or
+        ``set_backend`` change.
         """
         from repro.core.query import QueryStats
 
         if stats is None:
             stats = QueryStats()
-        # One backend per query: resolved here, recorded in the stats, and
-        # threaded through planning and execution so a query never
-        # straddles a mid-flight NRP_KERNELS/set_backend change.
-        backend = active_backend()
+        # One backend per query: resolved here (unless pinned by the
+        # caller), recorded in the stats, and threaded through planning
+        # and execution.
+        if backend is None:
+            backend = active_backend()
         stats.backend = backend.NAME
         if self._registry.enabled:
             counter = self._c_backend.get(backend.NAME)
@@ -788,6 +847,8 @@ class QueryEngine:
         use_pruning: bool = True,
         stats: "QueryStats | None" = None,
         per_query_stats: bool = False,
+        deadline_s: "float | None" = None,
+        backend: Any = None,
     ) -> "list[QueryResult]":
         """Answer a workload, sharing plans across repeated triples.
 
@@ -797,17 +858,33 @@ class QueryEngine:
         :class:`QueryStats` to each result and, when ``stats`` is given,
         merges each into it, so aggregate numbers are unchanged while
         per-query breakdowns (Figure 8) become possible.
+
+        ``deadline_s`` is a **per-query** budget, not a whole-batch one:
+        every query in the batch gets its own ``deadline_s`` seconds and
+        degrades individually to the mean-only fallback on expiry, so
+        server micro-batching keeps the resilience layer's degradation
+        guard.  ``backend`` pins the kernel backend for every query in
+        the batch (resolved once here when not given), so a batch never
+        straddles a mid-flight ``NRP_KERNELS``/``set_backend`` change.
         """
         from repro.core.query import QueryStats
 
+        if backend is None:
+            backend = active_backend()
         results = []
         for s, t, alpha in queries:
             if per_query_stats:
                 own = QueryStats()
-                result = self.answer(s, t, alpha, use_pruning, own, use_cache=True)
+                result = self.answer(
+                    s, t, alpha, use_pruning, own,
+                    use_cache=True, deadline_s=deadline_s, backend=backend,
+                )
                 if stats is not None:
                     stats.merge(own)
             else:
-                result = self.answer(s, t, alpha, use_pruning, stats, use_cache=True)
+                result = self.answer(
+                    s, t, alpha, use_pruning, stats,
+                    use_cache=True, deadline_s=deadline_s, backend=backend,
+                )
             results.append(result)
         return results

@@ -313,6 +313,7 @@ class NRPIndex:
         use_pruning: bool = True,
         stats: QueryStats | None = None,
         per_query_stats: bool = False,
+        deadline_s: "float | None" = None,
     ) -> list[QueryResult]:
         """Answer a workload of ``(s, t, alpha)`` triples on the batch path.
 
@@ -320,13 +321,16 @@ class NRPIndex:
         ``(s, t, alpha)`` triples plan once.  ``per_query_stats=True``
         attaches a private :class:`QueryStats` to each result (still
         merging totals into ``stats`` when given) instead of sharing one
-        accumulator across the workload.
+        accumulator across the workload.  ``deadline_s`` is a per-query
+        budget: each query degrades individually on expiry, exactly as in
+        :meth:`query`.
         """
         return self.engine.answer_batch(
             queries,
             use_pruning=use_pruning,
             stats=stats,
             per_query_stats=per_query_stats,
+            deadline_s=deadline_s,
         )
 
     # ------------------------------------------------------------------

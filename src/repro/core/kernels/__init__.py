@@ -44,6 +44,7 @@ __all__ = [
     "KERNELS_ENV",
     "active_backend",
     "backend_names",
+    "get_backend",
     "set_backend",
 ]
 
@@ -95,6 +96,16 @@ def _resolve(choice: str) -> ModuleType:
     raise ValueError(
         f"unknown kernel backend {choice!r} (expected 'vector', 'python', or 'auto')"
     )
+
+
+def get_backend(name: str) -> ModuleType:
+    """The backend module for ``name`` without changing the selection.
+
+    Callers that pin a backend per call site (``answer_batch``'s
+    ``backend=``, the equivalence tests' two sides) resolve it here;
+    raises for ``'vector'`` when numpy is unavailable.
+    """
+    return _resolve(name)
 
 
 def set_backend(name: str | None) -> None:

@@ -133,12 +133,17 @@ class LabelPathSet:
             raise RuntimeError("stale LabelPathSet view: its entry was dropped")
         store = self._store
         stop = start + count
-        self._mus = tuple(store.mus[start:stop])
+        # ``_mus`` is assigned LAST: it is the guard every caller checks
+        # (``columns`` returns all five fields after testing only
+        # ``_mus``), so a concurrent reader that observes a non-None
+        # ``_mus`` is guaranteed to see the other columns populated too.
+        # Re-materialising twice under a race is idempotent.
         self._sigmas = tuple(store.sigmas[start:stop])
         self._vars = tuple(store.vars[start:stop])
         if store.independent:
             self._ub = tuple(store.ub[start:stop])
             self._lb = tuple(store.lb[start:stop])
+        self._mus = tuple(store.mus[start:stop])
 
     @property
     def mus(self) -> tuple[float, ...]:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 from pathlib import Path
 from typing import Any, Iterable
 from zlib import crc32
@@ -120,7 +121,11 @@ class FlightRecorder:
 
     Hot-path contract: callers check ``enabled`` first and hand
     :meth:`record` a pre-built tuple in :data:`FLIGHT_FIELDS` order; the
-    armed cost is one modulo, one list store, and one increment.
+    armed cost is one lock, one modulo, one list store, and one
+    increment.  The lock matters: ``record`` is a read-modify-write of
+    ``_count``/``_ring``, and two concurrent server workers without it
+    could clobber one slot and corrupt the ``recorded``/``dropped``
+    accounting (the slot index and the count would drift apart).
     """
 
     DEFAULT_CAPACITY = 4096
@@ -130,6 +135,7 @@ class FlightRecorder:
         self._capacity = 0
         self._ring: list[tuple | None] = []
         self._count = 0
+        self._lock = threading.Lock()
         self.configure(capacity)
 
     # ------------------------------------------------------------------
@@ -156,9 +162,10 @@ class FlightRecorder:
         """Resize the ring (drops all retained records)."""
         if capacity <= 0:
             raise ValueError("flight recorder capacity must be positive")
-        self._capacity = capacity
-        self._ring = [None] * capacity
-        self._count = 0
+        with self._lock:
+            self._capacity = capacity
+            self._ring = [None] * capacity
+            self._count = 0
 
     def arm(self) -> None:
         self.enabled = True
@@ -168,31 +175,35 @@ class FlightRecorder:
 
     def reset(self) -> None:
         """Drop all retained records (capacity and armed state are kept)."""
-        self._ring = [None] * self._capacity
-        self._count = 0
+        with self._lock:
+            self._ring = [None] * self._capacity
+            self._count = 0
 
     # ------------------------------------------------------------------
     # Recording (hot path)
     # ------------------------------------------------------------------
     def record(self, rec: tuple) -> None:
         """Store one record tuple (``FLIGHT_FIELDS`` order), evicting the
-        oldest once the ring is full."""
-        count = self._count
-        self._ring[count % self._capacity] = rec
-        self._count = count + 1
+        oldest once the ring is full.  Thread-safe: the slot index and
+        the count advance atomically under one lock."""
+        with self._lock:
+            count = self._count
+            self._ring[count % self._capacity] = rec
+            self._count = count + 1
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     def records(self) -> list[tuple]:
-        """Retained records, oldest first."""
-        count = self._count
-        capacity = self._capacity
-        if count <= capacity:
-            return [r for r in self._ring[:count] if r is not None]
-        pivot = count % capacity
-        out = self._ring[pivot:] + self._ring[:pivot]
-        return [r for r in out if r is not None]
+        """Retained records, oldest first (a coherent snapshot)."""
+        with self._lock:
+            count = self._count
+            capacity = self._capacity
+            if count <= capacity:
+                return [r for r in self._ring[:count] if r is not None]
+            pivot = count % capacity
+            out = self._ring[pivot:] + self._ring[:pivot]
+            return [r for r in out if r is not None]
 
     def first_seq(self) -> int:
         """Global sequence number of the oldest retained record."""

@@ -70,37 +70,47 @@ def _check_name(name: str) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "help", "value")
+    Thread-safe: ``inc`` is a read-modify-write (multiple bytecodes even
+    under the GIL), so two server workers incrementing concurrently
+    could lose updates without the per-metric lock.
+    """
+
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
     """A value that can go up and down (e.g. live bytes, garbage fraction)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def add(self, delta: float) -> None:
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
     def reset(self) -> None:
         self.value = 0.0
@@ -109,36 +119,39 @@ class Gauge:
 class Timer:
     """Aggregated durations: count / total / min / max (seconds)."""
 
-    __slots__ = ("name", "help", "count", "total", "min", "max")
+    __slots__ = ("name", "help", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
+        self._lock = threading.Lock()
         self.reset()
 
     def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = math.inf
+            self.max = -math.inf
 
 
 class Histogram:
     """Fixed-bucket histogram with cumulative (``le``) bucket semantics."""
 
-    __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "total")
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "total", "_lock")
 
     def __init__(
         self,
@@ -154,15 +167,17 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.buckets) + 1)  # final slot = +Inf
         self.count = 0
         self.total = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def cumulative(self) -> list[int]:
         """Counts per bucket as cumulative ``le`` totals (last = count)."""
@@ -195,9 +210,10 @@ class Histogram:
         return self.buckets[-1]
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.buckets) + 1)
-        self.count = 0
-        self.total = 0.0
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+            self.count = 0
+            self.total = 0.0
 
 
 class MetricsRegistry:

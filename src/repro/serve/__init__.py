@@ -1,0 +1,51 @@
+"""The serving plane: a long-lived query daemon over a resident index.
+
+Every CLI query pays process startup plus a full index load; the paper's
+microsecond-scale query claim only materialises once the index stays
+hot.  ``repro.serve`` keeps one :class:`repro.core.index.NRPIndex`
+resident and answers a concurrent stream of ``(s, t, alpha)`` queries
+over a line-delimited JSON protocol (:mod:`repro.serve.protocol`), with
+
+- a **bounded admission queue** — requests beyond the queue capacity are
+  refused immediately with an explicit ``shed`` response instead of
+  piling up latency,
+- **per-request deadlines** reusing the engine's ``deadline_s``
+  degradation (an over-budget query comes back as the exact mean-only
+  fallback, flagged ``degraded``),
+- **automatic micro-batching** — worker threads drain the queue in
+  groups and answer them through ``QueryEngine.answer_batch``, so
+  repeated triples exploit the engine's plan memoisation, and
+- ``/metrics`` (Prometheus) and ``/healthz`` HTTP endpoints on the same
+  port, fed by the process-wide ``repro.obs`` registry.
+
+Everything is stdlib-only (``socketserver`` + ``threading`` + ``queue``).
+The CLI front-ends are ``repro serve`` and ``repro serve-client``; the
+protocol, semantics, and operational guidance live in docs/serving.md.
+
+Layering (nrplint NRP001): ``repro.serve`` sits above the index kernel —
+it may import ``repro.core``, ``repro.obs``, and ``repro.resilience``,
+and nothing in core may ever import it back.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ServeClient, http_get
+from repro.serve.protocol import (
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    decode_request,
+    encode_message,
+)
+from repro.serve.server import QueryServer, ServerStats, serve_index
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "QueryServer",
+    "ServeClient",
+    "ServerStats",
+    "decode_request",
+    "encode_message",
+    "http_get",
+    "serve_index",
+]

@@ -1,0 +1,132 @@
+"""A stdlib client for the serve protocol (and the CLI's serve-client).
+
+:class:`ServeClient` wraps one TCP connection: requests go out as NDJSON
+lines, responses come back in order (the server answers each connection
+sequentially — open one client per thread for concurrency, as
+``benchmarks/bench_serve.py`` does).  :func:`http_get` fetches the
+daemon's observability endpoints (``/metrics``, ``/healthz``,
+``/stats``) over the same port.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+from repro.serve.protocol import MAX_LINE_BYTES, encode_message
+
+__all__ = ["ServeClient", "ServeError", "http_get"]
+
+
+class ServeError(ConnectionError):
+    """The server hung up or answered with something unparseable."""
+
+
+class ServeClient:
+    """One NDJSON connection to a :class:`repro.serve.server.QueryServer`.
+
+    Usable as a context manager; ``connect_timeout`` retries the initial
+    TCP connect until the deadline, so a client started alongside the
+    daemon (e.g. the CI smoke job) need not race its bind.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        deadline = time.monotonic() + connect_timeout
+        last_error: "Exception | None" = None
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as exc:
+                last_error = exc
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"cannot connect to {host}:{port}: {last_error}"
+                    ) from last_error
+                time.sleep(0.05)
+        self._rfile = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def request(self, obj: dict) -> dict:
+        """One request line out, one response object back."""
+        self._sock.sendall(encode_message(obj))
+        line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"unparseable response line: {exc}") from None
+        if not isinstance(response, dict):
+            raise ServeError("response is not a JSON object")
+        return response
+
+    def query(
+        self,
+        s: int,
+        t: int,
+        alpha: float,
+        *,
+        id: Any = None,
+        deadline_ms: "float | None" = None,
+        pruning: "bool | None" = None,
+    ) -> dict:
+        """Answer one ``(s, t, alpha)`` query (returns the raw response)."""
+        obj: dict = {"op": "query", "s": s, "t": t, "alpha": alpha}
+        if id is not None:
+            obj["id"] = id
+        if deadline_ms is not None:
+            obj["deadline_ms"] = deadline_ms
+        if pruning is not None:
+            obj["pruning"] = pruning
+        return self.request(obj)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop (acked before the socket closes)."""
+        return self.request({"op": "shutdown"})
+
+
+def http_get(host: str, port: int, path: str, timeout: float = 10.0) -> tuple[int, str]:
+    """GET one observability endpoint; returns ``(status, body)``."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        conn.close()

@@ -1,0 +1,590 @@
+"""The query daemon: resident index, worker pool, admission control.
+
+One :class:`QueryServer` owns one loaded :class:`repro.core.index.NRPIndex`
+and a ``ThreadingTCPServer`` speaking the NDJSON protocol of
+:mod:`repro.serve.protocol`.  The moving parts:
+
+- **Connection handlers** (one thread per connection, socketserver's
+  model) parse request lines.  ``ping``/``stats``/``shutdown`` are
+  answered inline; ``query`` requests go through admission control into
+  the shared bounded queue and the handler blocks until a worker
+  completes them, so each connection is a closed loop answering strictly
+  in request order.  Concurrency comes from concurrent connections.
+- **Admission control**: ``queue.put_nowait`` into a bounded queue.  A
+  full queue refuses the request *immediately* with a ``shed`` response
+  — bounded queue length is what keeps p99 latency bounded under
+  overload (queueing theory does not care how fast the engine is once
+  the queue grows without limit).
+- **Workers** drain the queue in micro-batches of up to ``batch_max``
+  requests and answer each batch through ``QueryEngine.answer_batch``,
+  which memoises plans across repeated ``(s, t, alpha)`` triples — the
+  daemon's reason to exist, since real road-network workloads repeat
+  triples heavily.  ``batch_max=1`` degenerates to one uncached
+  ``answer`` per request (the CLI-parity baseline the serve benchmark
+  compares against).
+- **Deadlines** reuse the engine's ``deadline_s`` degradation: a query
+  whose execution blows its budget returns the exact mean-only fallback
+  flagged ``degraded`` instead of failing.  The budget covers engine
+  execution, not queue wait — admission control bounds the wait.
+- **Observability**: the same port answers ``GET /metrics`` (Prometheus
+  text from the process-wide registry), ``GET /healthz``, and ``GET
+  /stats``; the server also keeps its own always-on counters
+  (:class:`ServerStats`) so ``stats`` works with the registry disabled.
+
+Everything is stdlib; per-query results are bit-identical to the CLI
+path (same engine, same kernels — pinned to one backend at startup).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socketserver
+import threading
+from time import perf_counter_ns
+from typing import TYPE_CHECKING, Any
+
+from repro.core.kernels import active_backend
+from repro.obs import get_registry
+from repro.resilience import QueryValidationError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_message,
+    error_response,
+    query_response,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import NRPIndex
+
+__all__ = ["QueryServer", "ServerStats", "serve_index"]
+
+#: How long a worker sleeps on an empty queue before re-checking the
+#: stop flag, and how long handlers wait per poll for their result.
+_POLL_S = 0.05
+
+
+class ServerStats:
+    """Always-on request accounting (independent of the obs registry).
+
+    Every field is guarded by one lock; the server's workers and
+    handlers update it concurrently.  ``snapshot`` is what the ``stats``
+    op and ``GET /stats`` return.
+    """
+
+    __slots__ = (
+        "_lock",
+        "admitted",
+        "completed",
+        "shed",
+        "degraded",
+        "invalid",
+        "errors",
+        "batches",
+        "batch_queries",
+        "max_batch",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.completed = 0
+        self.shed = 0
+        self.degraded = 0
+        self.invalid = 0
+        self.errors = 0
+        self.batches = 0
+        self.batch_queries = 0
+        self.max_batch = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "shed": self.shed,
+                "degraded": self.degraded,
+                "invalid": self.invalid,
+                "errors": self.errors,
+                "batches": self.batches,
+                "batch_queries": self.batch_queries,
+                "max_batch": self.max_batch,
+                "mean_batch": (
+                    self.batch_queries / self.batches if self.batches else 0.0
+                ),
+            }
+
+
+class _Pending:
+    """One admitted query waiting for a worker."""
+
+    __slots__ = ("request", "enqueued_ns", "response", "done")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.enqueued_ns = perf_counter_ns()
+        self.response: "dict | None" = None
+        self.done = threading.Event()
+
+    def finish(self, response: dict) -> None:
+        self.response = response
+        self.done.set()
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    query_server: "QueryServer"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: sniff HTTP vs NDJSON, then serve until EOF."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        qs = self.server.query_server  # type: ignore[attr-defined]
+        line = self.rfile.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            return
+        if line.startswith(b"GET "):
+            self._handle_http(qs, line)
+            return
+        while line:
+            if len(line) > MAX_LINE_BYTES:
+                self.wfile.write(
+                    encode_message(
+                        error_response(None, "protocol", "request line too long")
+                    )
+                )
+                return
+            stripped = line.strip()
+            if stripped:
+                try:
+                    request = decode_request(stripped)
+                except ProtocolError as exc:
+                    self.wfile.write(
+                        encode_message(error_response(None, "protocol", str(exc)))
+                    )
+                    return
+                response = qs.handle_request(request)
+                self.wfile.write(encode_message(response))
+                if request.op == "shutdown":
+                    return
+            line = self.rfile.readline(MAX_LINE_BYTES + 1)
+
+    def _handle_http(self, qs: "QueryServer", line: bytes) -> None:
+        # Minimal HTTP/1.0-style exchange: drain headers, answer, close.
+        try:
+            path = line.split()[1].decode("ascii", "replace")
+        except IndexError:
+            path = "/"
+        while True:
+            header = self.rfile.readline(MAX_LINE_BYTES)
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        status, ctype, body = qs.handle_http(path)
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        self.wfile.write(head.encode("ascii") + payload)
+
+
+class QueryServer:
+    """A resident-index query daemon (see the module docstring).
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` after
+    :meth:`start`).  ``default_deadline_ms`` applies to query requests
+    that carry no ``deadline_ms`` of their own; ``None`` means no
+    deadline.  The kernel backend is resolved **once**, at construction,
+    so no query ever straddles a mid-flight backend change.
+    """
+
+    def __init__(
+        self,
+        index: "NRPIndex",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_capacity: int = 256,
+        workers: int = 2,
+        batch_max: int = 32,
+        default_deadline_ms: "float | None" = None,
+    ) -> None:
+        if queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if batch_max <= 0:
+            raise ValueError("batch_max must be positive")
+        self.index = index
+        self.host = host
+        self._requested_port = port
+        self.queue_capacity = queue_capacity
+        self.workers = workers
+        self.batch_max = batch_max
+        self.default_deadline_ms = default_deadline_ms
+        self.stats = ServerStats()
+        self._backend = active_backend()
+        self._queue: "queue.Queue[_Pending]" = queue.Queue(maxsize=queue_capacity)
+        self._stop = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._tcp: "_TCPServer | None" = None
+        self._threads: list[threading.Thread] = []
+        registry = get_registry()
+        self._registry = registry
+        self._c_admitted = registry.counter(
+            "serve.admitted", "Query requests accepted into the admission queue"
+        )
+        self._c_shed = registry.counter(
+            "serve.shed", "Query requests refused because the queue was full"
+        )
+        self._c_completed = registry.counter(
+            "serve.completed", "Query requests answered (including degraded)"
+        )
+        self._c_degraded = registry.counter(
+            "serve.degraded", "Query requests answered by the deadline fallback"
+        )
+        self._c_errors = registry.counter(
+            "serve.errors", "Query requests answered with an error response"
+        )
+        self._c_batches = registry.counter(
+            "serve.batches", "Micro-batches drained from the admission queue"
+        )
+        self._h_wait = registry.histogram(
+            "serve.wait", "Seconds a request waited in the admission queue"
+        )
+        self._h_latency = registry.histogram(
+            "serve.latency", "Seconds from admission to response (wait + service)"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (the real one once started, even for port 0)."""
+        if self._tcp is not None:
+            return self._tcp.server_address[1]
+        return self._requested_port
+
+    @property
+    def running(self) -> bool:
+        return self._tcp is not None and not self._stop.is_set()
+
+    def start(self) -> None:
+        """Bind the socket and start the acceptor + worker threads."""
+        if self._tcp is not None:
+            raise RuntimeError("server already started")
+        self._stop.clear()
+        tcp = _TCPServer((self.host, self._requested_port), _Handler)
+        tcp.query_server = self
+        self._tcp = tcp
+        acceptor = threading.Thread(
+            target=tcp.serve_forever,
+            kwargs={"poll_interval": _POLL_S},
+            name="serve-acceptor",
+            daemon=True,
+        )
+        acceptor.start()
+        self._threads = [acceptor]
+        for i in range(self.workers):
+            worker = threading.Thread(
+                target=self._worker, name=f"serve-worker-{i}", daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def stop(self) -> None:
+        """Stop accepting, drain workers, fail any still-queued requests.
+
+        Idempotent and safe under concurrent callers (the shutdown op's
+        stop thread may race a context-manager ``__exit__``): exactly one
+        caller tears the server down, the rest return immediately.
+        """
+        with self._stop_lock:
+            tcp, self._tcp = self._tcp, None
+        if tcp is None:
+            return
+        self._stop.set()
+        tcp.shutdown()
+        tcp.server_close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+        # Anything still queued never reached a worker: answer it so no
+        # handler (or in-process caller) is left waiting on its event.
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            pending.finish(
+                error_response(pending.request.id, "shutdown", "server stopping")
+            )
+        self._threads = []
+
+    def __enter__(self) -> "QueryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until :meth:`stop` is called (the CLI's foreground mode)."""
+        return self._stop.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Request handling (called from connection handler threads)
+    # ------------------------------------------------------------------
+    def handle_request(self, request: Request) -> dict:
+        """Answer one decoded request, blocking for queries."""
+        op = request.op
+        if op == "ping":
+            return {
+                "id": request.id,
+                "ok": True,
+                "schema": PROTOCOL_SCHEMA,
+                "backend": self._backend.NAME,
+                "n": self.index.graph.num_vertices,
+            }
+        if op == "stats":
+            snapshot = self.stats.snapshot()
+            snapshot.update(
+                {
+                    "id": request.id,
+                    "ok": True,
+                    "queue_depth": self._queue.qsize(),
+                    "queue_capacity": self.queue_capacity,
+                    "workers": self.workers,
+                    "batch_max": self.batch_max,
+                    "backend": self._backend.NAME,
+                }
+            )
+            return snapshot
+        if op == "shutdown":
+            # Ack first, then stop from a separate thread so this
+            # connection's response gets out before the socket closes.
+            threading.Thread(target=self.stop, name="serve-stop", daemon=True).start()
+            return {"id": request.id, "ok": True, "stopping": True}
+        return self._submit(request)
+
+    def _submit(self, request: Request) -> dict:
+        """Admission control: enqueue or shed, then wait for the worker."""
+        if self._stop.is_set():
+            return error_response(request.id, "shutdown", "server stopping")
+        pending = _Pending(request)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            with self.stats._lock:
+                self.stats.shed += 1
+            if self._registry.enabled:
+                self._c_shed.inc()
+            return error_response(request.id, "shed")
+        with self.stats._lock:
+            self.stats.admitted += 1
+        if self._registry.enabled:
+            self._c_admitted.inc()
+        while not pending.done.wait(_POLL_S):
+            if self._stop.is_set():
+                # stop() finishes everything still queued, so give the
+                # drain one grace poll; a request that slipped into the
+                # queue after the drain gets the shutdown answer here.
+                if pending.done.wait(_POLL_S):
+                    break
+                return error_response(request.id, "shutdown", "server stopping")
+        response = pending.response
+        assert response is not None
+        if self._registry.enabled:
+            self._h_latency.observe(
+                (perf_counter_ns() - pending.enqueued_ns) / 1e9
+            )
+        return response
+
+    def handle_http(self, path: str) -> tuple[str, str, str]:
+        """Answer one observability GET: ``(status, content-type, body)``."""
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return ("200 OK", "text/plain; version=0.0.4", self._registry.to_prometheus())
+        if path == "/healthz":
+            return ("200 OK", "text/plain", "ok\n")
+        if path == "/stats":
+            snapshot = self.stats.snapshot()
+            snapshot["queue_depth"] = self._queue.qsize()
+            return ("200 OK", "application/json", json.dumps(snapshot) + "\n")
+        return ("404 Not Found", "text/plain", f"unknown path {path}\n")
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        """Drain the queue in micro-batches until stopped."""
+        q = self._queue
+        while not self._stop.is_set():
+            try:
+                first = q.get(timeout=_POLL_S)
+            except queue.Empty:
+                continue
+            batch = [first]
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(q.get_nowait())
+                except queue.Empty:
+                    break
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: "list[_Pending]") -> None:
+        """Answer one drained micro-batch and wake every waiter."""
+        picked_ns = perf_counter_ns()
+        n = len(batch)
+        registry = self._registry
+        with self.stats._lock:
+            self.stats.batches += 1
+            self.stats.batch_queries += n
+            if n > self.stats.max_batch:
+                self.stats.max_batch = n
+        if registry.enabled:
+            self._c_batches.inc()
+            for pending in batch:
+                self._h_wait.observe((picked_ns - pending.enqueued_ns) / 1e9)
+        # Group by (deadline, pruning): answer_batch takes one scalar
+        # deadline per call, so mixed budgets become one sub-batch each
+        # (plan memoisation still spans sub-batches via the engine cache).
+        groups: "dict[tuple[float | None, bool], list[_Pending]]" = {}
+        for pending in batch:
+            request = pending.request
+            deadline_ms = (
+                request.deadline_ms
+                if request.deadline_ms is not None
+                else self.default_deadline_ms
+            )
+            pruning = request.pruning if request.pruning is not None else True
+            groups.setdefault(
+                (deadline_ms / 1000.0 if deadline_ms is not None else None, pruning),
+                [],
+            ).append(pending)
+        for (deadline_s, pruning), members in groups.items():
+            self._answer_group(members, deadline_s, pruning, n, picked_ns)
+
+    def _answer_group(
+        self,
+        members: "list[_Pending]",
+        deadline_s: "float | None",
+        pruning: bool,
+        batch_size: int,
+        picked_ns: int,
+    ) -> None:
+        engine = self.index.engine
+        backend = self._backend
+        use_batch = self.batch_max > 1
+        results: "list[Any] | None" = None
+        if use_batch:
+            triples = [
+                (p.request.s, p.request.t, p.request.alpha) for p in members
+            ]
+            try:
+                results = engine.answer_batch(
+                    triples,
+                    use_pruning=pruning,
+                    per_query_stats=True,
+                    deadline_s=deadline_s,
+                    backend=backend,
+                )
+            except Exception:
+                # One bad query fails answer_batch on first raise; redo
+                # the group per query so the rest still get answers and
+                # the offender gets an error response of its own.
+                results = None
+        if results is not None:
+            for pending, result in zip(members, results):
+                self._finish_ok(pending, result, batch_size, picked_ns)
+            return
+        for pending in members:
+            request = pending.request
+            try:
+                result = engine.answer(
+                    request.s,
+                    request.t,
+                    request.alpha,
+                    pruning,
+                    use_cache=use_batch,
+                    deadline_s=deadline_s,
+                    backend=backend,
+                )
+            except QueryValidationError as exc:
+                self._finish_error(pending, "invalid", str(exc))
+            except KeyError as exc:
+                # deadline-less answers skip _validate_nodes and hit the
+                # adjacency dict directly; render it as the same refusal
+                vertex = exc.args[0] if exc.args else exc
+                self._finish_error(pending, "invalid", f"unknown vertex {vertex}")
+            except ValueError as exc:
+                self._finish_error(pending, "unreachable", str(exc))
+            except Exception as exc:  # keep the worker alive no matter what
+                self._finish_error(pending, "internal", f"{type(exc).__name__}: {exc}")
+            else:
+                self._finish_ok(pending, result, batch_size, picked_ns)
+
+    def _finish_ok(
+        self, pending: _Pending, result: Any, batch_size: int, picked_ns: int
+    ) -> None:
+        degraded = result.degraded
+        with self.stats._lock:
+            self.stats.completed += 1
+            if degraded:
+                self.stats.degraded += 1
+        if self._registry.enabled:
+            self._c_completed.inc()
+            if degraded:
+                self._c_degraded.inc()
+        pending.finish(
+            query_response(
+                pending.request.id,
+                result,
+                backend=self._backend.NAME,
+                wait_us=max(0, (picked_ns - pending.enqueued_ns) // 1000),
+                batch=batch_size,
+            )
+        )
+
+    def _finish_error(self, pending: _Pending, error: str, detail: str) -> None:
+        with self.stats._lock:
+            if error == "invalid" or error == "unreachable":
+                self.stats.invalid += 1
+            else:
+                self.stats.errors += 1
+        if self._registry.enabled:
+            self._c_errors.inc()
+        pending.finish(error_response(pending.request.id, error, detail))
+
+
+def serve_index(
+    index: "NRPIndex",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    queue_capacity: int = 256,
+    workers: int = 2,
+    batch_max: int = 32,
+    default_deadline_ms: "float | None" = None,
+) -> QueryServer:
+    """Construct and start a :class:`QueryServer` (caller stops it)."""
+    server = QueryServer(
+        index,
+        host=host,
+        port=port,
+        queue_capacity=queue_capacity,
+        workers=workers,
+        batch_max=batch_max,
+        default_deadline_ms=default_deadline_ms,
+    )
+    server.start()
+    return server

@@ -1,0 +1,1 @@
+"""nrplint fixture package (never imported at runtime)."""

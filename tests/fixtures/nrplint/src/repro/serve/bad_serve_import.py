@@ -1,0 +1,6 @@
+"""Broken fixture: the serving plane reaching sideways into a consumer
+layer (experiments) → NRP001 layering."""
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,228 @@
+"""Thread-safety suite: concurrent engine use must stay bit-identical.
+
+The serving plane hammers one engine from several worker threads with
+observability armed, which is exactly the regime the three concurrency
+bugfixes in this PR protect:
+
+- per-metric locks in ``repro.obs.metrics`` (counter increments are
+  read-modify-write),
+- the flight recorder's locked ring advance (slot index and count must
+  move atomically),
+- the engine's :class:`BoundedCache` (locked LRU instead of unlocked
+  dict mutation + clear-everything eviction).
+
+The headline test: N threads hammering one engine — metrics on, tracing
+off, flight armed, under every available kernel backend — must produce
+per-query digests bit-identical to a sequential run of the same
+workload.  Plus targeted lost-update tests for each primitive.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import build_index
+from repro.core import kernels
+from repro.core.engine import BoundedCache
+from repro.obs import get_flight_recorder, get_registry
+from repro.obs.metrics import Counter, Histogram, Timer
+from conftest import make_random_instance, random_query
+
+THREADS = 6
+PER_THREAD = 40
+
+
+@pytest.fixture(scope="module")
+def conc_index():
+    return build_index(make_random_instance(41, n=28, extra=36))
+
+
+@pytest.fixture()
+def observed():
+    """Metrics enabled + flight armed for one test, fully restored after."""
+    registry = get_registry()
+    flight = get_flight_recorder()
+    registry.enable()
+    flight.configure(1 << 14)
+    flight.arm()
+    try:
+        yield registry, flight
+    finally:
+        flight.disarm()
+        flight.configure(flight.DEFAULT_CAPACITY)
+        registry.disable()
+        registry.reset()
+
+
+def _workload(graph, seed: int, count: int):
+    """Random triples with deliberate repeats (cache-hit pressure)."""
+    rng = random.Random(seed)
+    distinct = [random_query(graph, rng) for _ in range(max(4, count // 4))]
+    return [distinct[rng.randrange(len(distinct))] for _ in range(count)]
+
+
+@pytest.mark.parametrize("backend_name", kernels.backend_names())
+def test_threaded_digests_match_sequential(conc_index, observed, backend_name):
+    backend = kernels.get_backend(backend_name)
+    engine = conc_index.engine
+    workloads = [
+        _workload(conc_index.graph, 100 + i, PER_THREAD) for i in range(THREADS)
+    ]
+    # Sequential ground truth (same backend, fresh caches).
+    engine.invalidate_plans()
+    expected = [
+        [engine.answer(s, t, a, backend=backend).digest() for s, t, a in wl]
+        for wl in workloads
+    ]
+    engine.invalidate_plans()
+    actual: list = [None] * THREADS
+    errors: list = []
+
+    def hammer(slot: int) -> None:
+        try:
+            digests = []
+            for s, t, alpha in workloads[slot]:
+                digests.append(
+                    engine.answer(
+                        s, t, alpha, use_cache=True, backend=backend
+                    ).digest()
+                )
+            actual[slot] = digests
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(repr(exc))
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert actual == expected
+
+
+def test_threaded_flight_recorder_loses_nothing(conc_index, observed):
+    """Every threaded query lands in the ring: ``recorded`` must equal
+    the exact query count (the unlocked read-modify-write lost updates)."""
+    registry, flight = observed
+    flight.reset()
+    engine = conc_index.engine
+    total = THREADS * PER_THREAD
+
+    def hammer(seed: int) -> None:
+        for s, t, alpha in _workload(conc_index.graph, 200 + seed, PER_THREAD):
+            engine.answer(s, t, alpha)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert flight.recorded == total
+    records = flight.records()
+    assert len(records) == total  # capacity 2^14 > total: nothing dropped
+    assert all(rec is not None for rec in records)
+    # the registry's query counter saw every answer too (locked inc)
+    assert registry.counter("engine.queries").value == total
+
+
+def test_counter_inc_is_atomic():
+    counter = Counter("test.conc.counter")
+    rounds = 5000
+
+    def spin() -> None:
+        for _ in range(rounds):
+            counter.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 8 * rounds
+
+
+def test_timer_observe_is_atomic():
+    timer = Timer("test.conc.timer")
+    rounds = 3000
+
+    def spin() -> None:
+        for _ in range(rounds):
+            timer.observe(0.001)
+
+    threads = [threading.Thread(target=spin) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert timer.count == 6 * rounds
+    assert timer.total == pytest.approx(6 * rounds * 0.001)
+
+
+def test_histogram_observe_is_atomic():
+    hist = Histogram("test.conc.hist", buckets=(0.5, 1.5))
+    rounds = 3000
+
+    def spin() -> None:
+        for _ in range(rounds):
+            hist.observe(1.0)
+
+    threads = [threading.Thread(target=spin) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert hist.count == 6 * rounds
+    assert hist.cumulative()[-1] == 6 * rounds
+
+
+def test_flight_record_is_atomic():
+    from repro.obs.flight import FLIGHT_FIELDS, FlightRecorder
+
+    recorder = FlightRecorder(capacity=512)
+    recorder.arm()
+    rec = tuple(range(len(FLIGHT_FIELDS)))
+    rounds = 4000
+
+    def spin() -> None:
+        for _ in range(rounds):
+            recorder.record(rec)
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert recorder.recorded == 8 * rounds
+    assert recorder.dropped == 8 * rounds - 512
+    assert len(recorder.records()) == 512
+
+
+def test_bounded_cache_concurrent_churn():
+    """Concurrent put/get under heavy eviction never corrupts the map."""
+    cache = BoundedCache(limit=64)
+    errors: list = []
+
+    def churn(seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            for i in range(4000):
+                key = rng.randrange(256)
+                value = cache.get(key)
+                if value is not None and value != key * 3:
+                    errors.append((key, value))
+                cache.put(key, key * 3)
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=churn, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 64

@@ -44,6 +44,7 @@ EXPECTED_BAD = {
     "bad_purity.py": "purity",
     "reference.py": "purity",  # kernel backend module: every function is a kernel
     "bad_kernels_layering.py": "layering",
+    "bad_serve_import.py": "layering",
     "bad_except.py": "silent-except",
     "bad_except_resilience.py": "silent-except",
 }

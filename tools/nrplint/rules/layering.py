@@ -21,6 +21,10 @@
   builds on (atomic writes, WAL, failpoints); it may see only
   ``repro.network`` and ``repro.obs``, so depending on it can never
   create a cycle.
+- ``repro.serve`` (the query daemon) sits above the kernel: it may
+  import ``repro.core``, ``repro.obs``, ``repro.resilience``, and
+  ``repro.network``, but never the cli/experiments/viz consumers — and
+  nothing in core may import it back.
 
 Imports under ``if TYPE_CHECKING:`` are exempt — they express annotations,
 not a runtime dependency, and cannot create import cycles.
@@ -96,6 +100,7 @@ CONTRACTS: tuple[Contract, ...] = (
             "repro.baselines",
             "repro.validation",
             "repro.extensions",
+            "repro.serve",
         ),
         reason="core is the index kernel; service/consumer layers sit above it",
     ),
@@ -141,6 +146,14 @@ CONTRACTS: tuple[Contract, ...] = (
         scope="repro.resilience",
         allowed=("repro.network", "repro.obs"),
         reason="resilience is the crash-safety substrate core builds on",
+    ),
+    Contract(
+        scope="repro.serve",
+        allowed=("repro.core", "repro.obs", "repro.resilience", "repro.network"),
+        reason=(
+            "the serving plane wraps the index kernel; it must not reach "
+            "sideways into cli/experiments/viz consumers"
+        ),
     ),
 )
 
