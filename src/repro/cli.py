@@ -523,8 +523,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.metrics:
         _print_metrics_table(obs.registry())
     if args.metrics_output:
-        Path(args.metrics_output).write_text(
-            json.dumps(obs.registry().to_json(), indent=1) + "\n", encoding="utf-8"
+        from repro.resilience.atomic import atomic_write_text
+
+        atomic_write_text(
+            Path(args.metrics_output),
+            json.dumps(obs.registry().to_json(), indent=1) + "\n",
         )
         print(f"wrote metrics sidecar to {args.metrics_output}", file=sys.stderr)
     return 0

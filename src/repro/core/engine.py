@@ -67,7 +67,7 @@ class BoundedCache:
     def __init__(self, limit: int = _CACHE_LIMIT) -> None:
         if limit <= 0:
             raise ValueError("cache limit must be positive")
-        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()  # nrplint: guarded-by=_lock
         self._limit = limit
         self._lock = threading.Lock()
 

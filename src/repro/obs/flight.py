@@ -132,9 +132,9 @@ class FlightRecorder:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self.enabled = False
-        self._capacity = 0
-        self._ring: list[tuple | None] = []
-        self._count = 0
+        self._capacity = 0  # nrplint: guarded-by=_lock
+        self._ring: list[tuple | None] = []  # nrplint: guarded-by=_lock
+        self._count = 0  # nrplint: guarded-by=_lock
         self._lock = threading.Lock()
         self.configure(capacity)
 
@@ -194,41 +194,56 @@ class FlightRecorder:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def records(self) -> list[tuple]:
-        """Retained records, oldest first (a coherent snapshot)."""
+    def _snapshot(self) -> tuple[int, int, list[tuple]]:
+        """``(recorded, capacity, retained-oldest-first)`` under ONE lock.
+
+        Every reader goes through this: taking ``_count``, ``dropped``,
+        ``first_seq`` and the record list with separate lock acquisitions
+        lets a racing ``record()``/``reset()`` interleave between them
+        and produce an export whose header disagrees with its rows.
+        """
         with self._lock:
             count = self._count
             capacity = self._capacity
             if count <= capacity:
-                return [r for r in self._ring[:count] if r is not None]
-            pivot = count % capacity
-            out = self._ring[pivot:] + self._ring[:pivot]
-            return [r for r in out if r is not None]
+                retained = [r for r in self._ring[:count] if r is not None]
+            else:
+                pivot = count % capacity
+                out = self._ring[pivot:] + self._ring[:pivot]
+                retained = [r for r in out if r is not None]
+            return count, capacity, retained
+
+    def records(self) -> list[tuple]:
+        """Retained records, oldest first (a coherent snapshot)."""
+        return self._snapshot()[2]
 
     def first_seq(self) -> int:
         """Global sequence number of the oldest retained record."""
-        return self._count - len(self)
+        count, _, retained = self._snapshot()
+        return count - len(retained)
 
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
         """Schema-versioned document: header + row-major record arrays."""
+        count, capacity, retained = self._snapshot()
         return {
             "schema": FLIGHT_SCHEMA,
-            "capacity": self._capacity,
-            "recorded": self._count,
-            "dropped": self.dropped,
-            "first_seq": self.first_seq(),
+            "capacity": capacity,
+            "recorded": count,
+            "dropped": max(0, count - capacity),
+            "first_seq": count - len(retained),
             "fields": list(FLIGHT_FIELDS),
-            "records": [list(rec) for rec in self.records()],
+            "records": [list(rec) for rec in retained],
         }
 
     def write_jsonl(self, path: "str | Path") -> int:
         """Write one JSON object per retained record; returns the count."""
-        base = self.first_seq()
+        count, _, retained = self._snapshot()
+        base = count - len(retained)
         lines = []
-        for offset, rec in enumerate(self.records()):
+        for offset, rec in enumerate(retained):
             obj = {"seq": base + offset}
             obj.update(zip(FLIGHT_FIELDS, rec))
             lines.append(json.dumps(obj, separators=(",", ":")))
@@ -239,8 +254,9 @@ class FlightRecorder:
 
     def to_binary(self) -> bytes:
         """Compact fixed-width binary export (magic + packed records)."""
+        _, _, retained = self._snapshot()
         return _BINARY_MAGIC + b"".join(
-            pack_record(rec) for rec in self.records()
+            pack_record(rec) for rec in retained
         )
 
 

@@ -82,7 +82,7 @@ class Counter:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self.value = 0
+        self.value = 0  # nrplint: guarded-by=_lock
         self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
@@ -102,7 +102,7 @@ class Gauge:
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self.value = 0.0
+        self.value = 0.0  # nrplint: guarded-by=_lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -142,10 +142,10 @@ class Timer:
 
     def reset(self) -> None:
         with self._lock:
-            self.count = 0
-            self.total = 0.0
-            self.min = math.inf
-            self.max = -math.inf
+            self.count = 0  # nrplint: guarded-by=_lock
+            self.total = 0.0  # nrplint: guarded-by=_lock
+            self.min = math.inf  # nrplint: guarded-by=_lock
+            self.max = -math.inf  # nrplint: guarded-by=_lock
 
 
 class Histogram:
@@ -164,9 +164,9 @@ class Histogram:
         self.buckets = tuple(sorted(buckets))
         if not self.buckets:
             raise ValueError("histogram needs at least one bucket bound")
-        self.bucket_counts = [0] * (len(self.buckets) + 1)  # final slot = +Inf
-        self.count = 0
-        self.total = 0.0
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # nrplint: guarded-by=_lock (final slot = +Inf)
+        self.count = 0  # nrplint: guarded-by=_lock
+        self.total = 0.0  # nrplint: guarded-by=_lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -228,10 +228,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.enabled = False
         self._lock = threading.Lock()
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._timers: dict[str, Timer] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[str, Counter] = {}  # nrplint: guarded-by=_lock
+        self._gauges: dict[str, Gauge] = {}  # nrplint: guarded-by=_lock
+        self._timers: dict[str, Timer] = {}  # nrplint: guarded-by=_lock
+        self._histograms: dict[str, Histogram] = {}  # nrplint: guarded-by=_lock
 
     # ------------------------------------------------------------------
     # Registration (idempotent; returns the shared handle)

@@ -91,15 +91,15 @@ class ServerStats:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.admitted = 0
-        self.completed = 0
-        self.shed = 0
-        self.degraded = 0
-        self.invalid = 0
-        self.errors = 0
-        self.batches = 0
-        self.batch_queries = 0
-        self.max_batch = 0
+        self.admitted = 0  # nrplint: guarded-by=_lock
+        self.completed = 0  # nrplint: guarded-by=_lock
+        self.shed = 0  # nrplint: guarded-by=_lock
+        self.degraded = 0  # nrplint: guarded-by=_lock
+        self.invalid = 0  # nrplint: guarded-by=_lock
+        self.errors = 0  # nrplint: guarded-by=_lock
+        self.batches = 0  # nrplint: guarded-by=_lock
+        self.batch_queries = 0  # nrplint: guarded-by=_lock
+        self.max_batch = 0  # nrplint: guarded-by=_lock
 
     def snapshot(self) -> dict:
         with self._lock:

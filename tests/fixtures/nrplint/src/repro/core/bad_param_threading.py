@@ -1,0 +1,34 @@
+"""NRP011 fixture: the answer_batch fallthrough bug from PR 8, replayed."""
+
+
+class MiniEngine:
+    def answer(self, s, t, alpha, deadline_s=None, backend=None):
+        return (s, t, alpha, deadline_s, backend)
+
+    def answer_batch(self, queries, deadline_s=None, backend=None):
+        out = []
+        for s, t, alpha in queries:
+            out.append(self.answer(s, t, alpha))  # BAD: drops both params
+        return out
+
+    def answer_batch_ok(self, queries, deadline_s=None, backend=None):
+        return [
+            self.answer(s, t, alpha, deadline_s=deadline_s, backend=backend)
+            for s, t, alpha in queries
+        ]
+
+
+def execute(plan, backend=None):
+    return (plan, backend)
+
+
+def run_plan(plan, backend=None):
+    return execute(plan)  # BAD: drops backend
+
+
+def run_plan_ok(plan, backend=None):
+    return execute(plan, backend=backend)  # OK
+
+
+def run_plan_positional_ok(plan, backend=None):
+    return execute(plan, backend)  # OK: covered positionally

@@ -1,0 +1,27 @@
+"""NRP010 fixture: durable artefacts written without the atomic helpers."""
+
+import json
+from pathlib import Path
+
+
+def save_index_unsafely(index_path: str, payload: dict) -> None:
+    with open(index_path, "w", encoding="utf-8") as handle:  # BAD: torn on crash
+        json.dump(payload, handle)
+
+
+def append_wal_unsafely(wal_path: str, record: bytes) -> None:
+    with open(wal_path, "ab") as handle:  # BAD: only repro.resilience.wal may
+        handle.write(record)
+
+
+def dump_sidecar_unsafely(sidecar_path: Path, text: str) -> None:
+    sidecar_path.write_text(text)  # BAD: sidecars feed the perf gate
+
+
+def read_index_ok(index_path: str) -> str:
+    with open(index_path, "r", encoding="utf-8") as handle:  # OK: reads are free
+        return handle.read()
+
+
+def scratch_ok(tmp: Path) -> None:
+    tmp.joinpath("scratch.txt").write_text("hello")  # OK: not a durable artefact

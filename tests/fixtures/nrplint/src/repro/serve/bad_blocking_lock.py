@@ -1,0 +1,28 @@
+"""NRP009 fixture: blocking work inside a held lock, direct and one hop."""
+
+import threading
+import time
+
+
+def _load_snapshot(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+class StalledDaemon:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.snapshot = ""
+
+    def refresh(self, path: str, q) -> None:
+        with self._lock:
+            time.sleep(0.1)  # BAD: every worker serialises behind this
+            self.snapshot = _load_snapshot(path)  # BAD: file I/O one hop deep
+            q.get()  # BAD: unbounded wait can deadlock shutdown
+
+    def refresh_ok(self, path: str, q) -> None:
+        text = _load_snapshot(path)  # OK: blocking outside the lock
+        with self._lock:
+            self.snapshot = text
+            item = q.get(timeout=0.05)  # OK: bounded wait
+            del item

@@ -1,0 +1,8 @@
+"""NRP007 fixture (serve scope): a worker must never swallow a failure."""
+
+
+def drain_one(task) -> None:
+    try:
+        task()
+    except Exception:  # BAD: one shed request becomes a hung connection
+        pass

@@ -1,0 +1,57 @@
+"""NRP008 fixture: PR 8's unlocked flight-ring advance, replayed.
+
+Every mutation below is the exact shape of a race the serving plane hit:
+the indexed ring store + counter advance outside the lock, a plain
+read-modify-write rebind, and a cross-object stat bump that skips the
+owner's lock.
+"""
+
+import threading
+
+
+class ServerTally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.shed = 0  # nrplint: guarded-by=_lock
+
+
+class RacyRecorder:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ring: list = [None] * 8  # nrplint: guarded-by=_lock
+        self._count = 0  # nrplint: guarded-by=_lock
+        self.tally = ServerTally()
+
+    def record(self, rec: tuple) -> None:
+        self._ring[self._count % 8] = rec  # BAD: indexed store, no lock
+        self._count += 1  # BAD: augmented assignment, no lock
+
+    def merge(self, other: int) -> None:
+        self._count = self._count + other  # BAD: rmw rebind, no lock
+
+    def shed_one(self) -> None:
+        self.tally.shed += 1  # BAD: cross-object rmw outside tally's lock
+
+    def record_locked(self, rec: tuple) -> None:
+        with self._lock:
+            self._ring[self._count % 8] = rec  # OK: under the lock
+            self._count += 1  # OK
+
+    def shed_locked(self) -> None:
+        with self.tally._lock:
+            self.tally.shed += 1  # OK: holds the owner's lock
+
+
+class InferredCounter:
+    """No annotations: the guard is inferred from existing locked usage."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events = 0
+
+    def bump_locked(self) -> None:
+        with self._lock:
+            self.events += 1  # establishes `events` as guarded-by=_lock
+
+    def bump_racy(self) -> None:
+        self.events += 1  # BAD: inferred guarded, updated without the lock

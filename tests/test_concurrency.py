@@ -226,3 +226,171 @@ def test_bounded_cache_concurrent_churn():
         thread.join()
     assert not errors
     assert len(cache) <= 64
+
+
+def test_bounded_cache_single_entry_eviction_order():
+    """Full cache + one insert evicts exactly the least-recently-used key
+    (PR 8 replaced clear-everything eviction; this pins the LRU contract)."""
+    cache = BoundedCache(limit=4)
+    for key in range(4):
+        cache.put(key, key * 10)
+    assert cache.get(0) == 0  # refresh 0 → key 1 is now the LRU
+    cache.put(9, 90)
+    assert cache.get(1) is None, "exactly the LRU entry is evicted"
+    for key in (0, 2, 3, 9):
+        assert cache.get(key) is not None, f"hot key {key} must survive"
+    assert len(cache) == 4
+
+
+@pytest.mark.parametrize("backend_name", kernels.backend_names())
+def test_bounded_cache_churn_no_lost_entries(conc_index, backend_name):
+    """8 threads of disjoint puts + engine answers: every put survives.
+
+    The keyspace fits the limit, so after the storm every thread's final
+    values must all be present (an unlocked dict or wholesale eviction
+    loses some), the engine answers must bit-match a sequential run, and
+    the whole thing must finish — ``join(timeout=...)`` guards deadlock.
+    """
+    backend = kernels.get_backend(backend_name)
+    engine = conc_index.engine
+    per_thread = 50
+    workers = 8
+    cache = BoundedCache(limit=workers * per_thread)
+    triples = _workload(conc_index.graph, 4242, per_thread)
+    engine.invalidate_plans()
+    expected = [
+        engine.answer(s, t, a, backend=backend).digest() for s, t, a in triples
+    ]
+    engine.invalidate_plans()
+    errors: list = []
+
+    def churn(slot: int) -> None:
+        try:
+            digests = []
+            for i, (s, t, alpha) in enumerate(triples):
+                cache.put((slot, i), slot * 1000 + i)
+                digests.append(
+                    engine.answer(
+                        s, t, alpha, use_cache=True, backend=backend
+                    ).digest()
+                )
+                assert cache.get((slot, i)) == slot * 1000 + i
+            if digests != expected:
+                errors.append(f"thread {slot}: digests diverged")
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(repr(exc))
+
+    threads = [
+        threading.Thread(target=churn, args=(i,)) for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    stuck = [t for t in threads if t.is_alive()]
+    assert not stuck, "cache/engine deadlocked under churn"
+    assert not errors, errors
+    assert len(cache) == workers * per_thread, "a put was lost"
+    for slot in range(workers):
+        for i in range(per_thread):
+            assert cache.get((slot, i)) == slot * 1000 + i
+
+
+def test_flight_reset_race_keeps_snapshots_coherent():
+    """obs.reset() against an armed, recording ring: every export stays
+    internally consistent (header vs rows), and nothing deadlocks.
+
+    Without the one-lock snapshot, ``to_json`` reads ``recorded``,
+    ``dropped``, ``first_seq`` and the record list with separate lock
+    acquisitions — a racing ``reset()``/``record()`` interleaves between
+    them and produces a header that disagrees with its rows (even a
+    negative ``first_seq``)."""
+    from repro.obs.flight import FLIGHT_FIELDS, FlightRecorder
+
+    recorder = FlightRecorder(capacity=64)
+    recorder.arm()
+    rec = tuple(range(len(FLIGHT_FIELDS)))
+    stop = threading.Event()
+    errors: list = []
+
+    def write_storm() -> None:
+        try:
+            while not stop.is_set():
+                recorder.record(rec)
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(repr(exc))
+
+    def check_coherence() -> None:
+        try:
+            for _ in range(400):
+                recorder.reset()
+                doc = recorder.to_json()
+                recorded = doc["recorded"]
+                retained = doc["records"]
+                assert doc["capacity"] == 64
+                assert len(retained) == min(recorded, 64), (
+                    f"header says {recorded} recorded but "
+                    f"{len(retained)} rows retained"
+                )
+                assert doc["dropped"] == max(0, recorded - 64)
+                assert doc["first_seq"] == recorded - len(retained)
+                assert doc["first_seq"] >= 0
+                assert all(row == list(rec) for row in retained)
+        except Exception as exc:
+            errors.append(repr(exc))
+
+    writers = [threading.Thread(target=write_storm) for _ in range(4)]
+    checker = threading.Thread(target=check_coherence)
+    for thread in writers:
+        thread.start()
+    checker.start()
+    checker.join(timeout=60.0)
+    stop.set()
+    for thread in writers:
+        thread.join(timeout=10.0)
+    assert not checker.is_alive(), "reset/export deadlocked against record()"
+    assert not any(t.is_alive() for t in writers)
+    assert not errors, errors
+
+
+def test_obs_reset_with_armed_recorder_keeps_accounting():
+    """Module-level obs.reset() mid-storm: afterwards a quiet reset gives
+    an exactly-empty ring, proving no record() interleaved with the swap."""
+    import repro.obs as obs
+    from repro.obs.flight import FLIGHT_FIELDS
+
+    flight = get_flight_recorder()
+    flight.configure(128)
+    flight.arm()
+    rec = tuple(range(len(FLIGHT_FIELDS)))
+    stop = threading.Event()
+    errors: list = []
+
+    def write_storm() -> None:
+        try:
+            while not stop.is_set():
+                flight.record(rec)
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(repr(exc))
+
+    writers = [threading.Thread(target=write_storm) for _ in range(4)]
+    for thread in writers:
+        thread.start()
+    try:
+        for _ in range(200):
+            obs.reset()
+            count, capacity, retained = flight._snapshot()
+            assert capacity == 128
+            assert len(retained) == min(count, capacity)
+    finally:
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=10.0)
+    assert not any(t.is_alive() for t in writers)
+    assert not errors, errors
+    stop.set()
+    obs.reset()
+    assert flight.recorded == 0
+    assert flight.records() == []
+    flight.disarm()
+    flight.configure(flight.DEFAULT_CAPACITY)

@@ -25,8 +25,11 @@ from nrplint.baseline import DEFAULT_BASELINE_PATH, Baseline  # noqa: E402
 from nrplint.core import lint_paths, module_name_for, rule_registry  # noqa: E402
 from nrplint.report import (  # noqa: E402
     REPORT_SCHEMA_ID,
+    SARIF_VERSION,
     render_json,
+    render_sarif,
     validate_report,
+    validate_sarif,
 )
 
 FIXTURES = REPO / "tests" / "fixtures" / "nrplint" / "src"
@@ -47,6 +50,12 @@ EXPECTED_BAD = {
     "bad_serve_import.py": "layering",
     "bad_except.py": "silent-except",
     "bad_except_resilience.py": "silent-except",
+    "bad_except_serve.py": "silent-except",
+    "bad_except_obs.py": "silent-except",
+    "bad_lock_discipline.py": "lock-discipline",
+    "bad_blocking_lock.py": "blocking-lock",
+    "bad_atomic_write.py": "atomic-write",
+    "bad_param_threading.py": "param-threading",
 }
 
 
@@ -56,7 +65,7 @@ def fixture_result():
 
 
 class TestRegistry:
-    def test_seven_rules_registered(self):
+    def test_eleven_rules_registered(self):
         rules = rule_registry()
         assert set(rules) == {
             "layering",
@@ -66,6 +75,10 @@ class TestRegistry:
             "private-access",
             "purity",
             "silent-except",
+            "lock-discipline",
+            "blocking-lock",
+            "atomic-write",
+            "param-threading",
         }
         codes = {rule.code for rule in rules.values()}
         assert len(codes) == len(rules), "rule codes must be unique"
@@ -99,6 +112,7 @@ class TestFixtures:
         flagged = {Path(f.path).name for f in fixture_result.findings}
         assert flagged <= allowed, f"unexpected findings in {flagged - allowed}"
         assert "clean.py" not in flagged
+        assert "clean_serve.py" not in flagged
         assert not fixture_result.errors
 
     def test_fixture_counts_are_stable(self, fixture_result):
@@ -112,6 +126,13 @@ class TestFixtures:
         assert counts["reference.py"] == 2  # non-kernel-named arg + module state
         assert counts["bad_except.py"] == 2  # bare + silent broad
         assert counts["bad_except_resilience.py"] == 1  # silent BaseException
+        assert counts["bad_except_serve.py"] == 1  # silent broad in a worker
+        assert counts["bad_except_obs.py"] == 1  # bare except in an export
+        # ring store + count advance + rmw rebind + cross-object + inferred
+        assert counts["bad_lock_discipline.py"] == 5
+        assert counts["bad_blocking_lock.py"] == 3  # sleep + one-hop I/O + get
+        assert counts["bad_atomic_write.py"] == 3  # index + wal + sidecar
+        assert counts["bad_param_threading.py"] == 3  # 2 dropped kw + 1 helper
 
 
 class TestSuppressions:
@@ -195,6 +216,79 @@ class TestJsonReport:
         assert any("findings" in e for e in validate_report(document))
 
 
+class TestSarifReport:
+    def test_sarif_validates_against_checked_in_schema(self, fixture_result):
+        baseline = Baseline.from_findings(fixture_result.findings[:2])
+        new, baselined = baseline.split(fixture_result.findings)
+        document = render_sarif(fixture_result, new, baselined)
+        assert document["version"] == SARIF_VERSION
+        assert validate_sarif(document) == []
+
+    def test_sarif_levels_and_suppressions(self, fixture_result):
+        baseline = Baseline.from_findings(fixture_result.findings[:2])
+        new, baselined = baseline.split(fixture_result.findings)
+        results = render_sarif(fixture_result, new, baselined)["runs"][0][
+            "results"
+        ]
+        errors = [r for r in results if r["level"] == "error"]
+        notes = [r for r in results if r["level"] == "note"]
+        assert len(errors) == len(new)
+        assert len(notes) == len(baselined) + len(fixture_result.suppressed)
+        assert all("suppressions" not in r for r in errors)
+        kinds = {s["kind"] for r in notes for s in r["suppressions"]}
+        assert kinds == {"external", "inSource"}
+        for r in notes:
+            for s in r["suppressions"]:
+                assert s["justification"].strip()
+
+    def test_sarif_rule_catalogue_matches_registry(self, fixture_result):
+        document = render_sarif(fixture_result, [], [])
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} == {
+            rule.code for rule in rule_registry().values()
+        }
+        # ruleIndex in every result must point at the right catalogue row
+        document = render_sarif(
+            fixture_result, fixture_result.findings, []
+        )
+        for result in document["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_sarif_fingerprints_are_line_number_independent(
+        self, fixture_result
+    ):
+        """The fingerprint is (rule, path, snippet) — the same identity the
+        baseline uses — so a pure line shift does not re-open alerts."""
+        document = render_sarif(fixture_result, fixture_result.findings, [])
+        by_key: dict[str, dict] = {}
+        for finding, result in zip(
+            fixture_result.findings, document["runs"][0]["results"]
+        ):
+            key = result["partialFingerprints"]["nrplintKey/v1"]
+            assert key == f"{finding.rule}::{finding.path}::{finding.snippet}"
+            by_key[key] = result
+        assert by_key, "fixtures must produce fingerprinted results"
+
+
+class TestSchemaDriftGate:
+    """tools/check_obs_schema.py cross-checks the nrplint schema."""
+
+    def test_shipped_schemas_do_not_drift(self):
+        import check_obs_schema
+
+        assert check_obs_schema.nrplint_schema_errors() == []
+
+    def test_version_drift_is_detected(self, tmp_path, monkeypatch):
+        import check_obs_schema
+        from nrplint import report as nrplint_report
+
+        monkeypatch.setattr(
+            nrplint_report, "REPORT_SCHEMA_ID", "nrplint.report/99"
+        )
+        errors = check_obs_schema.nrplint_schema_errors()
+        assert any("drift" in e for e in errors)
+
+
 class TestShippedTree:
     """The acceptance gate: the shipped src tree is clean."""
 
@@ -247,17 +341,95 @@ class TestCliGate:
         assert "NRP001" in proc.stdout
         assert "repro.core must not import repro.cli" in proc.stdout
 
+    def test_cli_fails_on_reintroduced_ring_race(self, tmp_path):
+        """PR 8's unlocked ring advance, seeded fresh, must fail the gate."""
+        pkg = tmp_path / "repro"
+        (pkg / "serve").mkdir(parents=True)
+        (pkg / "__init__.py").write_text('"""tmp."""\n')
+        (pkg / "serve" / "__init__.py").write_text('"""tmp."""\n')
+        (pkg / "serve" / "regression.py").write_text(
+            '"""Regression: the PR-8 ring race must stay machine-checked."""\n'
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Ring:\n"
+            "    def __init__(self) -> None:\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._ring: list = [None] * 8"
+            "  # nrplint: guarded-by=_lock\n"
+            "        self._count = 0  # nrplint: guarded-by=_lock\n"
+            "\n"
+            "    def record(self, rec: tuple) -> None:\n"
+            "        self._ring[self._count % 8] = rec\n"
+            "        self._count += 1\n"
+        )
+        proc = _run_cli(str(tmp_path), "--no-baseline")
+        assert proc.returncode == 1
+        assert "NRP008" in proc.stdout
+        assert "outside its lock" in proc.stdout
+
+    def test_cli_fails_on_reintroduced_batch_fallthrough(self, tmp_path):
+        """PR 8's answer_batch parameter drop, seeded fresh, must fail."""
+        pkg = tmp_path / "repro"
+        (pkg / "core").mkdir(parents=True)
+        (pkg / "__init__.py").write_text('"""tmp."""\n')
+        (pkg / "core" / "__init__.py").write_text('"""tmp."""\n')
+        (pkg / "core" / "regression.py").write_text(
+            '"""Regression: the answer_batch fallthrough must stay '
+            'machine-checked."""\n'
+            "\n"
+            "\n"
+            "class Engine:\n"
+            "    def answer(self, s, t, deadline_s=None, backend=None):\n"
+            "        return (s, t, deadline_s, backend)\n"
+            "\n"
+            "    def answer_batch(self, qs, deadline_s=None, backend=None):\n"
+            "        return [self.answer(s, t) for s, t in qs]\n"
+        )
+        proc = _run_cli(str(tmp_path), "--no-baseline")
+        assert proc.returncode == 1
+        assert "NRP011" in proc.stdout
+        assert "drops deadline_s" in proc.stdout
+        assert "drops backend" in proc.stdout
+
     def test_cli_json_output_is_schema_valid(self):
         proc = _run_cli(str(FIXTURES), "--format", "json", "--no-baseline")
         assert proc.returncode == 1  # fixtures are deliberately broken
         document = json.loads(proc.stdout)
         assert validate_report(document) == []
 
+    def test_cli_sarif_output_is_schema_valid(self):
+        proc = _run_cli(str(FIXTURES), "--format", "sarif", "--no-baseline")
+        assert proc.returncode == 1  # exit code still reflects findings
+        document = json.loads(proc.stdout)
+        assert validate_sarif(document) == []
+        assert document["runs"][0]["invocations"][0]["exitCode"] == 1
+
+    def test_cli_select_new_rules_only(self):
+        proc = _run_cli(
+            str(FIXTURES),
+            "--select",
+            "lock-discipline,blocking-lock,atomic-write,param-threading",
+            "--format",
+            "json",
+            "--no-baseline",
+        )
+        assert proc.returncode == 1
+        document = json.loads(proc.stdout)
+        rules = {f["rule"] for f in document["findings"]}
+        assert rules == {
+            "lock-discipline",
+            "blocking-lock",
+            "atomic-write",
+            "param-threading",
+        }
+
     def test_cli_list_rules(self):
         proc = _run_cli("--list-rules")
         assert proc.returncode == 0
         for code in (
-            "NRP001", "NRP002", "NRP003", "NRP004", "NRP005", "NRP006", "NRP007"
+            "NRP001", "NRP002", "NRP003", "NRP004", "NRP005", "NRP006",
+            "NRP007", "NRP008", "NRP009", "NRP010", "NRP011",
         ):
             assert code in proc.stdout
 

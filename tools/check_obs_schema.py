@@ -22,6 +22,11 @@ taxonomy and the code have drifted.  CI runs it on a fresh
 ``repro obs dump`` and ``repro query --trace`` output on every supported
 Python version, so exported documents cannot drift from the checked-in
 schema unnoticed.
+
+Every run also cross-checks the *other* schema gate: the nrplint report
+schema (``tools/nrplint/schema.json``) must pin the exact version id the
+analyzer emits and the exact rule catalogue it registers, so the two
+schema-versioned surfaces cannot drift apart silently.
 """
 
 from __future__ import annotations
@@ -142,12 +147,67 @@ def check_file(path: Path, schemas: dict) -> list[str]:
     return [f"{path} [{schema_id}] {e}" for e in errors]
 
 
+def nrplint_schema_errors() -> list[str]:
+    """The two schema gates must not drift: the nrplint report schema's
+    pinned version/rule enum and the analyzer itself have to agree.
+
+    A rule added without bumping ``tools/nrplint/schema.json`` (or a
+    version bump that the analyzer does not emit) would otherwise only
+    surface when some later report failed validation; checking it here
+    ties the drift to the same CI step that guards the obs schemas.
+    """
+    tools_dir = str(Path(__file__).resolve().parent)
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    try:
+        from nrplint.core import rule_registry
+        from nrplint.report import REPORT_SCHEMA_ID, SCHEMA_PATH as NRPLINT_SCHEMA
+    except ImportError as exc:  # pragma: no cover - tree layout violation
+        return [f"nrplint not importable from {tools_dir}: {exc}"]
+    errors: list[str] = []
+    try:
+        schema = json.loads(NRPLINT_SCHEMA.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{NRPLINT_SCHEMA}: unreadable: {exc}"]
+    declared = schema.get("properties", {}).get("schema", {}).get("const")
+    if declared != REPORT_SCHEMA_ID:
+        errors.append(
+            f"nrplint schema drift: schema.json pins {declared!r} but the "
+            f"analyzer emits {REPORT_SCHEMA_ID!r}"
+        )
+    pinned = set(
+        schema.get("properties", {})
+        .get("findings", {})
+        .get("items", {})
+        .get("properties", {})
+        .get("rule", {})
+        .get("enum", ())
+    )
+    registered = set(rule_registry())
+    if pinned != registered:
+        missing = sorted(registered - pinned)
+        stale = sorted(pinned - registered)
+        detail = []
+        if missing:
+            detail.append(f"rules missing from the enum: {missing}")
+        if stale:
+            detail.append(f"stale enum entries: {stale}")
+        errors.append("nrplint schema drift: " + "; ".join(detail))
+    return errors
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__, file=sys.stderr)
         return 2
     schemas = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
     failed = False
+    drift = nrplint_schema_errors()
+    if drift:
+        failed = True
+        print("\n".join(drift), file=sys.stderr)
+    else:
+        print("nrplint schema: OK (version and rule enum match the analyzer)")
     for name in argv:
         errors = check_file(Path(name), schemas)
         if errors:

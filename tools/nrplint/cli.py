@@ -13,7 +13,7 @@ from pathlib import Path
 
 from nrplint.baseline import DEFAULT_BASELINE_PATH, Baseline
 from nrplint.core import lint_paths, rule_registry
-from nrplint.report import render_json, render_text
+from nrplint.report import render_json, render_sarif, render_text
 
 __all__ = ["main"]
 
@@ -33,9 +33,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif emits SARIF 2.1.0 for "
+        "GitHub code scanning)",
     )
     parser.add_argument(
         "--baseline",
@@ -106,6 +107,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(json.dumps(render_json(result, new, baselined), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(result, new, baselined), indent=2))
     else:
         print(render_text(result, new, baselined, verbose=args.verbose))
     return 1 if new or result.errors else 0

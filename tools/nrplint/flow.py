@@ -1,0 +1,394 @@
+"""Flow facts for the concurrency rules (NRP008–NRP011).
+
+PR 8's bugs (unlocked flight-ring advance, racy metric read-modify-writes,
+the ``answer_batch`` parameter fallthrough) were all *flow* properties:
+which lock is held at a statement, which attributes a class mutates, which
+call paths forward which parameters.  This module computes those facts
+once per file — a deliberately lightweight CFG-lite, not a real abstract
+interpreter — and the rules consume them:
+
+- :class:`ClassFlow` — per-class lock ownership (``self._lock =
+  threading.Lock()``), the guarded-attribute map (explicit ``# nrplint:
+  guarded-by=_lock`` annotations plus inference from existing ``with
+  self._lock:`` writes), attribute types (``self.stats = ServerStats()``),
+  and the set of attributes the class assigns at all.
+- :class:`ModuleFlow` — the per-module bundle: classes, module-level
+  functions, and the union of guarded attributes (the fallback for
+  receivers whose type cannot be resolved).
+- :func:`held_lock_chains` — the dotted lock expressions (``self._lock``,
+  ``self.stats._lock``) whose ``with`` blocks enclose a node, stopping at
+  the function boundary (a lock does not flow into a nested ``def`` that
+  runs later).
+- :func:`iter_mutations` — the write classifier: augmented assignments,
+  ``self.x = self.x + 1`` style read-modify-writes, and indexed stores
+  into a guarded container (``self._ring[i] = rec`` — the exact shape of
+  the flight-ring race).
+
+Everything is memoised on the :class:`~nrplint.core.FileContext` so the
+four rules share one analysis pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from nrplint.core import FileContext, dotted_name
+
+__all__ = [
+    "GUARDED_BY_RE",
+    "ClassFlow",
+    "ModuleFlow",
+    "get_flow",
+    "held_lock_chains",
+    "iter_functions",
+    "iter_mutations",
+    "param_names",
+    "receiver_chain",
+    "walk_local",
+]
+
+#: Declares an attribute guarded: ``self._count = 0  # nrplint: guarded-by=_lock``
+GUARDED_BY_RE = re.compile(
+    r"#\s*nrplint:\s*guarded-by\s*=\s*(?P<lock>[A-Za-z_]\w*)"
+)
+
+#: ``threading`` factories whose result makes an attribute a lock.
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+_CTOR_NAMES = ("__init__", "__new__", "__post_init__")
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ClassFlow:
+    """Lock/attribute facts for one class definition."""
+
+    name: str
+    node: ast.ClassDef
+    locks: set[str] = field(default_factory=set)  #: attrs holding a Lock
+    guarded: dict[str, str] = field(default_factory=dict)  #: attr → lock attr
+    attr_types: dict[str, str] = field(default_factory=dict)  #: attr → class
+    owns: set[str] = field(default_factory=set)  #: every self.X assigned
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class ModuleFlow:
+    """Per-module flow facts shared by the NRP008–NRP011 rules."""
+
+    classes: dict[str, ClassFlow]
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef]
+    annotations: dict[int, str]  #: source line → guarded-by lock name
+    lock_attrs: frozenset[str]  #: union of lock attribute names
+
+    def guarded_anywhere(self, attr: str) -> str | None:
+        """The lock guarding ``attr`` in *any* class (type-unresolved path)."""
+        for cls in self.classes.values():
+            if attr in cls.guarded:
+                return cls.guarded[attr]
+        return None
+
+    def owned_anywhere(self, attr: str) -> bool:
+        return any(attr in cls.owns for cls in self.classes.values())
+
+
+def receiver_chain(node: ast.AST) -> str | None:
+    """Dotted receiver of an attribute access: ``self.stats._lock`` → chain."""
+    return dotted_name(node)
+
+
+def walk_local(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested defs/classes.
+
+    A closure defined inside a ``with lock:`` block runs *later*, outside
+    the lock; and a nested ``def`` is its own caller for the purposes of
+    parameter threading.  Rules that reason about one function's body use
+    this instead of :func:`ast.walk` so nested scopes stay separate.
+    """
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (*_FunctionNode, ast.ClassDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def param_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    """Every parameter name of ``func``, positional-only through kw-only."""
+    args = func.args
+    return [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+
+
+def _is_lock_factory(call: ast.AST) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return False
+    parts = dotted.split(".")
+    if parts[-1] not in _LOCK_FACTORIES:
+        return False
+    return len(parts) == 1 or parts[-2] == "threading"
+
+
+def _collect_annotations(ctx: FileContext) -> dict[int, str]:
+    out: dict[int, str] = {}
+    for lineno, line in enumerate(ctx.lines, start=1):
+        match = GUARDED_BY_RE.search(line)
+        if match is not None:
+            out[lineno] = match.group("lock")
+    return out
+
+
+def _attr_writes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.AST, str]]:
+    """``(assign-node, attr)`` pairs for every ``self.X = ...`` in ``func``."""
+    for sub in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            targets = [sub.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield sub, target.attr
+            elif isinstance(target, ast.Tuple):
+                for element in target.elts:
+                    if (
+                        isinstance(element, ast.Attribute)
+                        and isinstance(element.value, ast.Name)
+                        and element.value.id == "self"
+                    ):
+                        yield sub, element.attr
+
+
+def _build_class_flow(
+    ctx: FileContext,
+    node: ast.ClassDef,
+    annotations: dict[int, str],
+    module_classes: set[str],
+) -> ClassFlow:
+    flow = ClassFlow(name=node.name, node=node)
+    for stmt in node.body:
+        if isinstance(stmt, _FunctionNode):
+            flow.methods[stmt.name] = stmt
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            # Class-body attribute with a trailing guarded-by annotation.
+            lock = annotations.get(stmt.lineno)
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    flow.owns.add(target.id)
+                    if lock is not None:
+                        flow.guarded[target.id] = lock
+
+    for method in flow.methods.values():
+        for assign, attr in _attr_writes(method):
+            flow.owns.add(attr)
+            value = getattr(assign, "value", None)
+            if _is_lock_factory(value):
+                flow.locks.add(attr)
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in module_classes
+            ):
+                flow.attr_types[attr] = value.func.id
+            lock = annotations.get(assign.lineno)
+            if lock is not None:
+                flow.guarded[attr] = lock
+
+    # Inference: an attribute written under ``with self.<lock>:`` anywhere
+    # in the class is guarded by that lock (construction excluded — an
+    # object under construction is not yet shared).
+    for name, method in flow.methods.items():
+        if name in _CTOR_NAMES:
+            continue
+        for sub in ast.walk(method):
+            if not isinstance(sub, (ast.With, ast.AsyncWith)):
+                continue
+            held = [
+                chain.split(".", 1)[1]
+                for item in sub.items
+                if (chain := dotted_name(item.context_expr)) is not None
+                and chain.startswith("self.")
+                and chain.split(".", 1)[1] in flow.locks
+            ]
+            if not held:
+                continue
+            lock = held[0]
+            for body_stmt in sub.body:
+                for inner in walk_local(body_stmt):
+                    if isinstance(
+                        inner, (ast.Assign, ast.AnnAssign, ast.AugAssign)
+                    ):
+                        for _, attr in _attr_writes_of(inner):
+                            flow.guarded.setdefault(attr, lock)
+    return flow
+
+
+def _attr_writes_of(stmt: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        base = target
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            yield stmt, base.attr
+
+
+def get_flow(ctx: FileContext) -> ModuleFlow:
+    """The (memoised) :class:`ModuleFlow` for one file."""
+    cached = getattr(ctx, "_nrplint_flow", None)
+    if cached is not None:
+        return cached
+    annotations = _collect_annotations(ctx)
+    class_nodes = [
+        node for node in ctx.tree.body if isinstance(node, ast.ClassDef)
+    ]
+    module_classes = {node.name for node in class_nodes}
+    classes = {
+        node.name: _build_class_flow(ctx, node, annotations, module_classes)
+        for node in class_nodes
+    }
+    functions = {
+        node.name: node
+        for node in ctx.tree.body
+        if isinstance(node, _FunctionNode)
+    }
+    lock_attrs = frozenset(
+        attr for cls in classes.values() for attr in cls.locks
+    )
+    flow = ModuleFlow(
+        classes=classes,
+        functions=functions,
+        annotations=annotations,
+        lock_attrs=lock_attrs,
+    )
+    ctx._nrplint_flow = flow  # type: ignore[attr-defined]
+    return flow
+
+
+def _looks_like_lock(chain: str, flow: ModuleFlow) -> bool:
+    last = chain.rsplit(".", 1)[-1]
+    return "lock" in last.lower() or last in flow.lock_attrs
+
+
+def with_lock_chains(
+    node: ast.With | ast.AsyncWith, flow: ModuleFlow
+) -> list[str]:
+    """The lock expressions a ``with`` statement acquires (dotted chains)."""
+    chains: list[str] = []
+    for item in node.items:
+        chain = dotted_name(item.context_expr)
+        if chain is not None and _looks_like_lock(chain, flow):
+            chains.append(chain)
+    return chains
+
+
+def held_lock_chains(
+    ctx: FileContext, node: ast.AST, flow: ModuleFlow
+) -> set[str]:
+    """Every lock chain whose ``with`` block encloses ``node``.
+
+    Stops at the first function boundary: a lock acquired in the enclosing
+    function is *not* held inside a nested ``def`` that runs later.
+    """
+    held: set[str] = set()
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (*_FunctionNode, ast.ClassDef)):
+            break
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            held.update(with_lock_chains(ancestor, flow))
+    return held
+
+
+def iter_functions(
+    ctx: FileContext,
+) -> Iterator[tuple[ast.ClassDef | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function in the module, paired with its enclosing class."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, _FunctionNode):
+            yield ctx.enclosing_class(node), node
+
+
+def _reads_attr(expr: ast.AST, receiver: str, attr: str) -> bool:
+    wanted = f"{receiver}.{attr}"
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Attribute) and dotted_name(sub) == wanted:
+            return True
+    return False
+
+
+def iter_mutations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.AST, str, str, str]]:
+    """``(node, receiver, attr, kind)`` for each attribute mutation.
+
+    Three shapes count — all of them the read-modify-write family that
+    loses updates under concurrency (a plain rebind ``self.x = value`` is
+    atomic under the GIL and is deliberately *not* reported):
+
+    - ``recv.attr += ...`` / ``recv.attr[i] += ...``  (augmented)
+    - ``recv.attr = f(recv.attr)``                    (rmw assignment)
+    - ``recv.attr[i] = ...``                          (indexed store)
+
+    Nested ``def``s are excluded — :func:`iter_functions` visits them as
+    functions in their own right.
+    """
+    for sub in walk_local(func):
+        if isinstance(sub, ast.AugAssign):
+            target = sub.target
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if isinstance(target, ast.Attribute):
+                receiver = receiver_chain(target.value)
+                if receiver is not None:
+                    yield sub, receiver, target.attr, "augmented assignment"
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Attribute):
+                    receiver = receiver_chain(target.value)
+                    if receiver is not None and _reads_attr(
+                        sub.value, receiver, target.attr
+                    ):
+                        yield (
+                            sub,
+                            receiver,
+                            target.attr,
+                            "read-modify-write assignment",
+                        )
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Attribute
+                ):
+                    receiver = receiver_chain(target.value.value)
+                    if receiver is not None:
+                        yield sub, receiver, target.value.attr, "indexed store"

@@ -1,12 +1,21 @@
-"""Text and JSON reporters, plus the report-schema validator.
+"""Text, JSON, and SARIF reporters, plus the report-schema validator.
 
-The JSON document is schema-versioned (``nrplint.report/1``) like the
+The JSON document is schema-versioned (``nrplint.report/2`` — ``/2``
+added the NRP008–NRP011 concurrency rules to the findings enum) like the
 observability exports, and the checked-in ``tools/nrplint/schema.json``
 pins its shape; :func:`validate_report` is the same deliberately small
 JSON-Schema subset used by ``tools/check_obs_schema.py`` (``type``,
 ``required``, ``properties``, ``additionalProperties``, ``items``,
 ``enum``, ``const``, ``minimum``), so the tests can verify every report
 against the schema without any third-party dependency.
+
+:func:`render_sarif` emits SARIF 2.1.0 for GitHub code scanning: new
+findings as ``error`` results, baselined/suppressed ones as ``note``
+results carrying a ``suppressions`` entry, the full rule catalogue on
+the tool driver, and snippet-based ``partialFingerprints`` (the same
+line-number-independent identity the baseline uses, so results track
+across rebases).  ``tools/nrplint/sarif_schema.json`` pins the subset of
+the 2.1.0 shape we emit and is checked by the same validator.
 """
 
 from __future__ import annotations
@@ -15,18 +24,30 @@ import json
 from pathlib import Path
 from typing import Any
 
-from nrplint.core import Finding, RunResult
+from nrplint.core import Finding, RunResult, rule_registry
 
 __all__ = [
     "REPORT_SCHEMA_ID",
+    "SARIF_SCHEMA_PATH",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
     "SCHEMA_PATH",
     "render_text",
     "render_json",
+    "render_sarif",
     "validate_report",
+    "validate_sarif",
 ]
 
-REPORT_SCHEMA_ID = "nrplint.report/1"
+REPORT_SCHEMA_ID = "nrplint.report/2"
 SCHEMA_PATH = Path(__file__).resolve().parent / "schema.json"
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_SCHEMA_PATH = Path(__file__).resolve().parent / "sarif_schema.json"
 
 
 def _finding_dict(finding: Finding) -> dict[str, Any]:
@@ -99,6 +120,121 @@ def render_text(
         summary += f", {len(result.errors)} file error(s)"
     lines.append(summary)
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# SARIF 2.1.0 (GitHub code scanning)
+# ----------------------------------------------------------------------
+def _sarif_rules() -> list[dict[str, Any]]:
+    """The driver's rule catalogue, ordered by stable code."""
+    return [
+        {
+            "id": rule.code,
+            "name": "".join(
+                part.capitalize() for part in name.split("-")
+            ),
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+            "properties": {"slug": name},
+        }
+        for name, rule in sorted(
+            rule_registry().items(), key=lambda kv: kv[1].code
+        )
+    ]
+
+
+def _sarif_result(
+    finding: Finding,
+    rule_index: dict[str, int],
+    level: str,
+    suppression: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index[finding.code],
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; Finding.col is the
+                        # 0-based AST col_offset.
+                        "startColumn": finding.col + 1,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        # Same line-number-independent identity the baseline uses, so
+        # code scanning tracks a result across rebases.
+        "partialFingerprints": {
+            "nrplintKey/v1": f"{finding.rule}::{finding.path}::{finding.snippet}"
+        },
+    }
+    if suppression is not None:
+        result["suppressions"] = [suppression]
+    return result
+
+
+def render_sarif(
+    result: RunResult,
+    new: list[Finding],
+    baselined: list[Finding],
+) -> dict[str, Any]:
+    """The SARIF 2.1.0 document (``new`` = error, rest = suppressed note)."""
+    rules = _sarif_rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [_sarif_result(f, rule_index, "error") for f in new]
+    results += [
+        _sarif_result(
+            f,
+            rule_index,
+            "note",
+            {"kind": "external", "justification": "grandfathered in baseline"},
+        )
+        for f in baselined
+    ]
+    results += [
+        _sarif_result(
+            f, rule_index, "note", {"kind": "inSource", "justification": reason}
+        )
+        for f, reason in result.suppressed
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "nrplint",
+                        # Rule docs live in docs/static_analysis.md; the
+                        # repo has no canonical public URI to point at.
+                        "semanticVersion": REPORT_SCHEMA_ID.rsplit("/", 1)[-1]
+                        + ".0.0",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "invocations": [
+                    {
+                        "executionSuccessful": not result.errors,
+                        "exitCode": 1 if (new or result.errors) else 0,
+                    }
+                ],
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(document: Any) -> list[str]:
+    """Errors from the checked-in SARIF 2.1.0 subset schema (empty = valid)."""
+    schema = json.loads(SARIF_SCHEMA_PATH.read_text(encoding="utf-8"))
+    return validate_report(document, schema)
 
 
 # ----------------------------------------------------------------------

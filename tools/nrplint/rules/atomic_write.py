@@ -1,0 +1,127 @@
+"""NRP010 — durable artefacts are written through the atomic helpers.
+
+PR 4's entire bug class was torn files: an index save, WAL segment, or
+benchmark sidecar interrupted mid-write leaves a file that parses as
+damage (or worse, parses clean and answers wrong).  The repo's answer is
+``repro.resilience.atomic`` — same-directory temp + fsync + ``os.replace``
++ directory fsync — and every durable write is required to go through it.
+
+This rule mechanises the requirement: outside the sanctioned modules
+(``repro.resilience.atomic`` itself and the WAL, whose append-only fsync
+protocol is the other legitimate writer), any direct write targeting a
+durable-artefact path is an error:
+
+- ``open(path, "w"/"wb"/"a"/"ab"/"x"...)`` where the path expression
+  mentions an index (``.nrp``), WAL, sidecar, metrics, or baseline
+  artefact, and
+- ``<path>.write_text(...)`` / ``<path>.write_bytes(...)`` on such a
+  path.
+
+Matching is textual over the path *expression* (``ast.unparse``), so
+``open(index_path, "w")`` and ``sidecar.write_text(...)`` are both caught
+without any type inference.  Scratch writes to unrecognisable paths stay
+legal — the rule is a tripwire for the artefacts the resilience suite
+actually fuzzes, not a blanket ban on ``open``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, register
+
+#: Modules allowed to write durable artefacts directly.
+_SANCTIONED = ("repro.resilience.atomic", "repro.resilience.wal")
+
+#: Substrings of a path expression marking a durable artefact.
+_MARKERS = ("nrp", "wal", "sidecar", "metrics", "index", "baseline")
+
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _writes(mode: str) -> bool:
+    return bool(set(mode) & set("wax+"))
+
+
+def _marker_in(text: str) -> str | None:
+    lowered = text.lower()
+    for marker in _MARKERS:
+        if marker in lowered:
+            return marker
+    return None
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return ""
+
+
+@register
+class AtomicWriteRule(Rule):
+    name = "atomic-write"
+    code = "NRP010"
+    summary = "durable artefacts (index/WAL/sidecars) use the atomic writers"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        if any(ctx.module == sanctioned for sanctioned in _SANCTIONED):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_open(ctx, node) or self._check_write_method(
+                ctx, node
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_open(self, ctx: FileContext, call: ast.Call) -> Finding | None:
+        if not (isinstance(call.func, ast.Name) and call.func.id == "open"):
+            return None
+        mode = "r"
+        if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+            if isinstance(call.args[1].value, str):
+                mode = call.args[1].value
+        for kw in call.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                if isinstance(kw.value.value, str):
+                    mode = kw.value.value
+        if not _writes(mode):
+            return None
+        target = call.args[0] if call.args else None
+        if target is None:
+            return None
+        marker = _marker_in(_unparse(target))
+        if marker is None:
+            return None
+        return self.finding(
+            ctx,
+            call,
+            f"open(..., {mode!r}) on a durable artefact path "
+            f"(matched {marker!r}); use repro.resilience.atomic."
+            "atomic_write_bytes/atomic_write_text so a crash cannot "
+            "leave a torn file",
+        )
+
+    def _check_write_method(
+        self, ctx: FileContext, call: ast.Call
+    ) -> Finding | None:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _WRITE_METHODS
+        ):
+            return None
+        marker = _marker_in(_unparse(call.func.value))
+        if marker is None:
+            return None
+        return self.finding(
+            ctx,
+            call,
+            f".{call.func.attr}() on a durable artefact path "
+            f"(matched {marker!r}); use repro.resilience.atomic."
+            "atomic_write_text/atomic_write_bytes instead",
+        )

@@ -1,0 +1,166 @@
+"""NRP009 — no blocking calls while a lock is held in ``serve``/``obs``.
+
+The serving plane's latency contract (micro-batching beats one-per-request
+only if workers never stall each other) and the observability overhead
+budgets (<3% armed) both die the same way: a thread parks *inside* a
+critical section.  A ``time.sleep`` under the metrics lock serialises
+every worker behind it; a ``queue.get()`` with no timeout under the ring
+lock can deadlock shutdown outright.
+
+Inside any ``with <lock>:`` block in ``repro.serve`` / ``repro.obs`` the
+rule flags, directly or **one call-hop deep** through a same-module
+function/method/constructor:
+
+- ``time.sleep(...)``
+- ``open(...)`` and ``Path.read_*``/``write_*`` file I/O
+- socket operations (``recv``/``accept``/``connect``/``sendall``)
+- ``.get()`` / ``.wait()`` / ``.join()`` with no timeout (or an explicit
+  ``timeout=None``) — the unbounded-blocking forms; ``q.get(timeout=t)``
+  and ``event.wait(t)`` stay legal.
+
+The fix is the snapshot idiom the tree already uses: copy the shared
+state under the lock, do the slow work outside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, dotted_name, register
+from nrplint.flow import (
+    ModuleFlow,
+    get_flow,
+    iter_functions,
+    walk_local,
+    with_lock_chains,
+)
+
+_SCOPES = ("repro.serve", "repro.obs")
+
+_SOCKET_OPS = frozenset({"recv", "recv_into", "accept", "connect", "sendall"})
+_FILE_OPS = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes"}
+)
+_TIMEOUT_OPS = frozenset({"get", "wait", "join"})
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return any(ctx.in_package(scope) for scope in _SCOPES)
+
+
+def _lacks_timeout(call: ast.Call) -> bool:
+    """True for the unbounded form: no positional args and no timeout kw."""
+    if call.args:
+        return False
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    return True
+
+
+def _direct_blocking(call: ast.Call) -> str | None:
+    """A human-readable description when ``call`` is a blocking primitive."""
+    dotted = dotted_name(call.func)
+    if dotted is not None and dotted.split(".")[-1] == "sleep":
+        return "time.sleep()"
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        return "file I/O (open())"
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in _SOCKET_OPS:
+            return f"socket .{attr}()"
+        if attr in _FILE_OPS:
+            return f"file I/O (.{attr}())"
+        if attr in _TIMEOUT_OPS and _lacks_timeout(call):
+            return f".{attr}() with no timeout"
+    return None
+
+
+def _resolve_callee(
+    call: ast.Call,
+    flow: ModuleFlow,
+    cls_name: str | None,
+) -> tuple[str, ast.AST] | None:
+    """Same-module callee body for the one-hop check, if resolvable."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        target = flow.functions.get(func.id)
+        if target is not None:
+            return func.id, target
+        target_cls = flow.classes.get(func.id)
+        if target_cls is not None:
+            ctor = target_cls.methods.get("__init__")
+            if ctor is not None:
+                return f"{func.id}()", ctor
+    elif (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and cls_name is not None
+    ):
+        cls = flow.classes.get(cls_name)
+        if cls is not None:
+            method = cls.methods.get(func.attr)
+            if method is not None:
+                return f"self.{func.attr}", method
+    return None
+
+
+@register
+class BlockingLockRule(Rule):
+    name = "blocking-lock"
+    code = "NRP009"
+    summary = "no blocking I/O, sleeps, or unbounded waits while a lock is held"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        flow = get_flow(ctx)
+        for cls_node, func in iter_functions(ctx):
+            cls_name = cls_node.name if cls_node is not None else None
+            for stmt in walk_local(func):
+                if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    continue
+                locks = with_lock_chains(stmt, flow)
+                if not locks:
+                    continue
+                yield from self._check_region(ctx, stmt, locks[0], flow, cls_name)
+
+    def _check_region(
+        self,
+        ctx: FileContext,
+        region: ast.With | ast.AsyncWith,
+        lock: str,
+        flow: ModuleFlow,
+        cls_name: str | None,
+    ) -> Iterator[Finding]:
+        for body_stmt in region.body:
+            for node in walk_local(body_stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                direct = _direct_blocking(node)
+                if direct is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{direct} while holding `{lock}`; snapshot under "
+                        "the lock, block outside it",
+                    )
+                    continue
+                resolved = _resolve_callee(node, flow, cls_name)
+                if resolved is None:
+                    continue
+                callee_name, callee = resolved
+                for inner in walk_local(callee):
+                    if isinstance(inner, ast.Call):
+                        nested = _direct_blocking(inner)
+                        if nested is not None:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"{callee_name} performs {nested} (one hop) "
+                                f"while `{lock}` is held; move the call "
+                                "outside the lock",
+                            )
+                            break

@@ -1,0 +1,96 @@
+"""NRP008 — guarded attributes are only read-modify-written under their lock.
+
+PR 8 fixed three shapes of the same bug by hand: the flight ring advanced
+``self._ring[i] = rec; self._count += 1`` without its lock, the metric
+primitives lost ``+=`` updates under thread churn, and the engine's plan
+cache was mutated wholesale.  Every one is mechanically recognisable once
+the class's lock ownership is known, so this rule makes the discipline
+declarative:
+
+- a class that owns a ``threading.Lock``/``RLock`` attribute declares
+  which attributes that lock guards, either explicitly::
+
+      self._count = 0  # nrplint: guarded-by=_lock
+
+  or implicitly — any attribute already written inside ``with
+  self._lock:`` in a non-constructor method is inferred guarded;
+- every **read-modify-write** of a guarded attribute (``+=``, ``x =
+  f(x)``, ``self._ring[i] = rec``) outside a ``with`` block holding that
+  lock is an error.  Plain rebinds (``self.value = v``) are atomic under
+  the GIL and stay legal, as do all reads — the contract targets lost
+  updates, not stale reads.
+
+Cross-object accesses resolve the receiver's type through same-module
+constructor calls (``self.stats = ServerStats()`` makes ``self.stats.shed
++= 1`` require ``with self.stats._lock:``); unresolvable receivers fall
+back to the module-wide guarded map.  Constructors (``__init__``,
+``__new__``, ``__post_init__``) are exempt: an object under construction
+is not yet shared.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from nrplint.core import FileContext, Finding, Rule, register
+from nrplint.flow import get_flow, held_lock_chains, iter_functions, iter_mutations
+
+_CTOR_NAMES = ("__init__", "__new__", "__post_init__")
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    code = "NRP008"
+    summary = "guarded attributes are only read-modify-written under their lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        flow = get_flow(ctx)
+        if not any(cls.guarded for cls in flow.classes.values()):
+            return
+        for cls_node, func in iter_functions(ctx):
+            if func.name in _CTOR_NAMES:
+                continue
+            cls = flow.classes.get(cls_node.name) if cls_node is not None else None
+            for node, receiver, attr, kind in iter_mutations(func):
+                lock = self._required_lock(flow, cls, receiver, attr)
+                if lock is None:
+                    continue
+                required = f"{receiver}.{lock}"
+                if required in held_lock_chains(ctx, node, flow):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{kind} of {receiver}.{attr} outside its lock; "
+                    f"`{attr}` is guarded-by={lock}, wrap the update in "
+                    f"`with {required}:`",
+                )
+
+    @staticmethod
+    def _required_lock(flow, cls, receiver: str, attr: str) -> str | None:
+        """The lock name guarding ``receiver.attr``, or None when unguarded."""
+        if receiver == "self":
+            if cls is None:
+                return None
+            return cls.guarded.get(attr)
+        # Typed one-hop receiver: ``self.stats`` → ServerStats.
+        parts = receiver.split(".")
+        if cls is not None and parts[0] == "self" and len(parts) == 2:
+            type_name = cls.attr_types.get(parts[1])
+            target = flow.classes.get(type_name) if type_name else None
+            if target is not None:
+                return target.guarded.get(attr)
+        # Unresolved receiver: only flag attributes some class in this
+        # module declares guarded AND no class owns unguarded (avoids
+        # cross-class name collisions producing noise).
+        lock = flow.guarded_anywhere(attr)
+        if lock is None:
+            return None
+        unguarded_owner = any(
+            attr in c.owns and attr not in c.guarded
+            for c in flow.classes.values()
+        )
+        return None if unguarded_owner else lock

@@ -2,9 +2,12 @@
 
 ``docs/resilience.md`` commits to "zero silent wrong-answer loads": a
 damaged index file, a torn WAL, or an injected fault must surface as a
-typed error, never vanish into a handler that hides it.  Two handler
-shapes defeat that contract inside ``repro.core`` and
-``repro.resilience``:
+typed error, never vanish into a handler that hides it — and since the
+serving plane landed, the same goes for a worker thread that swallows a
+failure (one shed request becomes a hung connection) or an observability
+export that hides one (the perf gate then diffs corrupt artefacts).  Two
+handler shapes defeat that contract inside ``repro.core``,
+``repro.resilience``, ``repro.serve``, and ``repro.obs``:
 
 - a **bare** ``except:`` — it catches ``BaseException``, including the
   fault harness's :class:`repro.resilience.errors.InjectedCrash`, which
@@ -32,7 +35,7 @@ from typing import Iterator
 
 from nrplint.core import FileContext, Finding, Rule, register
 
-_SCOPES = ("repro.core", "repro.resilience")
+_SCOPES = ("repro.core", "repro.resilience", "repro.serve", "repro.obs")
 
 _BROAD_NAMES = frozenset({"Exception", "BaseException"})
 
@@ -71,7 +74,10 @@ def _is_silent(body: list[ast.stmt]) -> bool:
 class SilentExceptRule(Rule):
     name = "silent-except"
     code = "NRP007"
-    summary = "no bare `except:` or silent `except Exception: pass` in core/resilience"
+    summary = (
+        "no bare `except:` or silent `except Exception: pass` in "
+        "core/resilience/serve/obs"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not _in_scope(ctx):
