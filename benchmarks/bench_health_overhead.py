@@ -1,0 +1,147 @@
+"""Self-healing overhead: the disarmed health checks must stay <2%.
+
+The serve PR threads four always-on mechanisms through the per-request
+hot path: a circuit-breaker admission peek (``reject_fast``), a breaker
+permit + outcome (``allow``/``record_success``), TTL triage arithmetic,
+and five ``serve.*`` failpoint crossings.  Their contract mirrors the
+fault-injection hook's: with nothing armed and the breaker closed, each
+is a lock-free attribute check or an integer comparison.
+
+Wall-clock A/B over the socket path is far too noisy for a CI gate, so —
+same method as ``bench_resilience_overhead.py`` — the <2% budget is
+enforced arithmetically:
+
+    per-request machinery cost x queries  <  2% of the engine wall time
+
+with each per-call cost measured over a large tight loop, against the
+*direct engine* answering time as the denominator (a stricter bound than
+the full serve path, which adds sockets and queueing on top).
+
+The off-request watchdog gets its own clause: one HealthMonitor
+evaluation per tick at the default 0.25s interval must cost <2% of a
+core-second.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from time import perf_counter_ns
+
+from conftest import SCALE, save_report
+from repro.core.index import NRPIndex
+from repro.experiments.reporting import format_table
+from repro.network.datasets import make_dataset
+from repro.resilience.failpoints import failpoint
+from repro.serve.health import CircuitBreaker, HealthMonitor, HealthSignals
+
+_ROUNDS = 5
+_TIGHT_CALLS = 200_000
+_BUDGET = 0.02
+
+#: Failpoint crossings per served request: queue poll + drained batch +
+#: batch stall + engine answer + response write (batch-amortised sites
+#: counted once per request — the conservative, worst-case accounting).
+_FAILPOINTS_PER_REQUEST = 5
+
+_WATCHDOG_INTERVAL_S = 0.25
+
+
+def _tight(fn) -> float:
+    """Per-call cost of ``fn`` over a tight loop (seconds)."""
+    start = time.perf_counter()
+    for _ in range(_TIGHT_CALLS):
+        fn()
+    return (time.perf_counter() - start) / _TIGHT_CALLS
+
+
+def test_health_overhead():
+    graph, _ = make_dataset("NY", scale=min(SCALE, 0.3), seed=7)
+    index = NRPIndex(graph)
+    rng = random.Random(11)
+    vertices = list(graph.vertices())
+    queries = []
+    while len(queries) < 40:
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        if s != t:
+            queries.append((s, t, rng.choice((0.8, 0.9, 0.95))))
+
+    # Denominator: direct engine wall time for the workload (best of N).
+    engine = index.engine
+    best = float("inf")
+    for _ in range(_ROUNDS):
+        start = time.perf_counter()
+        for s, t, alpha in queries:
+            engine.answer(s, t, alpha)
+        best = min(best, time.perf_counter() - start)
+
+    # Per-call costs of the closed/disarmed fast paths.
+    breaker = CircuitBreaker()
+
+    def breaker_round_trip() -> None:
+        breaker.reject_fast()
+        breaker.allow()
+        breaker.record_success()
+
+    breaker_cost = _tight(breaker_round_trip)
+
+    failpoint_cost = _tight(lambda: failpoint("serve.worker.batch"))
+
+    enqueued_ns = perf_counter_ns()
+    ttl_ns = 50 * 10**6
+
+    def ttl_check() -> None:
+        (perf_counter_ns() - enqueued_ns) > ttl_ns  # noqa: B015
+
+    ttl_cost = _tight(ttl_check)
+
+    per_request = (
+        breaker_cost + _FAILPOINTS_PER_REQUEST * failpoint_cost + ttl_cost
+    )
+    machinery = per_request * len(queries)
+    ratio = machinery / best
+    assert ratio < _BUDGET, (
+        f"disarmed health machinery costs {ratio:.2%} of the engine wall "
+        f"time ({per_request * 1e9:.0f} ns/request), budget is {_BUDGET:.0%}"
+    )
+
+    # Watchdog clause: one evaluation per tick must be invisible.
+    monitor = HealthMonitor()
+
+    def one_tick() -> None:
+        monitor.evaluate(
+            HealthSignals(
+                workers_alive=2,
+                workers_total=2,
+                queue_depth=0,
+                queue_capacity=256,
+                window_completed=10,
+            )
+        )
+
+    start = time.perf_counter()
+    for _ in range(20_000):
+        one_tick()
+    evaluate_cost = (time.perf_counter() - start) / 20_000
+    tick_ratio = evaluate_cost / _WATCHDOG_INTERVAL_S
+    assert tick_ratio < _BUDGET, (
+        f"watchdog evaluation costs {tick_ratio:.2%} of a core at the "
+        f"{_WATCHDOG_INTERVAL_S}s interval, budget is {_BUDGET:.0%}"
+    )
+
+    report = format_table(
+        ["quantity", "value"],
+        [
+            ["breaker round trip (closed)", f"{breaker_cost * 1e9:.1f} ns"],
+            ["disarmed failpoint call", f"{failpoint_cost * 1e9:.1f} ns"],
+            ["TTL triage check", f"{ttl_cost * 1e9:.1f} ns"],
+            ["machinery per request", f"{per_request * 1e9:.0f} ns"],
+            ["engine wall time (40 queries)", f"{best * 1e3:.1f} ms"],
+            ["machinery share of engine time", f"{ratio:.4%}"],
+            ["watchdog evaluate per tick", f"{evaluate_cost * 1e6:.1f} us"],
+            ["watchdog share of a core", f"{tick_ratio:.4%}"],
+            ["budget", f"{_BUDGET:.0%}"],
+        ],
+        title=f"Disarmed self-healing overhead (NY, scale={min(SCALE, 0.3)})",
+    )
+    save_report("health_overhead", report)

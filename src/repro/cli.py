@@ -40,6 +40,7 @@ import argparse
 import json
 import logging
 import random
+import signal
 import sys
 import threading
 import time
@@ -49,7 +50,7 @@ from repro import obs
 
 from repro.baselines.dijkstra import approximate_diameter
 from repro.core.index import NRPIndex
-from repro.core.maintenance import IndexMaintainer, replay_wal
+from repro.core.maintenance import IndexMaintainer
 from repro.core.serialization import load_index, save_index, verify_index
 from repro.experiments.reporting import format_bytes, format_seconds, format_table
 from repro.network.datasets import DATASETS, make_dataset
@@ -78,22 +79,19 @@ def _wal_for(index_path: Path) -> WriteAheadLog:
 def _open_with_recovery(index_path: Path):
     """Load a saved index, replaying any interrupted maintenance batch.
 
-    The replay protocol mirrors a live update: re-apply pending batches,
-    durably re-save, commit, truncate (docs/resilience.md).
+    Delegates to :func:`repro.serve.lifecycle.open_with_recovery` — the
+    daemon's hot-reload path runs the same protocol, so CLI opens and
+    serve reloads can never drift apart (docs/resilience.md).
     """
-    index = load_index(index_path)
-    wal = _wal_for(index_path)
-    replayed = replay_wal(index, wal)
+    from repro.serve.lifecycle import open_with_recovery
+
+    index, replayed = open_with_recovery(index_path)
     if replayed:
-        save_index(index, index_path)
-        for lsn in replayed:
-            wal.commit(lsn)
         print(
             f"recovered {len(replayed)} interrupted maintenance "
-            f"batch(es) from {wal.path.name}",
+            f"batch(es) from {index_path.name}.wal",
             file=sys.stderr,
         )
-    wal.truncate()
     return index
 
 
@@ -547,16 +545,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch_max=args.batch_max,
         default_deadline_ms=args.deadline_ms,
+        default_ttl_ms=args.ttl_ms,
+        index_path=str(args.index),
     )
     server.start()
+    # SIGHUP hot-reloads the index (the classic daemon convention).  The
+    # handler only hands off: reload does file IO, which has no business
+    # inside a signal handler.  Registration is main-thread-only —
+    # in-process test harnesses run cmd_serve on a worker thread, where
+    # signal.signal raises ValueError.
+    if (
+        hasattr(signal, "SIGHUP")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _on_sighup(signum, frame):  # pragma: no cover - signal path
+            threading.Thread(
+                target=lambda: print(
+                    json.dumps(server.reload()), file=sys.stderr, flush=True
+                ),
+                name="serve-sighup-reload",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGHUP, _on_sighup)
     # One parseable line on stdout so scripts can discover an ephemeral
     # port; everything else goes to stderr.
     print(f"repro-serve listening {server.host}:{server.port}", flush=True)
     print(
         f"serving {args.index} (workers={server.workers}, "
         f"queue={server.queue_capacity}, batch_max={server.batch_max}, "
-        f"deadline_ms={args.deadline_ms}) — repro serve-client --port "
-        f"{server.port} to query, op shutdown or SIGINT to stop",
+        f"deadline_ms={args.deadline_ms}, ttl_ms={args.ttl_ms}) — repro "
+        f"serve-client --port {server.port} to query, op shutdown or "
+        f"SIGINT to stop, SIGHUP or op reload to hot-swap the index",
         file=sys.stderr,
         flush=True,
     )
@@ -569,8 +589,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"served {snapshot['completed']} queries "
         f"({snapshot['degraded']} degraded, {snapshot['shed']} shed, "
-        f"{snapshot['invalid']} invalid) in {snapshot['batches']} batches "
-        f"(mean {snapshot['mean_batch']:.1f}/batch)",
+        f"{snapshot['expired']} expired, {snapshot['circuit_open']} "
+        f"circuit-open, {snapshot['invalid']} invalid) in "
+        f"{snapshot['batches']} batches (mean {snapshot['mean_batch']:.1f}"
+        f"/batch); {snapshot['worker_restarts']} worker restart(s), "
+        f"{snapshot['reloads']} reload(s)",
         file=sys.stderr,
     )
     return 0
@@ -578,12 +601,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_serve_client(args: argparse.Namespace) -> int:
     from repro.experiments.replay import percentile
-    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.client import RetryPolicy, ServeClient, ServeError
 
     host, port = args.host, args.port
+
+    def policy(seed: int) -> RetryPolicy:
+        return RetryPolicy(retries=args.retries, seed=seed)
+
     if args.ping:
         with ServeClient(host, port) as client:
             print(json.dumps(client.ping(), indent=1))
+    if args.health:
+        with ServeClient(host, port) as client:
+            print(json.dumps(client.health(), indent=1))
+    if args.reload is not None:
+        with ServeClient(host, port) as client:
+            reply = client.reload(args.reload or None)
+        print(json.dumps(reply, indent=1))
+        if not reply.get("ok"):
+            return 1
     queries: list[tuple[int, int, float]] = []
     if args.random:
         with ServeClient(host, port) as probe:
@@ -601,23 +637,60 @@ def cmd_serve_client(args: argparse.Namespace) -> int:
     elif args.source is not None and args.target is not None:
         queries.append((args.source, args.target, args.alpha))
 
+    exit_code = 0
     if len(queries) == 1 and args.concurrency <= 1:
-        with ServeClient(host, port) as client:
+        with ServeClient(host, port, retry=policy(args.seed)) as client:
             s, t, alpha = queries[0]
-            print(json.dumps(client.query(s, t, alpha, deadline_ms=args.deadline_ms)))
+            print(
+                json.dumps(
+                    client.query(
+                        s,
+                        t,
+                        alpha,
+                        deadline_ms=args.deadline_ms,
+                        ttl_ms=args.ttl_ms,
+                        resilient=args.retries > 0,
+                    )
+                )
+            )
     elif queries:
-        outcome = {"ok": 0, "degraded": 0, "shed": 0, "error": 0}
+        # Every refusal class gets its own bucket: a shed (or a breaker
+        # shed, or a triaged TTL) is *not* a success, and the exit code
+        # below makes that machine-visible.
+        outcome = {
+            "ok": 0,
+            "degraded": 0,
+            "shed": 0,
+            "circuit_open": 0,
+            "expired": 0,
+            "error": 0,
+        }
+        budget = {"attempts": 0, "retries": 0, "reconnects": 0, "exhausted": 0}
         latencies: list[float] = []
         lock = threading.Lock()
 
-        def drive(chunk: list[tuple[int, int, float]]) -> None:
+        def drive(worker_id: int, chunk: list[tuple[int, int, float]]) -> None:
             try:
-                with ServeClient(host, port) as client:
+                with ServeClient(
+                    host, port, retry=policy(args.seed + worker_id)
+                ) as client:
                     for i, (s, t, alpha) in enumerate(chunk):
                         started = time.perf_counter()
-                        response = client.query(
-                            s, t, alpha, id=i, deadline_ms=args.deadline_ms
-                        )
+                        try:
+                            response = client.query(
+                                s,
+                                t,
+                                alpha,
+                                id=i,
+                                deadline_ms=args.deadline_ms,
+                                ttl_ms=args.ttl_ms,
+                                resilient=args.retries > 0,
+                            )
+                        except ServeError as exc:
+                            with lock:
+                                outcome["error"] += 1
+                            print(f"request failed: {exc}", file=sys.stderr)
+                            continue
                         elapsed_one = time.perf_counter() - started
                         with lock:
                             latencies.append(elapsed_one)
@@ -625,10 +698,13 @@ def cmd_serve_client(args: argparse.Namespace) -> int:
                                 outcome["ok"] += 1
                                 if response.get("degraded"):
                                     outcome["degraded"] += 1
-                            elif response.get("error") == "shed":
-                                outcome["shed"] += 1
+                            elif response.get("error") in outcome:
+                                outcome[response["error"]] += 1
                             else:
                                 outcome["error"] += 1
+                    with lock:
+                        for key in budget:
+                            budget[key] += client.retry_stats[key]
             except ServeError as exc:
                 with lock:
                     outcome["error"] += 1
@@ -637,8 +713,8 @@ def cmd_serve_client(args: argparse.Namespace) -> int:
         workers = max(1, args.concurrency)
         chunks = [queries[i::workers] for i in range(workers)]
         threads = [
-            threading.Thread(target=drive, args=(chunk,))
-            for chunk in chunks
+            threading.Thread(target=drive, args=(wid, chunk))
+            for wid, chunk in enumerate(chunks)
             if chunk
         ]
         start = time.perf_counter()
@@ -648,13 +724,22 @@ def cmd_serve_client(args: argparse.Namespace) -> int:
             thread.join()
         elapsed = time.perf_counter() - start
         qps = len(latencies) / elapsed if elapsed > 0 else 0.0
+        shed_classes = (
+            outcome["shed"] + outcome["circuit_open"] + outcome["expired"]
+        )
+        shed_pct = 100.0 * shed_classes / len(queries) if queries else 0.0
         rows = [
             ["queries", str(len(queries))],
             ["connections", str(len(threads))],
             ["ok", str(outcome["ok"])],
             ["degraded", str(outcome["degraded"])],
             ["shed", str(outcome["shed"])],
+            ["circuit-open", str(outcome["circuit_open"])],
+            ["expired", str(outcome["expired"])],
             ["errors", str(outcome["error"])],
+            ["shed classes", f"{shed_pct:.1f}% (max {args.max_shed_pct:g}%)"],
+            ["retries spent", f"{budget['retries']} of {args.retries}/query"],
+            ["reconnects", str(budget["reconnects"])],
             ["throughput", f"{qps:.0f} q/s"],
         ]
         if latencies:
@@ -664,6 +749,17 @@ def cmd_serve_client(args: argparse.Namespace) -> int:
                 ["p99 latency", format_seconds(percentile(latencies, 0.99))],
             ]
         print(format_table(["metric", "value"], rows, title="serve-client workload"))
+        if shed_pct > args.max_shed_pct:
+            print(
+                f"error: {shed_pct:.1f}% of queries were shed/triaged "
+                f"(> --max-shed-pct {args.max_shed_pct:g})",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        if outcome["error"] and args.max_shed_pct < 100.0:
+            # A strict threshold implies strict accounting: hard errors
+            # must not pass where soft sheds would fail.
+            exit_code = 1
     if args.stats:
         with ServeClient(host, port) as client:
             print(json.dumps(client.stats(), indent=1))
@@ -671,7 +767,7 @@ def cmd_serve_client(args: argparse.Namespace) -> int:
         with ServeClient(host, port) as client:
             client.shutdown()
         print("server stopping", file=sys.stderr)
-    return 0
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -848,6 +944,12 @@ def build_parser() -> argparse.ArgumentParser:
         "mean-only degraded answer (requests may override per query)",
     )
     p_serve.add_argument(
+        "--ttl-ms",
+        type=float,
+        help="default queue-wait budget; a request still queued past its "
+        "TTL is answered 'expired' without touching the engine",
+    )
+    p_serve.add_argument(
         "--no-obs",
         action="store_true",
         help="leave the metrics registry disabled (/metrics stays empty)",
@@ -870,7 +972,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--concurrency", type=int, default=1, help="concurrent connections"
     )
     p_sclient.add_argument("--deadline-ms", type=float, help="per-query budget")
+    p_sclient.add_argument(
+        "--ttl-ms", type=float, help="per-query queue-wait budget (TTL triage)"
+    )
+    p_sclient.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry budget per query for transient failures (shed, "
+        "circuit-open, torn lines); 0 disables client resilience",
+    )
+    p_sclient.add_argument(
+        "--max-shed-pct",
+        type=float,
+        default=100.0,
+        help="exit non-zero if more than this %% of queries came back "
+        "shed/circuit-open/expired (default 100: never fail)",
+    )
     p_sclient.add_argument("--ping", action="store_true", help="print the ping reply")
+    p_sclient.add_argument(
+        "--health", action="store_true", help="print the daemon's health report"
+    )
+    p_sclient.add_argument(
+        "--reload",
+        nargs="?",
+        const="",
+        metavar="PATH",
+        help="hot-reload the daemon's index (from PATH if given, else the "
+        "file it was started from); exits non-zero on rollback",
+    )
     p_sclient.add_argument(
         "--stats", action="store_true", help="print server stats after the workload"
     )

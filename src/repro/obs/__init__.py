@@ -180,8 +180,27 @@ def _preregister() -> None:
         ("kernels.calls.refine", "kernel refine sweeps (RF)"),
         ("kernels.calls.bound_refs", "kernel Definition-10/11 bound-reference batches"),
         ("kernels.calls.scan", "kernel concatenation/label scans (Algorithm 1)"),
+        ("serve.admitted", "query requests accepted into the admission queue"),
+        ("serve.shed", "query requests refused because the queue was full"),
+        ("serve.completed", "query requests answered (including degraded)"),
+        ("serve.degraded", "query requests answered by the deadline fallback"),
+        ("serve.errors", "query requests answered with an error response"),
+        ("serve.batches", "micro-batches drained from the admission queue"),
+        ("serve.expired", "query requests triaged after overstaying their TTL"),
+        ("serve.circuit_open", "query requests shed by the engine circuit breaker"),
+        ("serve.worker.restarts", "crashed worker threads respawned by the watchdog"),
+        ("serve.reloads", "hot index reloads swapped in"),
+        ("serve.reload.failures", "hot index reloads rolled back on damage"),
+        ("serve.health.transitions", "health state machine transitions"),
     ):
         reg.counter(name, help)
+    for name, help in (
+        ("serve.health.state", "health state (0 healthy / 1 degraded / 2 draining / 3 down)"),
+        ("serve.circuit.state", "circuit breaker state (0 closed / 1 open / 2 half-open)"),
+        ("serve.queue.depth", "admission queue depth at the last watchdog tick"),
+        ("serve.workers.alive", "live worker threads at the last watchdog tick"),
+    ):
+        reg.gauge(name, help)
     for name, help in (
         ("engine.answer", "end-to-end per-query latency"),
         ("engine.plan", "planning stage latency"),
@@ -200,6 +219,10 @@ def _preregister() -> None:
     ):
         reg.timer(name, help)
     reg.histogram("engine.query_seconds", "per-query latency histogram")
+    reg.histogram("serve.wait", "seconds a request waited in the admission queue")
+    reg.histogram(
+        "serve.latency", "seconds from admission to response (wait + service)"
+    )
 
 
 _preregister()

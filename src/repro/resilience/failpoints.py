@@ -23,6 +23,7 @@ bit-identically from its seed.
 from __future__ import annotations
 
 import random
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -58,6 +59,15 @@ CATALOGUE: dict[str, str] = {
     "labelstore.compacted": "columnar store compaction committed",
     "construction.edge_sets.built": "edge-driven sets built (Alg. 3, lines 1-5)",
     "construction.labels.built": "label entries built (Alg. 3, lines 6-10)",
+    # Serve-plane sites (the live-daemon chaos harness arms these against
+    # a running QueryServer; see docs/serving.md "Chaos testing").
+    "serve.worker.batch": "worker drained a micro-batch, before answering it",
+    "serve.engine.answer": "inside one batch group, before the engine call",
+    "serve.batch.stall": "mid-batch stall point (arm a delay: slow engine)",
+    "serve.queue.poll": "worker about to poll the admission queue",
+    "serve.response.write": "response encoded, before the socket write",
+    "serve.reload.verify": "hot reload: candidate file about to be verified",
+    "serve.reload.wal": "hot reload: candidate loaded, before WAL replay",
 }
 
 
@@ -106,6 +116,40 @@ class FaultAction:
                     with open(target, "r+b") as handle:
                         handle.truncate(min(keep_bytes, size))
             raise InjectedCrash(f"{name} (torn at {keep_bytes} bytes)")
+
+        return cls(fire)
+
+    @classmethod
+    def tear(cls, keep_bytes: int) -> "FaultAction":
+        """Tear the file at the site to ``keep_bytes`` bytes — *without*
+        crashing.
+
+        Models pre-existing damage discovered mid-operation (e.g. a WAL
+        torn by an earlier crash that a hot reload now replays): the
+        code path continues and must cope with the mutilated file.
+        """
+
+        def fire(name: str, path: "Path | str | None") -> None:
+            if path is not None:
+                target = Path(path)
+                if target.exists():
+                    size = target.stat().st_size
+                    with open(target, "r+b") as handle:
+                        handle.truncate(min(keep_bytes, size))
+
+        return cls(fire)
+
+    @classmethod
+    def delay(cls, seconds: float) -> "FaultAction":
+        """Stall the site for ``seconds`` (a slow disk / slow engine).
+
+        Unlike the raising actions this returns normally, so the caller
+        proceeds — late.  Used by the chaos harness to model stalled
+        batches and stuck queues without killing anything.
+        """
+
+        def fire(name: str, path: "Path | str | None") -> None:
+            time.sleep(seconds)
 
         return cls(fire)
 

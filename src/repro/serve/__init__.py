@@ -15,8 +15,14 @@ over a line-delimited JSON protocol (:mod:`repro.serve.protocol`), with
 - **automatic micro-batching** — worker threads drain the queue in
   groups and answer them through ``QueryEngine.answer_batch``, so
   repeated triples exploit the engine's plan memoisation, and
-- ``/metrics`` (Prometheus) and ``/healthz`` HTTP endpoints on the same
-  port, fed by the process-wide ``repro.obs`` registry.
+- ``/metrics`` (Prometheus), ``/healthz`` (liveness), ``/readyz``
+  (readiness), and ``/stats`` HTTP endpoints on the same port, fed by
+  the process-wide ``repro.obs`` registry, and
+- a **self-healing layer** (:mod:`repro.serve.health`,
+  :mod:`repro.serve.lifecycle`): a watchdog-driven health state
+  machine, worker respawn, an engine circuit breaker, TTL triage, and
+  hot index reload with rollback (see docs/serving.md "Health &
+  lifecycle").
 
 Everything is stdlib-only (``socketserver`` + ``threading`` + ``queue``).
 The CLI front-ends are ``repro serve`` and ``repro serve-client``; the
@@ -24,12 +30,22 @@ protocol, semantics, and operational guidance live in docs/serving.md.
 
 Layering (nrplint NRP001): ``repro.serve`` sits above the index kernel —
 it may import ``repro.core``, ``repro.obs``, and ``repro.resilience``,
-and nothing in core may ever import it back.
+and nothing in core may ever import it back.  Within the plane,
+``repro.serve.health`` is pure mechanism (``repro.obs`` only) and
+``repro.serve.lifecycle`` may touch core/resilience/obs but never the
+server that imports it.
 """
 
 from __future__ import annotations
 
-from repro.serve.client import ServeClient, http_get
+from repro.serve.client import RetryPolicy, ServeClient, ServeError, http_get
+from repro.serve.health import (
+    CircuitBreaker,
+    HealthMonitor,
+    HealthSignals,
+    HealthThresholds,
+)
+from repro.serve.lifecycle import ReloadResult, attempt_reload, open_with_recovery
 from repro.serve.protocol import (
     PROTOCOL_SCHEMA,
     ProtocolError,
@@ -40,12 +56,21 @@ from repro.serve.server import QueryServer, ServerStats, serve_index
 
 __all__ = [
     "PROTOCOL_SCHEMA",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "HealthSignals",
+    "HealthThresholds",
     "ProtocolError",
     "QueryServer",
+    "ReloadResult",
+    "RetryPolicy",
     "ServeClient",
+    "ServeError",
     "ServerStats",
+    "attempt_reload",
     "decode_request",
     "encode_message",
     "http_get",
+    "open_with_recovery",
     "serve_index",
 ]

@@ -1,0 +1,381 @@
+"""Serve-plane self-diagnosis: the health state machine and circuit breaker.
+
+This module is deliberately *mechanism only*: it owns no threads, no
+sockets, and no engine.  The daemon's watchdog thread feeds it
+:class:`HealthSignals` snapshots and acts on the verdicts; tests feed it
+hand-built snapshots and fake clocks.  Both classes take an injectable
+``clock`` so every transition is deterministic under test — the same
+discipline as ``FailpointSchedule.from_seed`` (no ambient randomness, no
+ambient time).
+
+The state machine (documented in ``docs/serving.md``)::
+
+    HEALTHY --(queue pressure / error rate / dead worker / open circuit)--> DEGRADED
+    DEGRADED --(N consecutive clean evaluations)--> HEALTHY
+    any --(mark_draining: shutdown began)--> DRAINING   (sticky)
+    any --(zero live workers)--> DOWN
+    DOWN --(workers respawned, signals clean)--> DEGRADED -> HEALTHY
+
+``DOWN`` is *not* terminal: the watchdog respawns crashed workers, so a
+daemon that lost its whole pool climbs back through ``DEGRADED`` to
+``HEALTHY`` without a restart — the self-healing loop the chaos suite
+(``tests/test_chaos_serve.py``) proves.
+
+The circuit breaker wraps ``engine.answer_batch``: repeated *internal*
+engine failures open it, shedding queries instantly with
+``{"ok": false, "error": "circuit_open"}`` instead of burning worker
+time on a broken engine; after ``reset_timeout_s`` it lets a bounded
+number of half-open trial queries through and closes again on success.
+Layering: this module may import :mod:`repro.obs` only (NRP001).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = [
+    "HEALTHY",
+    "DEGRADED",
+    "DRAINING",
+    "DOWN",
+    "HEALTH_STATES",
+    "CIRCUIT_STATES",
+    "HealthSignals",
+    "HealthThresholds",
+    "HealthMonitor",
+    "CircuitBreaker",
+]
+
+#: Health states, ordered from best to worst.  Exposed on ``/healthz``
+#: (liveness: anything but DOWN) and ``/readyz`` (readiness: HEALTHY or
+#: DEGRADED), and as the ``serve.health.state`` gauge (index into this
+#: tuple, 0 = HEALTHY).
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DRAINING = "draining"
+DOWN = "down"
+HEALTH_STATES: tuple[str, ...] = (HEALTHY, DEGRADED, DRAINING, DOWN)
+
+#: Circuit breaker states (``serve.circuit.state`` gauge indexes this).
+CIRCUIT_STATES: tuple[str, ...] = ("closed", "open", "half_open")
+
+
+class HealthSignals:
+    """One watchdog observation window, condensed to plain numbers."""
+
+    __slots__ = (
+        "workers_alive",
+        "workers_total",
+        "queue_depth",
+        "queue_capacity",
+        "window_completed",
+        "window_errors",
+        "window_degraded",
+        "circuit_open",
+    )
+
+    def __init__(
+        self,
+        *,
+        workers_alive: int,
+        workers_total: int,
+        queue_depth: int,
+        queue_capacity: int,
+        window_completed: int = 0,
+        window_errors: int = 0,
+        window_degraded: int = 0,
+        circuit_open: bool = False,
+    ) -> None:
+        self.workers_alive = workers_alive
+        self.workers_total = workers_total
+        self.queue_depth = queue_depth
+        self.queue_capacity = queue_capacity
+        self.window_completed = window_completed
+        self.window_errors = window_errors
+        self.window_degraded = window_degraded
+        self.circuit_open = circuit_open
+
+
+class HealthThresholds:
+    """When signals count as pressure.  Defaults suit the test daemon."""
+
+    __slots__ = (
+        "queue_fraction",
+        "error_rate",
+        "degraded_rate",
+        "min_window",
+        "recovery_evaluations",
+    )
+
+    def __init__(
+        self,
+        *,
+        queue_fraction: float = 0.8,
+        error_rate: float = 0.5,
+        degraded_rate: float = 0.9,
+        min_window: int = 4,
+        recovery_evaluations: int = 2,
+    ) -> None:
+        if not 0.0 < queue_fraction <= 1.0:
+            raise ValueError("queue_fraction must be in (0, 1]")
+        if recovery_evaluations < 1:
+            raise ValueError("recovery_evaluations must be >= 1")
+        self.queue_fraction = queue_fraction
+        self.error_rate = error_rate
+        self.degraded_rate = degraded_rate
+        self.min_window = min_window
+        self.recovery_evaluations = recovery_evaluations
+
+
+class HealthMonitor:
+    """The daemon's health state machine (see the module docstring).
+
+    ``evaluate`` consumes one :class:`HealthSignals` snapshot and returns
+    the (possibly new) state; every transition is appended to
+    :attr:`transitions` with the injected clock's timestamp and a
+    human-readable reason, so tests — and the ``health`` op — can assert
+    the exact path a fault pushed the daemon through.
+    """
+
+    __slots__ = ("_lock", "_clock", "thresholds", "_state", "_clean_streak",
+                 "_draining", "transitions")
+
+    def __init__(
+        self,
+        thresholds: "HealthThresholds | None" = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.thresholds = thresholds if thresholds is not None else HealthThresholds()
+        self._state = HEALTHY  # nrplint: guarded-by=_lock
+        self._clean_streak = 0  # nrplint: guarded-by=_lock
+        self._draining = False  # nrplint: guarded-by=_lock
+        #: [(timestamp, old_state, new_state, reason), ...]
+        self.transitions: list[tuple[float, str, str, str]] = []  # nrplint: guarded-by=_lock
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def is_alive(self) -> bool:
+        """Liveness: the process is worth keeping (anything but DOWN)."""
+        return self._state != DOWN
+
+    def is_ready(self) -> bool:
+        """Readiness: the daemon should receive new traffic."""
+        return self._state in (HEALTHY, DEGRADED)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "draining": self._draining,
+                "clean_streak": self._clean_streak,
+                "transitions": [
+                    {"at": at, "from": old, "to": new, "reason": reason}
+                    for at, old, new, reason in self.transitions[-32:]
+                ],
+            }
+
+    # ------------------------------------------------------------------
+    # Write side (watchdog thread, plus shutdown paths)
+    # ------------------------------------------------------------------
+    def _transition(self, new: str, reason: str) -> None:
+        # Caller holds self._lock.
+        old = self._state
+        if old == new:
+            return
+        self._state = new
+        self.transitions.append((self._clock(), old, new, reason))
+
+    def mark_draining(self, reason: str = "shutdown requested") -> None:
+        """Enter DRAINING (sticky: evaluate never leaves it)."""
+        with self._lock:
+            self._draining = True
+            if self._state != DOWN:
+                self._transition(DRAINING, reason)
+
+    def mark_down(self, reason: str) -> None:
+        with self._lock:
+            self._transition(DOWN, reason)
+
+    def evaluate(self, signals: HealthSignals) -> str:
+        """Fold one observation window into the state machine."""
+        pressure = self._pressure_reasons(signals)
+        with self._lock:
+            if self._draining:
+                # Shutdown owns the state from here on.
+                return self._state
+            if signals.workers_alive == 0:
+                self._clean_streak = 0
+                self._transition(DOWN, "no live workers")
+                return self._state
+            if pressure:
+                self._clean_streak = 0
+                self._transition(DEGRADED, "; ".join(pressure))
+                return self._state
+            # Clean window: climb back towards HEALTHY with hysteresis so
+            # one quiet tick between two fault bursts does not flap.
+            self._clean_streak += 1
+            if self._state in (DEGRADED, DOWN):
+                if self._clean_streak >= self.thresholds.recovery_evaluations:
+                    self._transition(
+                        HEALTHY,
+                        f"{self._clean_streak} consecutive clean evaluations",
+                    )
+            return self._state
+
+    def _pressure_reasons(self, signals: HealthSignals) -> list[str]:
+        """Pure threshold arithmetic — no lock, no side effects."""
+        t = self.thresholds
+        reasons: list[str] = []
+        if signals.workers_alive < signals.workers_total:
+            reasons.append(
+                f"workers {signals.workers_alive}/{signals.workers_total} alive"
+            )
+        if signals.queue_capacity > 0:
+            fraction = signals.queue_depth / signals.queue_capacity
+            if fraction >= t.queue_fraction:
+                reasons.append(
+                    f"queue {signals.queue_depth}/{signals.queue_capacity} full"
+                )
+        window = signals.window_completed + signals.window_errors
+        if window >= t.min_window:
+            if signals.window_errors / window > t.error_rate:
+                reasons.append(
+                    f"error rate {signals.window_errors}/{window} over window"
+                )
+            elif signals.window_degraded / window > t.degraded_rate:
+                reasons.append(
+                    f"deadline-miss rate {signals.window_degraded}/{window}"
+                )
+        if signals.circuit_open:
+            reasons.append("engine circuit open")
+        return reasons
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with a deterministic clock.
+
+    ``allow()`` sits on the per-query hot path, so the common case — a
+    closed breaker with no recent failures — is a single attribute check
+    with no lock (a stale read is benign: the worst case is one extra
+    query reaching an engine that just failed, which the closed-state
+    accounting then counts).  Everything that *mutates* state takes the
+    lock.
+    """
+
+    __slots__ = ("_lock", "_clock", "failure_threshold", "reset_timeout_s",
+                 "half_open_max", "_state", "_failures", "_opened_at",
+                 "_half_open_inflight", "opened_total")
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 5.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_max = half_open_max
+        self._state = "closed"  # nrplint: guarded-by=_lock
+        self._failures = 0  # nrplint: guarded-by=_lock
+        self._opened_at = 0.0  # nrplint: guarded-by=_lock
+        self._half_open_inflight = 0  # nrplint: guarded-by=_lock
+        self.opened_total = 0  # nrplint: guarded-by=_lock
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "opened_total": self.opened_total,
+            }
+
+    def reject_fast(self) -> bool:
+        """Admission-control peek: shed *now*, without consuming a trial?
+
+        True only while the breaker is open and its reset timeout has
+        not yet elapsed.  Unlike :meth:`allow` this never changes state,
+        so admission can shed cheaply while the worker-side ``allow``
+        call keeps sole custody of the half-open transition.  The closed
+        fast path is one attribute comparison — hot-path budget friendly
+        (``benchmarks/bench_health_overhead.py`` enforces it).
+        """
+        if self._state == "closed":
+            return False
+        with self._lock:
+            return (
+                self._state == "open"
+                and self._clock() - self._opened_at < self.reset_timeout_s
+            )
+
+    def allow(self) -> bool:
+        """May a query reach the engine right now?
+
+        Open breakers flip to half-open once ``reset_timeout_s`` has
+        elapsed and then admit up to ``half_open_max`` concurrent trial
+        queries; their outcomes (``record_success`` / ``record_failure``)
+        decide whether the breaker closes or re-opens.
+        """
+        if self._state == "closed":
+            # Hot path: lock-free (see class docstring).
+            return True
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._state = "half_open"
+                self._half_open_inflight = 0
+            if self._half_open_inflight >= self.half_open_max:
+                return False
+            self._half_open_inflight += 1
+            return True
+
+    def record_success(self) -> None:
+        if self._state == "closed" and self._failures == 0:
+            # Hot path: nothing to reset.
+            return
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._state = "closed"
+                self._half_open_inflight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == "half_open":
+                # The trial query failed: straight back to open.
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.opened_total += 1
+                self._failures = self.failure_threshold
+                return
+            self._failures += 1
+            if self._state == "closed" and self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.opened_total += 1

@@ -9,13 +9,23 @@ stdlib-only on both ends.
 Requests (``op`` selects the operation)::
 
     {"op": "query", "id": 7, "s": 3, "t": 41, "alpha": 0.9,
-     "deadline_ms": 50, "pruning": true}
+     "deadline_ms": 50, "ttl_ms": 200, "pruning": true}
     {"op": "ping"}
     {"op": "stats"}
+    {"op": "health"}
+    {"op": "reload", "path": "new.nrp.json"}
     {"op": "shutdown"}
 
 ``id`` is an opaque client token echoed back verbatim (any JSON scalar);
-``deadline_ms`` and ``pruning`` are optional (server defaults apply).
+``deadline_ms``, ``ttl_ms`` and ``pruning`` are optional (server
+defaults apply).  ``deadline_ms`` budgets engine *execution* (an
+over-budget query degrades to the mean-only fallback); ``ttl_ms``
+budgets the *queue wait*: a request still queued past its TTL is
+triaged at batch pickup and answered ``expired`` without ever touching
+the engine.  ``health`` reports the daemon's health state machine and
+circuit breaker; ``reload`` hot-swaps the resident index from ``path``
+(default: the file the daemon was started from), rolling back on any
+damage.
 
 Responses always carry ``ok``.  A successful query reply::
 
@@ -28,19 +38,27 @@ Responses always carry ``ok``.  A successful query reply::
 ``batch`` the size of the micro-batch that answered it.  Failures::
 
     {"id": 7, "ok": false, "error": "shed"}                  # queue full
+    {"id": 7, "ok": false, "error": "circuit_open"}          # engine breaker
+    {"id": 7, "ok": false, "error": "expired"}               # TTL triage
     {"id": 7, "ok": false, "error": "invalid", "detail": "..."}
     {"id": 7, "ok": false, "error": "unreachable", "detail": "..."}
+    {"id": 7, "ok": false, "error": "reload_failed", "detail": "..."}
     {"ok": false, "error": "protocol", "detail": "..."}      # bad line
 
 ``shed`` is the admission-control refusal: the bounded queue was full
 and the server chose to answer *something* immediately rather than let
-latency pile up — the client should back off and retry.  A ``protocol``
-error (unparseable line, unknown ``op``) answers the offending line and
-closes the connection; all other errors leave it open.
+latency pile up — the client should back off and retry.
+``circuit_open`` is the engine circuit breaker shedding load after
+repeated internal engine failures, and ``expired`` the queue-wait
+triage; both are transient and retryable exactly like ``shed``.  A
+``protocol`` error (unparseable line, unknown ``op``) answers the
+offending line and closes the connection; all other errors leave it
+open.
 
 The same port also speaks just enough HTTP for observability: a first
 line starting with ``GET `` is answered as ``/metrics`` (Prometheus
-text), ``/healthz``, or ``/stats`` (JSON) and the connection closes.
+text), ``/healthz`` (liveness), ``/readyz`` (readiness), or ``/stats``
+(JSON) and the connection closes.
 """
 
 from __future__ import annotations
@@ -67,7 +85,7 @@ PROTOCOL_SCHEMA = "repro.serve/1"
 #: confused client's memory footprint per connection).
 MAX_LINE_BYTES = 64 * 1024
 
-_OPS = frozenset({"query", "ping", "stats", "shutdown"})
+_OPS = frozenset({"query", "ping", "stats", "health", "reload", "shutdown"})
 
 
 class ProtocolError(ValueError):
@@ -77,7 +95,8 @@ class ProtocolError(ValueError):
 class Request:
     """One decoded, validated request."""
 
-    __slots__ = ("op", "id", "s", "t", "alpha", "deadline_ms", "pruning")
+    __slots__ = ("op", "id", "s", "t", "alpha", "deadline_ms", "pruning",
+                 "ttl_ms", "path")
 
     def __init__(
         self,
@@ -88,6 +107,8 @@ class Request:
         alpha: float = 0.0,
         deadline_ms: "float | None" = None,
         pruning: "bool | None" = None,
+        ttl_ms: "float | None" = None,
+        path: "str | None" = None,
     ) -> None:
         self.op = op
         self.id = id
@@ -96,6 +117,8 @@ class Request:
         self.alpha = alpha
         self.deadline_ms = deadline_ms
         self.pruning = pruning
+        self.ttl_ms = ttl_ms
+        self.path = path
 
 
 def decode_request(line: "str | bytes") -> Request:
@@ -123,6 +146,11 @@ def decode_request(line: "str | bytes") -> Request:
     req_id = obj.get("id")
     if req_id is not None and not isinstance(req_id, (str, int, float, bool)):
         raise ProtocolError("id must be a JSON scalar")
+    if op == "reload":
+        path = obj.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ProtocolError("path must be a string")
+        return Request(op, req_id, path=path)
     if op != "query":
         return Request(op, req_id)
     try:
@@ -143,12 +171,19 @@ def decode_request(line: "str | bytes") -> Request:
             raise ProtocolError("deadline_ms must be a number")
         if deadline_ms <= 0:
             raise ProtocolError("deadline_ms must be positive")
+    ttl_ms = obj.get("ttl_ms")
+    if ttl_ms is not None:
+        if isinstance(ttl_ms, bool) or not isinstance(ttl_ms, (int, float)):
+            raise ProtocolError("ttl_ms must be a number")
+        if ttl_ms <= 0:
+            raise ProtocolError("ttl_ms must be positive")
     pruning = obj.get("pruning")
     if pruning is not None and not isinstance(pruning, bool):
         raise ProtocolError("pruning must be a boolean")
     return Request(
         "query", req_id, s, t, float(alpha),
         float(deadline_ms) if deadline_ms is not None else None, pruning,
+        float(ttl_ms) if ttl_ms is not None else None,
     )
 
 

@@ -27,9 +27,22 @@ and a ``ThreadingTCPServer`` speaking the NDJSON protocol of
   flagged ``degraded`` instead of failing.  The budget covers engine
   execution, not queue wait — admission control bounds the wait.
 - **Observability**: the same port answers ``GET /metrics`` (Prometheus
-  text from the process-wide registry), ``GET /healthz``, and ``GET
-  /stats``; the server also keeps its own always-on counters
-  (:class:`ServerStats`) so ``stats`` works with the registry disabled.
+  text from the process-wide registry), ``GET /healthz`` (liveness),
+  ``GET /readyz`` (readiness), and ``GET /stats``; the server also
+  keeps its own always-on counters (:class:`ServerStats`) so ``stats``
+  works with the registry disabled.
+- **Self-healing** (:mod:`repro.serve.health`): a watchdog thread
+  respawns crashed workers, feeds a health state machine (``HEALTHY →
+  DEGRADED → DRAINING → DOWN``) from worker liveness, queue depth, and
+  windowed error/deadline-miss rates, and exports it as ``serve.*``
+  gauges.  A circuit breaker around the engine sheds queries with
+  ``circuit_open`` after repeated internal failures; TTL triage drops
+  requests that already overstayed their queue budget (``expired``)
+  before they waste a batch slot.
+- **Hot reload** (:mod:`repro.serve.lifecycle`): the ``reload`` op (or
+  SIGHUP via the CLI) verifies a candidate index file off the worker
+  path, replays its WAL, and atomically swaps it in — or rolls back on
+  damage while in-flight requests keep answering from the old index.
 
 Everything is stdlib; per-query results are bit-identical to the CLI
 path (same engine, same kernels — pinned to one backend at startup).
@@ -46,7 +59,16 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.kernels import active_backend
 from repro.obs import get_registry
-from repro.resilience import QueryValidationError
+from repro.resilience import InjectedFaultError, QueryValidationError
+from repro.resilience.failpoints import failpoint
+from repro.serve.health import (
+    CIRCUIT_STATES,
+    HEALTH_STATES,
+    CircuitBreaker,
+    HealthMonitor,
+    HealthSignals,
+)
+from repro.serve.lifecycle import attempt_reload
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_SCHEMA,
@@ -87,6 +109,11 @@ class ServerStats:
         "batches",
         "batch_queries",
         "max_batch",
+        "expired",
+        "circuit_open",
+        "worker_restarts",
+        "reloads",
+        "reload_failures",
     )
 
     def __init__(self) -> None:
@@ -100,6 +127,11 @@ class ServerStats:
         self.batches = 0  # nrplint: guarded-by=_lock
         self.batch_queries = 0  # nrplint: guarded-by=_lock
         self.max_batch = 0  # nrplint: guarded-by=_lock
+        self.expired = 0  # nrplint: guarded-by=_lock
+        self.circuit_open = 0  # nrplint: guarded-by=_lock
+        self.worker_restarts = 0  # nrplint: guarded-by=_lock
+        self.reloads = 0  # nrplint: guarded-by=_lock
+        self.reload_failures = 0  # nrplint: guarded-by=_lock
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -113,6 +145,11 @@ class ServerStats:
                 "batches": self.batches,
                 "batch_queries": self.batch_queries,
                 "max_batch": self.max_batch,
+                "expired": self.expired,
+                "circuit_open": self.circuit_open,
+                "worker_restarts": self.worker_restarts,
+                "reloads": self.reloads,
+                "reload_failures": self.reload_failures,
                 "mean_batch": (
                     self.batch_queries / self.batches if self.batches else 0.0
                 ),
@@ -170,7 +207,16 @@ class _Handler(socketserver.StreamRequestHandler):
                     )
                     return
                 response = qs.handle_request(request)
-                self.wfile.write(encode_message(response))
+                payload = encode_message(response)
+                try:
+                    failpoint("serve.response.write")
+                except InjectedFaultError:
+                    # Simulated socket failure mid-write: emit a torn
+                    # line and drop the connection, exactly what a peer
+                    # reset looks like from the client side.
+                    self.wfile.write(payload[: len(payload) // 2])
+                    return
+                self.wfile.write(payload)
                 if request.op == "shutdown":
                     return
             line = self.rfile.readline(MAX_LINE_BYTES + 1)
@@ -216,6 +262,11 @@ class QueryServer:
         workers: int = 2,
         batch_max: int = 32,
         default_deadline_ms: "float | None" = None,
+        default_ttl_ms: "float | None" = None,
+        index_path: "str | None" = None,
+        monitor: "HealthMonitor | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+        watchdog_interval_s: float = 0.25,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError("queue_capacity must be positive")
@@ -223,13 +274,20 @@ class QueryServer:
             raise ValueError("workers must be positive")
         if batch_max <= 0:
             raise ValueError("batch_max must be positive")
-        self.index = index
+        if watchdog_interval_s <= 0:
+            raise ValueError("watchdog_interval_s must be positive")
+        self._index = index
         self.host = host
         self._requested_port = port
         self.queue_capacity = queue_capacity
         self.workers = workers
         self.batch_max = batch_max
         self.default_deadline_ms = default_deadline_ms
+        self.default_ttl_ms = default_ttl_ms
+        self.index_path = index_path
+        self.watchdog_interval_s = watchdog_interval_s
+        self.monitor = monitor if monitor is not None else HealthMonitor()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.stats = ServerStats()
         self._backend = active_backend()
         self._queue: "queue.Queue[_Pending]" = queue.Queue(maxsize=queue_capacity)
@@ -237,6 +295,9 @@ class QueryServer:
         self._stop_lock = threading.Lock()
         self._tcp: "_TCPServer | None" = None
         self._threads: list[threading.Thread] = []
+        self._life_lock = threading.Lock()
+        self._worker_threads: list[threading.Thread] = []  # nrplint: guarded-by=_life_lock
+        self._reload_lock = threading.Lock()
         registry = get_registry()
         self._registry = registry
         self._c_admitted = registry.counter(
@@ -263,10 +324,41 @@ class QueryServer:
         self._h_latency = registry.histogram(
             "serve.latency", "Seconds from admission to response (wait + service)"
         )
+        self._c_expired = registry.counter(
+            "serve.expired", "Query requests triaged after overstaying their TTL"
+        )
+        self._c_circuit_open = registry.counter(
+            "serve.circuit_open", "Query requests shed by the engine circuit breaker"
+        )
+        self._c_worker_restarts = registry.counter(
+            "serve.worker.restarts", "Crashed worker threads respawned by the watchdog"
+        )
+        self._c_health_transitions = registry.counter(
+            "serve.health.transitions", "Health state machine transitions"
+        )
+        self._g_health = registry.gauge(
+            "serve.health.state",
+            "Health state (index into HEALTH_STATES, 0 = healthy)",
+        )
+        self._g_circuit = registry.gauge(
+            "serve.circuit.state",
+            "Circuit breaker state (index into CIRCUIT_STATES, 0 = closed)",
+        )
+        self._g_queue_depth = registry.gauge(
+            "serve.queue.depth", "Admission queue depth at the last watchdog tick"
+        )
+        self._g_workers_alive = registry.gauge(
+            "serve.workers.alive", "Live worker threads at the last watchdog tick"
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def index(self) -> "NRPIndex":
+        """The resident index (rebound atomically by :meth:`swap_index`)."""
+        return self._index
+
     @property
     def port(self) -> int:
         """The bound port (the real one once started, even for port 0)."""
@@ -294,12 +386,20 @@ class QueryServer:
         )
         acceptor.start()
         self._threads = [acceptor]
+        started: list[threading.Thread] = []
         for i in range(self.workers):
             worker = threading.Thread(
                 target=self._worker, name=f"serve-worker-{i}", daemon=True
             )
             worker.start()
-            self._threads.append(worker)
+            started.append(worker)
+        with self._life_lock:
+            self._worker_threads = started
+        watchdog = threading.Thread(
+            target=self._watchdog, name="serve-watchdog", daemon=True
+        )
+        watchdog.start()
+        self._threads.append(watchdog)
 
     def stop(self) -> None:
         """Stop accepting, drain workers, fail any still-queued requests.
@@ -312,10 +412,13 @@ class QueryServer:
             tcp, self._tcp = self._tcp, None
         if tcp is None:
             return
+        self.monitor.mark_draining()
         self._stop.set()
         tcp.shutdown()
         tcp.server_close()
-        for thread in self._threads:
+        with self._life_lock:
+            workers = list(self._worker_threads)
+        for thread in self._threads + workers:
             if thread is not threading.current_thread():
                 thread.join(timeout=5.0)
         # Anything still queued never reached a worker: answer it so no
@@ -366,9 +469,26 @@ class QueryServer:
                     "workers": self.workers,
                     "batch_max": self.batch_max,
                     "backend": self._backend.NAME,
+                    "health": self.monitor.state,
+                    "circuit": self.breaker.state,
                 }
             )
             return snapshot
+        if op == "health":
+            report = self.monitor.snapshot()
+            report.update(
+                {
+                    "id": request.id,
+                    "ok": True,
+                    "circuit": self.breaker.snapshot(),
+                    "workers_alive": self._workers_alive(),
+                    "workers_total": self.workers,
+                    "queue_depth": self._queue.qsize(),
+                }
+            )
+            return report
+        if op == "reload":
+            return self.reload(request.path, req_id=request.id)
         if op == "shutdown":
             # Ack first, then stop from a separate thread so this
             # connection's response gets out before the socket closes.
@@ -380,6 +500,12 @@ class QueryServer:
         """Admission control: enqueue or shed, then wait for the worker."""
         if self._stop.is_set():
             return error_response(request.id, "shutdown", "server stopping")
+        if self.breaker.reject_fast():
+            with self.stats._lock:
+                self.stats.circuit_open += 1
+            if self._registry.enabled:
+                self._c_circuit_open.inc()
+            return error_response(request.id, "circuit_open")
         pending = _Pending(request)
         try:
             self._queue.put_nowait(pending)
@@ -415,10 +541,26 @@ class QueryServer:
         if path == "/metrics":
             return ("200 OK", "text/plain; version=0.0.4", self._registry.to_prometheus())
         if path == "/healthz":
-            return ("200 OK", "text/plain", "ok\n")
+            # Liveness: 200 for any state a restart would not improve.
+            # The body is "ok" when HEALTHY (the original contract) and
+            # the state name otherwise, so probes and humans both read it.
+            state = self.monitor.state
+            body = "ok\n" if state == HEALTH_STATES[0] else f"{state}\n"
+            if self.monitor.is_alive():
+                return ("200 OK", "text/plain", body)
+            return ("503 Service Unavailable", "text/plain", body)
+        if path == "/readyz":
+            # Readiness: should this daemon receive *new* traffic?
+            state = self.monitor.state
+            if self.monitor.is_ready():
+                body = "ok\n" if state == HEALTH_STATES[0] else f"{state}\n"
+                return ("200 OK", "text/plain", body)
+            return ("503 Service Unavailable", "text/plain", f"{state}\n")
         if path == "/stats":
             snapshot = self.stats.snapshot()
             snapshot["queue_depth"] = self._queue.qsize()
+            snapshot["health"] = self.monitor.state
+            snapshot["circuit"] = self.breaker.state
             return ("200 OK", "application/json", json.dumps(snapshot) + "\n")
         return ("404 Not Found", "text/plain", f"unknown path {path}\n")
 
@@ -426,9 +568,17 @@ class QueryServer:
     # Worker side
     # ------------------------------------------------------------------
     def _worker(self) -> None:
-        """Drain the queue in micro-batches until stopped."""
+        """Drain the queue in micro-batches until stopped.
+
+        A worker that dies — an injected crash, an out-of-memory kill,
+        a bug the per-query handlers could not contain — first answers
+        every member of its current batch with an ``internal`` error so
+        no handler is left waiting, then lets the exception out; the
+        watchdog notices the dead thread and respawns it.
+        """
         q = self._queue
         while not self._stop.is_set():
+            failpoint("serve.queue.poll")
             try:
                 first = q.get(timeout=_POLL_S)
             except queue.Empty:
@@ -439,10 +589,22 @@ class QueryServer:
                     batch.append(q.get_nowait())
                 except queue.Empty:
                     break
-            self._process_batch(batch)
+            try:
+                self._process_batch(batch)
+            except BaseException:
+                # Answer before dying: a stranded _Pending would pin its
+                # connection handler until shutdown.  InjectedCrash (and
+                # anything else fatal) still propagates and kills us.
+                for pending in batch:
+                    if not pending.done.is_set():
+                        self._finish_error(
+                            pending, "internal", "worker crashed mid-batch"
+                        )
+                raise
 
     def _process_batch(self, batch: "list[_Pending]") -> None:
         """Answer one drained micro-batch and wake every waiter."""
+        failpoint("serve.worker.batch")
         picked_ns = perf_counter_ns()
         n = len(batch)
         registry = self._registry
@@ -455,11 +617,38 @@ class QueryServer:
             self._c_batches.inc()
             for pending in batch:
                 self._h_wait.observe((picked_ns - pending.enqueued_ns) / 1e9)
+        # TTL triage: a request that already overstayed its queue budget
+        # is answered ``expired`` right here — it never reaches the
+        # engine, so its batch slot goes to a request that can still be
+        # served in time.  (``deadline_ms`` is different: that budgets
+        # engine *execution* and degrades instead of dropping.)
+        live: "list[_Pending]" = []
+        for pending in batch:
+            ttl_ms = (
+                pending.request.ttl_ms
+                if pending.request.ttl_ms is not None
+                else self.default_ttl_ms
+            )
+            if (
+                ttl_ms is not None
+                and (picked_ns - pending.enqueued_ns) > ttl_ms * 1e6
+            ):
+                self._finish_error(
+                    pending,
+                    "expired",
+                    f"queued {(picked_ns - pending.enqueued_ns) // 10**6}ms "
+                    f"> ttl {ttl_ms:g}ms",
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        failpoint("serve.batch.stall")
         # Group by (deadline, pruning): answer_batch takes one scalar
         # deadline per call, so mixed budgets become one sub-batch each
         # (plan memoisation still spans sub-batches via the engine cache).
         groups: "dict[tuple[float | None, bool], list[_Pending]]" = {}
-        for pending in batch:
+        for pending in live:
             request = pending.request
             deadline_ms = (
                 request.deadline_ms
@@ -482,6 +671,12 @@ class QueryServer:
         batch_size: int,
         picked_ns: int,
     ) -> None:
+        # The breaker guards the engine: while open, the whole group is
+        # shed instantly; once half-open, this group is the trial.
+        if not self.breaker.allow():
+            for pending in members:
+                self._finish_error(pending, "circuit_open", "engine circuit open")
+            return
         engine = self.index.engine
         backend = self._backend
         use_batch = self.batch_max > 1
@@ -491,6 +686,7 @@ class QueryServer:
                 (p.request.s, p.request.t, p.request.alpha) for p in members
             ]
             try:
+                failpoint("serve.engine.answer")
                 results = engine.answer_batch(
                     triples,
                     use_pruning=pruning,
@@ -510,6 +706,7 @@ class QueryServer:
         for pending in members:
             request = pending.request
             try:
+                failpoint("serve.engine.answer")
                 result = engine.answer(
                     request.s,
                     request.t,
@@ -536,6 +733,7 @@ class QueryServer:
     def _finish_ok(
         self, pending: _Pending, result: Any, batch_size: int, picked_ns: int
     ) -> None:
+        self.breaker.record_success()
         degraded = result.degraded
         with self.stats._lock:
             self.stats.completed += 1
@@ -556,14 +754,143 @@ class QueryServer:
         )
 
     def _finish_error(self, pending: _Pending, error: str, detail: str) -> None:
+        # Only *internal* failures indict the engine; invalid input,
+        # unreachable pairs, triage, and breaker sheds do not trip it.
+        if error == "internal":
+            self.breaker.record_failure()
         with self.stats._lock:
             if error == "invalid" or error == "unreachable":
                 self.stats.invalid += 1
+            elif error == "expired":
+                self.stats.expired += 1
+            elif error == "circuit_open":
+                self.stats.circuit_open += 1
             else:
                 self.stats.errors += 1
         if self._registry.enabled:
-            self._c_errors.inc()
+            if error == "expired":
+                self._c_expired.inc()
+            elif error == "circuit_open":
+                self._c_circuit_open.inc()
+            else:
+                self._c_errors.inc()
         pending.finish(error_response(pending.request.id, error, detail))
+
+    # ------------------------------------------------------------------
+    # Self-healing: watchdog, worker respawn, hot reload
+    # ------------------------------------------------------------------
+    def _workers_alive(self) -> int:
+        with self._life_lock:
+            return sum(1 for t in self._worker_threads if t.is_alive())
+
+    def _respawn_dead_workers(self) -> int:
+        """Replace dead worker threads; returns how many were respawned."""
+        fresh: list[threading.Thread] = []
+        with self._life_lock:
+            for i, thread in enumerate(self._worker_threads):
+                if thread.is_alive():
+                    continue
+                replacement = threading.Thread(
+                    target=self._worker, name=f"{thread.name}-r", daemon=True
+                )
+                self._worker_threads[i] = replacement
+                fresh.append(replacement)
+        # start() outside the lock: thread spawn can block briefly.
+        for thread in fresh:
+            thread.start()
+        if fresh:
+            with self.stats._lock:
+                self.stats.worker_restarts += len(fresh)
+            if self._registry.enabled:
+                self._c_worker_restarts.inc(len(fresh))
+        return len(fresh)
+
+    def _watchdog(self) -> None:
+        """Observe, diagnose, heal — one tick per ``watchdog_interval_s``.
+
+        Each tick: snapshot the window, feed the health state machine
+        (so a dead pool is *seen* as DOWN before it is healed), then
+        respawn any crashed workers.  The next clean tick walks the
+        state back towards HEALTHY — the recovery path the chaos suite
+        asserts on.
+        """
+        previous = self.stats.snapshot()
+        seen_transitions = 0
+        while not self._stop.wait(self.watchdog_interval_s):
+            snap = self.stats.snapshot()
+            alive = self._workers_alive()
+            signals = HealthSignals(
+                workers_alive=alive,
+                workers_total=self.workers,
+                queue_depth=self._queue.qsize(),
+                queue_capacity=self.queue_capacity,
+                window_completed=snap["completed"] - previous["completed"],
+                window_errors=snap["errors"] - previous["errors"],
+                window_degraded=snap["degraded"] - previous["degraded"],
+                circuit_open=self.breaker.state == "open",
+            )
+            previous = snap
+            state = self.monitor.evaluate(signals)
+            self._respawn_dead_workers()
+            if self._registry.enabled:
+                self._g_health.set(float(HEALTH_STATES.index(state)))
+                self._g_circuit.set(
+                    float(CIRCUIT_STATES.index(self.breaker.state))
+                )
+                self._g_queue_depth.set(float(signals.queue_depth))
+                self._g_workers_alive.set(float(alive))
+                transitions = len(self.monitor.transitions)
+                if transitions > seen_transitions:
+                    self._c_health_transitions.inc(transitions - seen_transitions)
+                    seen_transitions = transitions
+
+    def swap_index(self, index: "NRPIndex") -> "NRPIndex":
+        """Atomically replace the resident index; returns the old one.
+
+        A single attribute rebind: workers resolve ``self.index.engine``
+        at the start of each batch group, so in-flight batches finish on
+        the index they started with and every later batch sees the new
+        one — no request ever observes a half-swapped state.
+        """
+        old = self._index
+        self._index = index
+        return old
+
+    def reload(self, path: "str | None" = None, *, req_id: Any = None) -> dict:
+        """Hot-reload the resident index from ``path`` (or the start file).
+
+        Verify + WAL-replay run on the calling (handler) thread via
+        :func:`repro.serve.lifecycle.attempt_reload`; workers keep
+        answering from the old index throughout and only a fully
+        recovered candidate is swapped in.  Concurrent reloads are
+        refused rather than queued.
+        """
+        target = path if path is not None else self.index_path
+        if target is None:
+            return error_response(
+                req_id, "reload_failed", "no index path (daemon not file-backed)"
+            )
+        if not self._reload_lock.acquire(blocking=False):
+            return error_response(req_id, "reload_failed", "reload already in progress")
+        try:
+            result = attempt_reload(target)
+            if result.ok:
+                assert result.index is not None
+                self.swap_index(result.index)
+                with self.stats._lock:
+                    self.stats.reloads += 1
+            else:
+                with self.stats._lock:
+                    self.stats.reload_failures += 1
+        finally:
+            self._reload_lock.release()
+        response = result.to_response_fields()
+        response["id"] = req_id
+        if result.ok:
+            self.index_path = str(target)
+        else:
+            response.setdefault("detail", "reload failed")
+        return response
 
 
 def serve_index(
@@ -575,6 +902,8 @@ def serve_index(
     workers: int = 2,
     batch_max: int = 32,
     default_deadline_ms: "float | None" = None,
+    default_ttl_ms: "float | None" = None,
+    index_path: "str | None" = None,
 ) -> QueryServer:
     """Construct and start a :class:`QueryServer` (caller stops it)."""
     server = QueryServer(
@@ -585,6 +914,8 @@ def serve_index(
         workers=workers,
         batch_max=batch_max,
         default_deadline_ms=default_deadline_ms,
+        default_ttl_ms=default_ttl_ms,
+        index_path=index_path,
     )
     server.start()
     return server

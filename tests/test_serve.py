@@ -362,3 +362,131 @@ class TestServeCLI:
             daemon.join(timeout=10.0)
             obs.disable()
         assert not daemon.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Self-healing satellites: degraded round trip, TTL triage, readiness
+# ----------------------------------------------------------------------
+class TestSelfHealingSatellites:
+    def test_ttl_and_reload_fields_round_trip_the_protocol(self):
+        req = decode_request(
+            b'{"op":"query","s":1,"t":2,"alpha":0.9,"ttl_ms":25.5}'
+        )
+        assert req.ttl_ms == 25.5
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"op":"query","s":1,"t":2,"alpha":0.9,"ttl_ms":0}')
+        reload_req = decode_request(b'{"op":"reload","path":"/tmp/x.nrp"}')
+        assert reload_req.op == "reload" and reload_req.path == "/tmp/x.nrp"
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"op":"reload","path":7}')
+
+    def test_degraded_flag_survives_ndjson_and_is_counted(self, serve_index):
+        """satellite contract: ``QueryResult.degraded`` crosses the wire
+        intact and lands in the ``serve.*`` metrics taxonomy."""
+        registry = get_registry()
+        registry.enable()
+        registry.reset()  # earlier tests may have left counts behind
+        try:
+            with QueryServer(serve_index, workers=1, batch_max=4) as qs:
+                with ServeClient(port=qs.port) as client:
+                    resp = client.query(0, 19, 0.9, deadline_ms=0.0001)
+            counters = registry.to_json()["counters"]
+        finally:
+            registry.disable()
+            registry.reset()
+        # The JSON-decoded response preserves the boolean, not a truthy echo.
+        assert resp["ok"] and resp["degraded"] is True
+        assert counters["serve.degraded"]["value"] == 1
+        assert counters["serve.completed"]["value"] == 1
+        assert counters["serve.expired"]["value"] == 0
+
+    def test_expired_request_triaged_without_touching_engine(self, serve_index):
+        """A request that overstays its TTL in the queue is answered
+        ``expired`` at batch pickup; no engine call happens for it."""
+        release = threading.Event()
+        groups: list = []
+
+        class GatedSpyServer(QueryServer):
+            def _process_batch(self, batch):
+                release.wait(timeout=10.0)
+                super()._process_batch(batch)
+
+            def _answer_group(self, members, *args):
+                groups.append(list(members))
+                super()._answer_group(members, *args)
+
+        with GatedSpyServer(serve_index, workers=1, batch_max=4) as qs:
+            result: dict = {}
+
+            def go():
+                with ServeClient(port=qs.port) as client:
+                    result.update(client.query(0, 9, 0.9, ttl_ms=30))
+
+            thread = threading.Thread(target=go)
+            thread.start()
+            pause = threading.Event()
+            pause.wait(0.15)  # overstay the 30ms TTL inside the queue
+            release.set()
+            thread.join(timeout=10.0)
+            snap = qs.stats.snapshot()
+        assert result["error"] == "expired"
+        assert "ttl 30ms" in result["detail"]
+        assert groups == []  # the engine was never consulted
+        assert snap["expired"] == 1 and snap["completed"] == 0
+
+    def test_server_default_ttl_applies_when_request_has_none(self, serve_index):
+        release = threading.Event()
+
+        class GatedServer(QueryServer):
+            def _process_batch(self, batch):
+                release.wait(timeout=10.0)
+                super()._process_batch(batch)
+
+        with GatedServer(
+            serve_index, workers=1, batch_max=4, default_ttl_ms=30
+        ) as qs:
+            result: dict = {}
+
+            def go():
+                with ServeClient(port=qs.port) as client:
+                    result.update(client.query(0, 9, 0.9))  # no ttl_ms
+
+            thread = threading.Thread(target=go)
+            thread.start()
+            pause = threading.Event()
+            pause.wait(0.15)
+            release.set()
+            thread.join(timeout=10.0)
+        assert result["error"] == "expired"
+
+    def test_readyz_flips_on_draining_while_healthz_stays_alive(self, serve_index):
+        with QueryServer(serve_index, workers=1) as qs:
+            status, body = http_get("127.0.0.1", qs.port, "/readyz")
+            assert status == 200 and body.strip() == "ok"
+            qs.monitor.mark_draining()
+            status, body = http_get("127.0.0.1", qs.port, "/readyz")
+            assert status == 503 and body.strip() == "draining"
+            # Liveness: draining is not a state a restart would improve.
+            status, body = http_get("127.0.0.1", qs.port, "/healthz")
+            assert status == 200 and body.strip() == "draining"
+            with ServeClient(port=qs.port) as client:
+                health = client.health()
+            assert health["ok"] and health["state"] == "draining"
+            assert health["workers_alive"] == 1
+            assert health["circuit"]["state"] == "closed"
+
+    def test_stats_surface_health_and_circuit(self, serve_index):
+        with QueryServer(serve_index, workers=1) as qs:
+            with ServeClient(port=qs.port) as client:
+                stats = client.stats()
+        assert stats["health"] == "healthy" and stats["circuit"] == "closed"
+        assert stats["expired"] == 0 and stats["circuit_open"] == 0
+        assert stats["worker_restarts"] == 0
+        assert stats["reloads"] == 0 and stats["reload_failures"] == 0
+
+    def test_reload_without_file_backing_refuses(self, serve_index):
+        with QueryServer(serve_index, workers=1) as qs:
+            with ServeClient(port=qs.port) as client:
+                ack = client.reload()
+        assert not ack["ok"] and ack["error"] == "reload_failed"
+        assert "not file-backed" in ack["detail"]

@@ -1,0 +1,438 @@
+"""Units for the self-healing layer: state machine, breaker, client retries.
+
+Everything here is deterministic — fake clocks drive the
+:class:`HealthMonitor` and :class:`CircuitBreaker`, an injected sleep
+captures :class:`RetryPolicy` waits, and the client tests speak to a
+scripted in-process TCP stub instead of a real daemon.  The live-daemon
+end of the same machinery is exercised by ``tests/test_chaos_serve.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve.client import (
+    TRANSIENT_ERRORS,
+    RetryPolicy,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.health import (
+    DEGRADED,
+    DOWN,
+    DRAINING,
+    HEALTHY,
+    CircuitBreaker,
+    HealthMonitor,
+    HealthSignals,
+    HealthThresholds,
+)
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def signals(
+    *,
+    alive: int = 2,
+    total: int = 2,
+    depth: int = 0,
+    capacity: int = 100,
+    completed: int = 0,
+    errors: int = 0,
+    degraded: int = 0,
+    circuit_open: bool = False,
+) -> HealthSignals:
+    return HealthSignals(
+        workers_alive=alive,
+        workers_total=total,
+        queue_depth=depth,
+        queue_capacity=capacity,
+        window_completed=completed,
+        window_errors=errors,
+        window_degraded=degraded,
+        circuit_open=circuit_open,
+    )
+
+
+# ----------------------------------------------------------------------
+# HealthMonitor
+# ----------------------------------------------------------------------
+class TestHealthMonitor:
+    def make(self, **thresholds) -> "tuple[HealthMonitor, FakeClock]":
+        clock = FakeClock()
+        monitor = HealthMonitor(HealthThresholds(**thresholds), clock=clock)
+        return monitor, clock
+
+    def test_starts_healthy_ready_alive(self):
+        monitor, _ = self.make()
+        assert monitor.state == HEALTHY
+        assert monitor.is_alive() and monitor.is_ready()
+
+    def test_clean_signals_stay_healthy(self):
+        monitor, _ = self.make()
+        for _ in range(5):
+            assert monitor.evaluate(signals(completed=10)) == HEALTHY
+        assert monitor.snapshot()["transitions"] == []
+
+    @pytest.mark.parametrize(
+        "pressured, expected_reason",
+        [
+            (signals(alive=1), "workers 1/2 alive"),
+            (signals(depth=80, capacity=100), "queue 80/100 full"),
+            (signals(completed=2, errors=6), "error rate 6/8"),
+            (signals(completed=10, degraded=10), "deadline-miss"),
+            (signals(circuit_open=True), "circuit open"),
+        ],
+    )
+    def test_each_pressure_degrades_with_reason(self, pressured, expected_reason):
+        monitor, _ = self.make()
+        assert monitor.evaluate(pressured) == DEGRADED
+        transitions = monitor.snapshot()["transitions"]
+        assert len(transitions) == 1
+        assert transitions[0]["from"] == HEALTHY and transitions[0]["to"] == DEGRADED
+        assert expected_reason in transitions[0]["reason"]
+
+    def test_small_window_is_not_an_error_rate(self):
+        # Three requests, all errors — below min_window, so no verdict yet.
+        monitor, _ = self.make(min_window=4)
+        assert monitor.evaluate(signals(completed=0, errors=3)) == HEALTHY
+
+    def test_degraded_window_of_degraded_answers_only(self):
+        # Every answer degraded: deadline-miss pressure even with 0 errors.
+        monitor, _ = self.make(degraded_rate=0.9)
+        assert monitor.evaluate(signals(completed=10, degraded=10)) == DEGRADED
+
+    def test_recovery_needs_consecutive_clean_evaluations(self):
+        monitor, _ = self.make(recovery_evaluations=2)
+        assert monitor.evaluate(signals(alive=0, total=2)) == DOWN
+        assert not monitor.is_alive()
+        # One clean tick is not enough (hysteresis)...
+        assert monitor.evaluate(signals(completed=4)) == DOWN
+        # ...and a dirty tick resets the streak.
+        assert monitor.evaluate(signals(circuit_open=True)) == DEGRADED
+        assert monitor.evaluate(signals(completed=4)) == DEGRADED
+        assert monitor.evaluate(signals(completed=4)) == HEALTHY
+        path = [(t["from"], t["to"]) for t in monitor.snapshot()["transitions"]]
+        assert path == [
+            (HEALTHY, DOWN),
+            (DOWN, DEGRADED),
+            (DEGRADED, HEALTHY),
+        ]
+
+    def test_draining_is_sticky(self):
+        monitor, _ = self.make()
+        monitor.mark_draining()
+        assert monitor.state == DRAINING
+        assert monitor.is_alive() and not monitor.is_ready()
+        # evaluate never leaves DRAINING, clean or dirty.
+        assert monitor.evaluate(signals(completed=100)) == DRAINING
+        assert monitor.evaluate(signals(alive=0)) == DRAINING
+
+    def test_mark_down_and_transitions_carry_clock_time(self):
+        monitor, clock = self.make()
+        clock.advance(7.5)
+        monitor.mark_down("test says so")
+        snap = monitor.snapshot()
+        assert snap["state"] == DOWN
+        assert snap["transitions"][-1]["at"] == 7.5
+        assert snap["transitions"][-1]["reason"] == "test says so"
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            HealthThresholds(queue_fraction=0.0)
+        with pytest.raises(ValueError):
+            HealthThresholds(recovery_evaluations=0)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, **kwargs) -> "tuple[CircuitBreaker, FakeClock]":
+        clock = FakeClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout_s", 1.0)
+        return CircuitBreaker(clock=clock, **kwargs), clock
+
+    def test_closed_allows_and_never_rejects(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed"
+        assert breaker.allow() and not breaker.reject_fast()
+
+    def test_opens_at_failure_threshold(self):
+        breaker, _ = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.reject_fast() and not breaker.allow()
+        assert breaker.opened_total == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_reset_timeout(self):
+        breaker, clock = self.make(failure_threshold=1, reset_timeout_s=1.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(0.99)
+        assert not breaker.allow() and breaker.reject_fast()
+        clock.advance(0.02)
+        # Timeout elapsed: reject_fast stands aside, allow takes custody.
+        assert not breaker.reject_fast()
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+
+    def test_half_open_bounds_concurrent_trials(self):
+        breaker, clock = self.make(
+            failure_threshold=1, reset_timeout_s=1.0, half_open_max=2
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow() and breaker.allow()  # two trial permits
+        assert not breaker.allow()  # third trial refused
+
+    def test_trial_success_closes(self):
+        breaker, clock = self.make(failure_threshold=1)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and not breaker.reject_fast()
+
+    def test_trial_failure_reopens_for_a_full_timeout(self):
+        breaker, clock = self.make(failure_threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()  # the trial query failed
+        assert breaker.state == "open" and breaker.opened_total == 2
+        assert not breaker.allow()  # a fresh timeout must elapse again
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_snapshot_fields(self):
+        breaker, _ = self.make(failure_threshold=2)
+        breaker.record_failure()
+        assert breaker.snapshot() == {
+            "state": "closed",
+            "failures": 1,
+            "opened_total": 0,
+        }
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_max=0)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_per_seed(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        assert [a.backoff(i) for i in range(5)] == [b.backoff(i) for i in range(5)]
+
+    def test_different_seeds_desynchronise(self):
+        a = RetryPolicy(seed=1)
+        b = RetryPolicy(seed=2)
+        assert [a.backoff(i) for i in range(5)] != [b.backoff(i) for i in range(5)]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=0.4, seed=0)
+        waits = [policy.backoff(i) for i in range(8)]
+        # Jitter keeps each wait within [0.5, 1.0) of the exponential value.
+        assert 0.05 <= waits[0] < 0.1
+        assert all(0.2 <= w < 0.4 for w in waits[4:])  # capped at max
+
+    def test_wait_uses_the_injected_sleep(self):
+        slept: list[float] = []
+        policy = RetryPolicy(seed=0, sleep=slept.append)
+        policy.wait(0)
+        policy.wait(3)
+        assert slept == [policy_clone_backoffs(0, 3)[0], policy_clone_backoffs(0, 3)[1]]
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+
+
+def policy_clone_backoffs(*attempts: int) -> list[float]:
+    """What a seed-0 policy sleeps for the given attempt sequence."""
+    clone = RetryPolicy(seed=0)
+    return [clone.backoff(a) for a in attempts]
+
+
+# ----------------------------------------------------------------------
+# ServeClient transport wrapping (against a scripted TCP stub)
+# ----------------------------------------------------------------------
+class ScriptedServer:
+    """A one-shot TCP stub: each accepted connection plays one script.
+
+    A script is a list of byte chunks; after each received request line
+    the next chunk is sent back.  A chunk that is empty or does not end
+    in a newline models a hangup / torn write: it is sent (if non-empty)
+    and the connection closes immediately.
+    """
+
+    def __init__(self, scripts: "list[list[bytes]]") -> None:
+        self._scripts = list(scripts)
+        self._lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._lsock.bind(("127.0.0.1", 0))
+        self._lsock.listen(8)
+        self.port = self._lsock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        for script in self._scripts:
+            try:
+                conn, _ = self._lsock.accept()
+            except OSError:
+                return
+            with conn:
+                rfile = conn.makefile("rb")
+                for chunk in script:
+                    if not rfile.readline():
+                        break
+                    if chunk:
+                        conn.sendall(chunk)
+                    if not chunk.endswith(b"\n"):
+                        break  # hangup / torn write
+
+    def close(self) -> None:
+        self._lsock.close()
+
+
+def fast_policy(retries: int = 3) -> RetryPolicy:
+    """A retry policy that never actually sleeps."""
+    return RetryPolicy(retries=retries, seed=0, sleep=lambda _s: None)
+
+
+class TestServeClientTransport:
+    def test_torn_line_raises_typed_error_with_byte_prefix(self):
+        stub = ScriptedServer([[b'{"ok": tr']])
+        try:
+            client = ServeClient(port=stub.port, retry=fast_policy(0))
+            with pytest.raises(ServeError) as excinfo:
+                client.ping()
+        finally:
+            stub.close()
+        assert excinfo.value.transient
+        # The offending bytes are in the message — not a bare JSONDecodeError.
+        assert 'first bytes: b\'{"ok": tr\'' in str(excinfo.value)
+
+    def test_hangup_raises_transient_error(self):
+        stub = ScriptedServer([[b""]])
+        try:
+            client = ServeClient(port=stub.port)
+            with pytest.raises(ServeError) as excinfo:
+                client.ping()
+        finally:
+            stub.close()
+        assert excinfo.value.transient
+        assert client._sock is None  # connection dropped, ready to redial
+
+    def test_non_object_response_is_not_transient(self):
+        stub = ScriptedServer([[b"[1, 2]\n"]])
+        try:
+            client = ServeClient(port=stub.port, retry=fast_policy())
+            with pytest.raises(ServeError) as excinfo:
+                client.resilient_request({"op": "ping"})
+        finally:
+            stub.close()
+        assert not excinfo.value.transient
+        assert client.retry_stats["retries"] == 0  # no retry on protocol nonsense
+
+    def test_connect_timeout_is_separate_from_read_timeout(self):
+        # Nothing listens here: the *connect* budget (0.3s) governs, not
+        # the 30s read timeout.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        import time as _time
+
+        started = _time.monotonic()
+        with pytest.raises(ServeError) as excinfo:
+            ServeClient(port=free_port, timeout=30.0, connect_timeout=0.3)
+        elapsed = _time.monotonic() - started
+        assert excinfo.value.transient
+        assert "cannot connect" in str(excinfo.value)
+        assert elapsed < 5.0  # nowhere near the read timeout
+
+    def test_resilient_retries_transient_refusal_then_returns_answer(self):
+        shed = b'{"id": null, "ok": false, "error": "shed"}\n'
+        ok = b'{"id": null, "ok": true, "value": 7}\n'
+        stub = ScriptedServer([[shed, ok]])
+        slept: list[float] = []
+        try:
+            client = ServeClient(
+                port=stub.port,
+                retry=RetryPolicy(retries=3, seed=0, sleep=slept.append),
+            )
+            response = client.resilient_request({"op": "query"})
+        finally:
+            stub.close()
+        assert response["ok"] and response["value"] == 7
+        assert client.retry_stats["attempts"] == 2
+        assert client.retry_stats["retries"] == 1
+        assert client.retry_stats["reconnects"] == 0  # same connection
+        assert len(slept) == 1  # backed off exactly once
+
+    def test_resilient_reconnects_after_torn_line(self):
+        torn = b'{"ok": tr'
+        ok = b'{"id": null, "ok": true}\n'
+        stub = ScriptedServer([[torn], [ok]])
+        try:
+            client = ServeClient(port=stub.port, retry=fast_policy())
+            response = client.resilient_request({"op": "ping"})
+        finally:
+            stub.close()
+        assert response["ok"]
+        assert client.retry_stats["reconnects"] == 1
+
+    def test_resilient_returns_final_refusal_after_exhaustion(self):
+        shed = b'{"id": null, "ok": false, "error": "shed"}\n'
+        stub = ScriptedServer([[shed, shed, shed]])
+        try:
+            client = ServeClient(port=stub.port, retry=fast_policy(retries=2))
+            response = client.resilient_request({"op": "query"})
+        finally:
+            stub.close()
+        # The true final outcome is surfaced, not swallowed.
+        assert response == {"id": None, "ok": False, "error": "shed"}
+        assert client.retry_stats["attempts"] == 3
+
+    def test_transient_error_taxonomy(self):
+        assert TRANSIENT_ERRORS == {"shed", "circuit_open", "expired", "internal"}
+        assert "invalid" not in TRANSIENT_ERRORS  # never retry bad input
+        assert "protocol" not in TRANSIENT_ERRORS

@@ -18,7 +18,9 @@ structural check, metrics documents (``repro.obs.metrics/1`` and ``/2``)
 must carry every
 kernel-layer metric listed under ``_kernel_metrics`` in the schema file —
 those names are pre-registered at import, so a dump missing one means the
-taxonomy and the code have drifted.  CI runs it on a fresh
+taxonomy and the code have drifted.  ``/2`` documents must additionally
+carry the serving plane's ``_serve_metrics`` taxonomy (counters, gauges,
+histograms) — legacy ``/1`` baselines pre-date it.  CI runs it on a fresh
 ``repro obs dump`` and ``repro query --trace`` output on every supported
 Python version, so exported documents cannot drift from the checked-in
 schema unnoticed.
@@ -127,6 +129,27 @@ def kernel_metric_errors(document: dict, schemas: dict) -> list[str]:
     return errors
 
 
+def serve_metric_errors(document: dict, schemas: dict) -> list[str]:
+    """The serving plane's health/lifecycle taxonomy (``_serve_metrics``)
+    must be present in every current-format metrics dump.
+
+    Only enforced for ``repro.obs.metrics/2``: the legacy ``/1`` sidecar
+    baselines pre-date the serving plane and stay valid as checked in.
+    """
+    errors: list[str] = []
+    documented = schemas.get("_serve_metrics", {})
+    for section in ("counters", "gauges", "histograms"):
+        present = document.get(section)
+        if not isinstance(present, dict):
+            continue  # structural validation already reported this
+        for name in documented.get(section, ()):
+            if name not in present:
+                errors.append(
+                    f"$.{section}: missing pre-registered serve metric {name!r}"
+                )
+    return errors
+
+
 def check_file(path: Path, schemas: dict) -> list[str]:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
@@ -144,6 +167,8 @@ def check_file(path: Path, schemas: dict) -> list[str]:
     errors = validate(document, schema)
     if schema_id in ("repro.obs.metrics/1", "repro.obs.metrics/2"):
         errors.extend(kernel_metric_errors(document, schemas))
+    if schema_id == "repro.obs.metrics/2":
+        errors.extend(serve_metric_errors(document, schemas))
     return [f"{path} [{schema_id}] {e}" for e in errors]
 
 

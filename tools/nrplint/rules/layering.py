@@ -25,6 +25,11 @@
   import ``repro.core``, ``repro.obs``, ``repro.resilience``, and
   ``repro.network``, but never the cli/experiments/viz consumers — and
   nothing in core may import it back.
+- Within the serving plane, ``repro.serve.health`` (state machine +
+  circuit breaker) is pure mechanism and may import only ``repro.obs``;
+  ``repro.serve.lifecycle`` (verified open, WAL recovery, hot reload)
+  may see core/resilience/obs/network but never ``serve.server`` or
+  ``serve.client``, which import *it*.
 
 Imports under ``if TYPE_CHECKING:`` are exempt — they express annotations,
 not a runtime dependency, and cannot create import cycles.
@@ -153,6 +158,25 @@ CONTRACTS: tuple[Contract, ...] = (
         reason=(
             "the serving plane wraps the index kernel; it must not reach "
             "sideways into cli/experiments/viz consumers"
+        ),
+    ),
+    Contract(
+        scope="repro.serve.health",
+        allowed=("repro.obs",),
+        reason=(
+            "the health state machine and circuit breaker are pure "
+            "mechanism: no engine, no sockets, no lifecycle — the server "
+            "feeds them signals, tests feed them fakes"
+        ),
+    ),
+    Contract(
+        scope="repro.serve.lifecycle",
+        allowed=("repro.core", "repro.resilience", "repro.obs", "repro.network"),
+        forbidden=("repro.serve.server", "repro.serve.client"),
+        reason=(
+            "index lifecycle (verified open, WAL recovery, hot reload) "
+            "sits below the server that imports it; reaching back up "
+            "would cycle the serving plane"
         ),
     ),
 )
